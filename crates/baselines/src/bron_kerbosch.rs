@@ -1,0 +1,183 @@
+//! Maximal clique enumeration (Bron–Kerbosch with pivoting).
+//!
+//! The engine behind the CFinder baseline. The paper notes that "retrieving
+//! all cliques of the graph … turns out to be prohibitive for large graphs"
+//! — which is exactly the behaviour Figures 5 and 6 demonstrate — so the
+//! enumerator takes an optional output cap to keep experiments bounded.
+
+use oca_graph::{CsrGraph, NodeId};
+
+/// Enumerates all maximal cliques, calling `sink` for each. Returns `false`
+/// if the enumeration was aborted by the sink (e.g. a cap was hit).
+pub fn maximal_cliques<F: FnMut(&[NodeId]) -> bool>(graph: &CsrGraph, mut sink: F) -> bool {
+    let n = graph.node_count();
+    if n == 0 {
+        return true;
+    }
+    // Degeneracy-ordered outer loop keeps recursion depth small on sparse
+    // graphs; a simple degree order is a good practical proxy.
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_unstable_by_key(|&v| graph.degree(v));
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut r: Vec<NodeId> = Vec::new();
+    for &v in &order {
+        let pv = position[v.index()];
+        let p: Vec<NodeId> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| position[u.index()] > pv)
+            .collect();
+        let x: Vec<NodeId> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| position[u.index()] < pv)
+            .collect();
+        r.push(v);
+        if !bk_pivot(graph, &mut r, p, x, &mut sink) {
+            return false;
+        }
+        r.pop();
+    }
+    true
+}
+
+fn bk_pivot<F: FnMut(&[NodeId]) -> bool>(
+    graph: &CsrGraph,
+    r: &mut Vec<NodeId>,
+    p: Vec<NodeId>,
+    mut x: Vec<NodeId>,
+    sink: &mut F,
+) -> bool {
+    if p.is_empty() && x.is_empty() {
+        return sink(r);
+    }
+    // Pivot: the vertex of P ∪ X with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&w| graph.has_edge(u, w)).count())
+        .expect("P ∪ X non-empty");
+    let candidates: Vec<NodeId> = p
+        .iter()
+        .copied()
+        .filter(|&u| !graph.has_edge(pivot, u))
+        .collect();
+    let mut p = p;
+    for v in candidates {
+        let np: Vec<NodeId> = p
+            .iter()
+            .copied()
+            .filter(|&u| u != v && graph.has_edge(v, u))
+            .collect();
+        let nx: Vec<NodeId> = x
+            .iter()
+            .copied()
+            .filter(|&u| graph.has_edge(v, u))
+            .collect();
+        r.push(v);
+        if !bk_pivot(graph, r, np, nx, sink) {
+            return false;
+        }
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+    true
+}
+
+/// Collects all maximal cliques up to `cap` (None = unlimited). The second
+/// return value is `true` if enumeration completed.
+pub fn collect_maximal_cliques(graph: &CsrGraph, cap: Option<usize>) -> (Vec<Vec<NodeId>>, bool) {
+    let mut out = Vec::new();
+    let completed = maximal_cliques(graph, |clique| {
+        let mut c = clique.to_vec();
+        c.sort_unstable();
+        out.push(c);
+        cap.is_none_or(|cap| out.len() < cap)
+    });
+    (out, completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    fn cliques_of(graph: &CsrGraph) -> Vec<Vec<u32>> {
+        let (cs, done) = collect_maximal_cliques(graph, None);
+        assert!(done);
+        let mut raw: Vec<Vec<u32>> = cs
+            .into_iter()
+            .map(|c| c.into_iter().map(|v| v.raw()).collect())
+            .collect();
+        raw.sort();
+        raw
+    }
+
+    #[test]
+    fn triangle_is_one_clique() {
+        let g = from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(cliques_of(&g), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn path_yields_edges() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(cliques_of(&g), vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn k4_minus_edge() {
+        // K4 without edge 0-3: two triangles {0,1,2} and {1,2,3}.
+        let g = from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(cliques_of(&g), vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn complete_graph_single_clique() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = from_edges(6, edges);
+        assert_eq!(cliques_of(&g), vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_trivial_cliques() {
+        let g = from_edges(3, [(0, 1)]);
+        assert_eq!(cliques_of(&g), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn clique_count_on_moon_graph() {
+        // Moon–Moser style check at small scale: C5 has exactly 5 maximal
+        // cliques (its edges).
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(cliques_of(&g).len(), 5);
+    }
+
+    #[test]
+    fn cap_aborts_enumeration() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let (cs, done) = collect_maximal_cliques(&g, Some(2));
+        assert_eq!(cs.len(), 2);
+        assert!(!done);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = oca_graph::CsrGraph::empty(0);
+        let (cs, done) = collect_maximal_cliques(&g, None);
+        assert!(cs.is_empty());
+        assert!(done);
+    }
+}

@@ -1,0 +1,231 @@
+//! The LFK baseline (Lancichinetti, Fortunato & Kertész 2009 — the paper's
+//! reference \[8\]).
+//!
+//! LFK grows the *natural community* of a seed node by greedily maximizing
+//! the local fitness
+//!
+//! `f(S) = k_in(S) / (k_in(S) + k_out(S))^α`
+//!
+//! where `k_in` counts internal edge endpoints and `k_out` boundary edges.
+//! After every addition, members with negative fitness contribution are
+//! pruned. The cover is built by repeatedly seeding from a random
+//! not-yet-covered node, which naturally produces overlapping communities.
+//! The paper's experiments use the standard `α = 1`.
+
+use crate::set_state::SetState;
+use oca_graph::{Community, Cover, CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LFK configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LfkConfig {
+    /// Resolution exponent `α`; 1 is the standard scale.
+    pub alpha: f64,
+    /// RNG seed for the seed-node order.
+    pub rng_seed: u64,
+    /// Discard natural communities smaller than this.
+    pub min_community_size: usize,
+    /// Safety cap on grow steps per community.
+    pub max_steps: usize,
+}
+
+impl Default for LfkConfig {
+    fn default() -> Self {
+        LfkConfig {
+            alpha: 1.0,
+            rng_seed: 0x1F1,
+            min_community_size: 1,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+fn fitness(k_in: usize, k_out: usize, alpha: f64) -> f64 {
+    let total = (k_in + k_out) as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    k_in as f64 / total.powf(alpha)
+}
+
+fn state_fitness(s: &SetState<'_>, alpha: f64) -> f64 {
+    fitness(s.k_in(), s.k_out(), alpha)
+}
+
+/// Fitness if `v` were added: `k_in` gains `2·deg_S(v)`, volume gains
+/// `deg(v)`.
+fn fitness_with(s: &SetState<'_>, graph: &CsrGraph, v: NodeId, alpha: f64) -> f64 {
+    let k_in = s.k_in() + 2 * s.internal_degree(v);
+    let vol = s.volume() + graph.degree(v);
+    fitness(k_in, vol - k_in, alpha)
+}
+
+/// Fitness if member `v` were removed.
+fn fitness_without(s: &SetState<'_>, graph: &CsrGraph, v: NodeId, alpha: f64) -> f64 {
+    let k_in = s.k_in() - 2 * s.internal_degree(v);
+    let vol = s.volume() - graph.degree(v);
+    fitness(k_in, vol - k_in, alpha)
+}
+
+/// Grows the natural community of `seed` (LFK Sec. 2 procedure). The seed
+/// itself is never pruned, guaranteeing progress of the cover loop.
+pub fn natural_community(
+    graph: &CsrGraph,
+    state: &mut SetState<'_>,
+    seed: NodeId,
+    config: &LfkConfig,
+) -> Community {
+    state.reset();
+    state.add(seed);
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        if steps > config.max_steps {
+            break;
+        }
+        // (i) best neighbor by resulting fitness.
+        let current = state_fitness(state, config.alpha);
+        let mut best: Option<(f64, NodeId)> = None;
+        for v in state.boundary() {
+            let f = fitness_with(state, graph, v, config.alpha);
+            if best.is_none_or(|(bf, _)| f > bf) {
+                best = Some((f, v));
+            }
+        }
+        let Some((best_fitness, best_node)) = best else {
+            break;
+        };
+        if best_fitness <= current {
+            break;
+        }
+        state.add(best_node);
+        // (ii) prune members with negative fitness contribution, repeatedly.
+        loop {
+            let current = state_fitness(state, config.alpha);
+            let candidate = state
+                .members()
+                .iter()
+                .copied()
+                .filter(|&v| v != seed)
+                .map(|v| (fitness_without(state, graph, v, config.alpha), v))
+                .filter(|&(f, _)| f > current)
+                .max_by(|a, b| a.0.total_cmp(&b.0));
+            match candidate {
+                Some((_, v)) => state.remove(v),
+                None => break,
+            }
+        }
+    }
+    state.to_community()
+}
+
+/// Runs LFK over the whole graph: natural communities from random uncovered
+/// seeds until every node is covered.
+pub fn lfk(graph: &CsrGraph, config: &LfkConfig) -> Cover {
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut covered = vec![false; n];
+    let mut uncovered: Vec<u32> = (0..n as u32).collect();
+    let mut state = SetState::new(graph);
+    let mut communities = Vec::new();
+    while !uncovered.is_empty() {
+        // Pick a random uncovered node (swap-remove compaction).
+        let idx = rng.random_range(0..uncovered.len());
+        let seed = uncovered.swap_remove(idx);
+        if covered[seed as usize] {
+            continue;
+        }
+        let community = natural_community(graph, &mut state, NodeId(seed), config);
+        for &v in community.members() {
+            covered[v.index()] = true;
+        }
+        if community.len() >= config.min_community_size {
+            communities.push(community);
+        }
+    }
+    Cover::new(n, communities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((3, 4));
+        from_edges(8, edges)
+    }
+
+    #[test]
+    fn fitness_formula() {
+        assert_eq!(fitness(0, 0, 1.0), 0.0);
+        assert!((fitness(6, 2, 1.0) - 0.75).abs() < 1e-12);
+        assert!((fitness(6, 2, 0.5) - 6.0 / 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn natural_community_recovers_clique() {
+        let g = two_cliques();
+        let mut st = SetState::new(&g);
+        let c = natural_community(&g, &mut st, NodeId(1), &LfkConfig::default());
+        let raw: Vec<u32> = c.members().iter().map(|v| v.raw()).collect();
+        assert_eq!(raw, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cover_reaches_every_node() {
+        let g = two_cliques();
+        let cover = lfk(&g, &LfkConfig::default());
+        assert!(cover.orphans().is_empty());
+        assert!(cover.len() >= 2);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = two_cliques();
+        let a = lfk(&g, &LfkConfig::default());
+        let b = lfk(&g, &LfkConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlap_on_shared_node() {
+        // Two triangles sharing node 2.
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let cover = lfk(&g, &LfkConfig::default());
+        let idx = cover.membership_index();
+        assert!(
+            !idx[2].is_empty(),
+            "shared node must be covered (ideally twice)"
+        );
+        assert!(cover.orphans().is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_become_singletons() {
+        let g = from_edges(3, [(0, 1)]);
+        let cover = lfk(&g, &LfkConfig::default());
+        assert!(cover.orphans().is_empty());
+        assert!(cover.communities().iter().any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn min_size_filter() {
+        let g = from_edges(3, [(0, 1)]);
+        let cfg = LfkConfig {
+            min_community_size: 2,
+            ..Default::default()
+        };
+        let cover = lfk(&g, &cfg);
+        assert!(cover.communities().iter().all(|c| c.len() >= 2));
+    }
+}

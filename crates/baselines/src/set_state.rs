@@ -1,0 +1,194 @@
+//! Incremental node-set bookkeeping shared by the baseline algorithms.
+//!
+//! Tracks members, internal degree of touched nodes, internal edge count and
+//! total member degree (volume), so LFK's fitness and its gains evaluate in
+//! `O(1)` after an `O(deg)` update — the same trick the OCA core uses.
+
+use oca_graph::{Community, CsrGraph, NodeId};
+
+/// A mutable node set over a graph with incremental `Ein` / volume tracking.
+#[derive(Debug)]
+pub struct SetState<'g> {
+    graph: &'g CsrGraph,
+    in_set: Vec<bool>,
+    deg_in: Vec<u32>,
+    touched: Vec<NodeId>,
+    touched_flag: Vec<bool>,
+    members: Vec<NodeId>,
+    ein: usize,
+    volume: usize,
+}
+
+impl<'g> SetState<'g> {
+    /// Empty set over `graph`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        let n = graph.node_count();
+        SetState {
+            graph,
+            in_set: vec![false; n],
+            deg_in: vec![0; n],
+            touched: Vec::new(),
+            touched_flag: vec![false; n],
+            members: Vec::new(),
+            ein: 0,
+            volume: 0,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.in_set[v.index()]
+    }
+
+    /// Internal edges `Ein(S)`.
+    pub fn internal_edges(&self) -> usize {
+        self.ein
+    }
+
+    /// Total degree of members (`vol(S)`), counting boundary edges once and
+    /// internal edges twice.
+    pub fn volume(&self) -> usize {
+        self.volume
+    }
+
+    /// `k_in = 2·Ein(S)`.
+    pub fn k_in(&self) -> usize {
+        2 * self.ein
+    }
+
+    /// `k_out = vol(S) − 2·Ein(S)`.
+    pub fn k_out(&self) -> usize {
+        self.volume - 2 * self.ein
+    }
+
+    /// Internal degree of any node w.r.t. the set.
+    pub fn internal_degree(&self, v: NodeId) -> usize {
+        self.deg_in[v.index()] as usize
+    }
+
+    /// Members (unsorted).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    fn touch(&mut self, v: NodeId) {
+        if !self.touched_flag[v.index()] {
+            self.touched_flag[v.index()] = true;
+            self.touched.push(v);
+        }
+    }
+
+    /// Adds `v`. `O(deg v)`.
+    pub fn add(&mut self, v: NodeId) {
+        debug_assert!(!self.contains(v));
+        self.ein += self.deg_in[v.index()] as usize;
+        self.volume += self.graph.degree(v);
+        self.in_set[v.index()] = true;
+        self.touch(v);
+        self.members.push(v);
+        for &u in self.graph.neighbors(v) {
+            self.deg_in[u.index()] += 1;
+            self.touch(u);
+        }
+    }
+
+    /// Removes `v`. `O(deg v + s)`.
+    pub fn remove(&mut self, v: NodeId) {
+        debug_assert!(self.contains(v));
+        self.ein -= self.deg_in[v.index()] as usize;
+        self.volume -= self.graph.degree(v);
+        self.in_set[v.index()] = false;
+        for &u in self.graph.neighbors(v) {
+            self.deg_in[u.index()] -= 1;
+        }
+        let pos = self
+            .members
+            .iter()
+            .position(|&m| m == v)
+            .expect("member bookkeeping consistent");
+        self.members.swap_remove(pos);
+    }
+
+    /// Boundary iterator: adjacent non-members.
+    pub fn boundary(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.touched
+            .iter()
+            .copied()
+            .filter(|&v| !self.in_set[v.index()] && self.deg_in[v.index()] > 0)
+    }
+
+    /// Snapshot as a sorted [`Community`].
+    pub fn to_community(&self) -> Community {
+        Community::new(self.members.clone())
+    }
+
+    /// Clears the set touching only dirty entries.
+    pub fn reset(&mut self) {
+        for &v in &self.touched {
+            self.deg_in[v.index()] = 0;
+            self.in_set[v.index()] = false;
+            self.touched_flag[v.index()] = false;
+        }
+        self.touched.clear();
+        self.members.clear();
+        self.ein = 0;
+        self.volume = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    #[test]
+    fn tracks_kin_kout() {
+        // Triangle 0-1-2 with pendant 3 on 2.
+        let g = from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut s = SetState::new(&g);
+        s.add(NodeId(0));
+        s.add(NodeId(1));
+        assert_eq!(s.k_in(), 2);
+        assert_eq!(s.k_out(), 2);
+        s.add(NodeId(2));
+        assert_eq!(s.k_in(), 6);
+        assert_eq!(s.k_out(), 1);
+        assert_eq!(s.volume(), 7);
+    }
+
+    #[test]
+    fn remove_restores_counts() {
+        let g = from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut s = SetState::new(&g);
+        for v in [0, 1, 2] {
+            s.add(NodeId(v));
+        }
+        s.remove(NodeId(2));
+        assert_eq!(s.k_in(), 2);
+        assert_eq!(s.k_out(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn reset_and_reuse() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let mut s = SetState::new(&g);
+        s.add(NodeId(0));
+        s.add(NodeId(1));
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.volume(), 0);
+        s.add(NodeId(2));
+        assert_eq!(s.internal_degree(NodeId(1)), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! End-to-end algorithm benchmarks on a fixed LFR instance — the criterion
+//! companion to the Fig. 5/6 wall-clock binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oca_bench::{run_algorithm, AlgorithmKind};
+use oca_gen::{daisy_tree, lfr, DaisyParams, LfrParams};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let lfr_bench = lfr(&LfrParams::small(1000, 0.3, 21));
+    let daisy_bench = daisy_tree(&DaisyParams::default_shape(100), 9, 0.05, 22);
+
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for kind in [
+        AlgorithmKind::Oca,
+        AlgorithmKind::Lfk,
+        AlgorithmKind::CFinder,
+        AlgorithmKind::Lpa,
+    ] {
+        group.bench_function(format!("lfr1000/{}", kind.name().to_lowercase()), |b| {
+            b.iter(|| run_algorithm(kind, &lfr_bench.graph, 5).cover.len())
+        });
+        group.bench_function(format!("daisy1000/{}", kind.name().to_lowercase()), |b| {
+            b.iter(|| run_algorithm(kind, &daisy_bench.graph, 5).cover.len())
+        });
+    }
+    // The faithful CFinder (maximal-clique pipeline) on the LFR instance —
+    // the configuration whose blow-up Figure 5 documents.
+    group.bench_function("lfr1000/cfinder_faithful", |b| {
+        b.iter(|| {
+            run_algorithm(AlgorithmKind::CFinderFaithful, &lfr_bench.graph, 5)
+                .cover
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the OCA fitness kernel and incremental state.
+//!
+//! Includes the DESIGN.md ablation "incremental vs recomputed fitness":
+//! `state_churn` applies add/remove cycles with `O(deg)` incremental
+//! updates, while `recompute_ein` measures the full `Ein` recount the
+//! naive implementation would pay per move.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oca::{fitness, gain_add, CommunityState};
+use oca_gen::{lfr, LfrParams};
+use oca_graph::NodeId;
+use std::hint::black_box;
+
+fn bench_fitness_eval(c: &mut Criterion) {
+    c.bench_function("fitness/closed_form", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in 2..1000usize {
+                acc += fitness(black_box(s), black_box(3 * s), black_box(0.3));
+            }
+            acc
+        })
+    });
+    c.bench_function("fitness/gain_add", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 0..1000usize {
+                acc += gain_add(black_box(500), black_box(6000), black_box(d), black_box(0.3));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_state(c: &mut Criterion) {
+    let bench = lfr(&LfrParams::small(2000, 0.3, 7));
+    let graph = &bench.graph;
+    let community: Vec<NodeId> = bench.ground_truth.communities()[0]
+        .members()
+        .to_vec();
+
+    c.bench_function("state/add_remove_churn", |b| {
+        b.iter_batched(
+            || CommunityState::new(graph, 0.3),
+            |mut st| {
+                for &v in &community {
+                    st.add(v);
+                }
+                for &v in &community {
+                    st.remove(v);
+                }
+                st.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("state/recompute_ein", |b| {
+        let mut st = CommunityState::new(graph, 0.3);
+        for &v in &community {
+            st.add(v);
+        }
+        b.iter(|| black_box(&st).recompute_internal_edges())
+    });
+
+    c.bench_function("state/best_addition", |b| {
+        let mut st = CommunityState::new(graph, 0.3);
+        for &v in &community {
+            st.add(v);
+        }
+        b.iter(|| st.best_addition())
+    });
+}
+
+criterion_group!(benches, bench_fitness_eval, bench_state);
+criterion_main!(benches);

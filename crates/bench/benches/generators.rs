@@ -1,0 +1,37 @@
+//! Generator throughput: the datasets of Table I must be cheap to produce
+//! relative to the algorithms consuming them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oca_gen::{barabasi_albert, daisy_tree, lfr, rmat, DaisyParams, LfrParams, RmatParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("gen/lfr_2000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            lfr(&LfrParams::small(2000, 0.3, seed)).graph.edge_count()
+        })
+    });
+    c.bench_function("gen/daisy_tree_2000", |b| {
+        let params = DaisyParams::default_shape(100);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            daisy_tree(&params, 19, 0.05, seed).graph.edge_count()
+        })
+    });
+    c.bench_function("gen/rmat_s14", |b| {
+        let params = RmatParams::graph500(14, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| rmat(&params, &mut rng).edge_count())
+    });
+    c.bench_function("gen/ba_5000", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| barabasi_albert(5000, 5, &mut rng).edge_count())
+    });
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Metric evaluation cost: Θ (V.2), the LFK NMI and the omega index on
+//! realistic cover sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oca_gen::{lfr, LfrParams};
+use oca_metrics::{average_f1, omega_index, overlapping_nmi, theta};
+
+fn bench_metrics(c: &mut Criterion) {
+    let a = lfr(&LfrParams::small(2000, 0.3, 31));
+    let b = lfr(&LfrParams::small(2000, 0.3, 32));
+    let (truth, other) = (&a.ground_truth, &b.ground_truth);
+
+    c.bench_function("metrics/theta", |bch| {
+        bch.iter(|| theta(truth, other))
+    });
+    c.bench_function("metrics/nmi", |bch| {
+        bch.iter(|| overlapping_nmi(truth, other))
+    });
+    c.bench_function("metrics/omega", |bch| {
+        bch.iter(|| omega_index(truth, other))
+    });
+    c.bench_function("metrics/f1", |bch| {
+        bch.iter(|| average_f1(truth, other))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

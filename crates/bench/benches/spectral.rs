@@ -1,0 +1,30 @@
+//! Micro-benchmarks of the power method (Section II's `c = −1/λ_min`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oca_gen::{lfr, LfrParams};
+use oca_spectral::{adj_matvec, interaction_strength, PowerConfig};
+use std::hint::black_box;
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    for &n in &[1000usize, 4000] {
+        let bench = lfr(&LfrParams::small(n, 0.3, 11));
+        let graph = &bench.graph;
+        group.bench_with_input(BenchmarkId::new("matvec", n), graph, |b, g| {
+            let x = vec![1.0; g.node_count()];
+            let mut y = vec![0.0; g.node_count()];
+            b.iter(|| {
+                adj_matvec(g, black_box(&x), &mut y);
+                y[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interaction_strength", n), graph, |b, g| {
+            let cfg = PowerConfig::default();
+            b.iter(|| interaction_strength(g, &cfg).c)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Ablation study for the design choices called out in DESIGN.md §5:
+//!
+//! 1. spectral `c = −1/λ_min` vs fixed `c` values (quality plateau);
+//! 2. merge postprocessing on/off (duplicate rate and Θ);
+//! 3. seed strategy: random neighborhood vs singleton vs 1-hop ball.
+//!
+//! ```text
+//! cargo run -p oca-bench --release --bin ablation_study -- --nodes 1000
+//! ```
+
+use oca::{CStrategy, HaltingConfig, Oca, OcaConfig, SeedStrategy};
+use oca_bench::{Args, Table};
+use oca_gen::{daisy_tree, lfr, DaisyParams, LfrParams};
+use oca_graph::{Cover, CsrGraph};
+use oca_metrics::theta;
+
+fn run(graph: &CsrGraph, c: CStrategy, seed_strategy: SeedStrategy, merge: Option<f64>) -> (Cover, usize) {
+    let config = OcaConfig {
+        c,
+        seed_strategy,
+        merge_threshold: merge,
+        halting: HaltingConfig {
+            max_seeds: 4 * graph.node_count(),
+            target_coverage: 0.99,
+            stagnation_limit: 200,
+        },
+        ..Default::default()
+    };
+    let r = Oca::new(config).run(graph);
+    (r.cover, r.raw_community_count)
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes", 1000);
+    let seed: u64 = args.get("seed", 42);
+    let lfr_bench = lfr(&LfrParams::small(nodes, 0.3, seed));
+    let daisy_bench = daisy_tree(&DaisyParams::default_shape(100), nodes / 100 - 1, 0.05, seed);
+
+    // 1. c sweep.
+    let mut c_table = Table::new(["c", "theta(LFR)", "theta(daisy)"]);
+    println!("Ablation 1: interaction strength (spectral vs fixed)");
+    let mut entries: Vec<(String, CStrategy)> = vec![(
+        "spectral (paper)".to_string(),
+        CStrategy::Spectral(Default::default()),
+    )];
+    for &c in &[0.05, 0.1, 0.3, 0.5, 0.7, 0.9] {
+        entries.push((format!("{c:.2}"), CStrategy::Fixed(c)));
+    }
+    for (label, strategy) in entries {
+        let (lc, _) = run(&lfr_bench.graph, strategy, SeedStrategy::default(), Some(0.5));
+        let (dc, _) = run(&daisy_bench.graph, strategy, SeedStrategy::default(), Some(0.5));
+        c_table.row([
+            label,
+            format!("{:.3}", theta(&lfr_bench.ground_truth, &lc)),
+            format!("{:.3}", theta(&daisy_bench.ground_truth, &dc)),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    print!("{}", c_table.render());
+    let _ = c_table.write_csv("ablation_c_sweep");
+
+    // 2. merge postprocessing.
+    let mut m_table = Table::new(["merge", "raw communities", "final communities", "theta(LFR)"]);
+    println!("\nAblation 2: merge postprocessing");
+    for (label, merge) in [("off", None), ("rho>=0.5 (paper)", Some(0.5)), ("rho>=0.8", Some(0.8))] {
+        let (cover, raw) = run(
+            &lfr_bench.graph,
+            CStrategy::Spectral(Default::default()),
+            SeedStrategy::default(),
+            merge,
+        );
+        m_table.row([
+            label.to_string(),
+            raw.to_string(),
+            cover.len().to_string(),
+            format!("{:.3}", theta(&lfr_bench.ground_truth, &cover)),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    print!("{}", m_table.render());
+    let _ = m_table.write_csv("ablation_merge");
+
+    // 3. seed strategy.
+    let mut s_table = Table::new(["seed strategy", "theta(LFR)", "theta(daisy)"]);
+    println!("\nAblation 3: seed strategy");
+    for (label, strat) in [
+        (
+            "random neighborhood (paper)",
+            SeedStrategy::RandomNeighborhood {
+                include_probability: 0.5,
+            },
+        ),
+        ("singleton", SeedStrategy::Singleton),
+        ("1-hop ball", SeedStrategy::Ball { radius: 1 }),
+    ] {
+        let (lc, _) = run(
+            &lfr_bench.graph,
+            CStrategy::Spectral(Default::default()),
+            strat,
+            Some(0.5),
+        );
+        let (dc, _) = run(
+            &daisy_bench.graph,
+            CStrategy::Spectral(Default::default()),
+            strat,
+            Some(0.5),
+        );
+        s_table.row([
+            label.to_string(),
+            format!("{:.3}", theta(&lfr_bench.ground_truth, &lc)),
+            format!("{:.3}", theta(&daisy_bench.ground_truth, &dc)),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    print!("{}", s_table.render());
+    let _ = s_table.write_csv("ablation_seed_strategy");
+}

@@ -1,0 +1,60 @@
+//! Figure 3: Θ of the daisy community structure at different tree sizes.
+//!
+//! The paper grows daisy trees from ~10² to 10⁵ nodes and scores the three
+//! algorithms against the overlapping petal/core ground truth. Expected
+//! shape: OCA above LFK and CFinder across sizes (both baselines handle
+//! the planted overlap worse).
+//!
+//! ```text
+//! cargo run -p oca-bench --release --bin fig3_daisy_theta -- --max-size 100000
+//! ```
+
+use oca_bench::{run_algorithm, shared_postprocess, AlgorithmKind, Args, Table};
+use oca_gen::{daisy_tree, DaisyParams};
+use oca_metrics::{overlapping_nmi, theta};
+
+fn main() {
+    let args = Args::parse();
+    let max_size: usize = args.get("max-size", 10_000);
+    let seed: u64 = args.get("seed", 42);
+    let flower = DaisyParams {
+        p: 5,
+        q: 7,
+        n: 100,
+        alpha: 0.9,
+        beta: 0.9,
+    };
+    let algorithms = [
+        AlgorithmKind::Oca,
+        AlgorithmKind::Lfk,
+        AlgorithmKind::CFinder,
+    ];
+
+    let mut table = Table::new(["size", "algorithm", "theta", "nmi", "communities", "secs"]);
+    println!("Figure 3 reproduction: Theta vs daisy tree size (petals of {} nodes)", flower.n);
+    let mut size = 100usize;
+    while size <= max_size {
+        let flowers = (size / flower.n).max(1);
+        let bench = daisy_tree(&flower, flowers - 1, 0.05, seed + size as u64);
+        for &alg in &algorithms {
+            let out = run_algorithm(alg, &bench.graph, seed);
+            let cover = shared_postprocess(&out.cover);
+            table.row([
+                bench.graph.node_count().to_string(),
+                alg.name().to_string(),
+                format!("{:.3}", theta(&bench.ground_truth, &cover)),
+                format!("{:.3}", overlapping_nmi(&bench.ground_truth, &cover)),
+                cover.len().to_string(),
+                oca_bench::secs(out.elapsed),
+            ]);
+            eprint!(".");
+        }
+        size *= 10;
+    }
+    eprintln!();
+    print!("{}", table.render());
+    match table.write_csv("fig3_daisy_theta") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

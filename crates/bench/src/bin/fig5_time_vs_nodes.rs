@@ -1,0 +1,65 @@
+//! Figure 5: execution time against graph size (log scale in the paper).
+//!
+//! LFR graphs with av.deg = 50, max.deg = 150, community sizes 500–700,
+//! n ∈ {5000, …, 25000}. The paper reports CFinder as prohibitively slow
+//! (it enumerates cliques), with OCA fastest. CFinder here runs in its
+//! faithful maximal-clique mode and is skipped beyond `--cfinder-cap`
+//! nodes, mirroring the paper discarding it "for experiments on larger
+//! graphs".
+//!
+//! ```text
+//! cargo run -p oca-bench --release --bin fig5_time_vs_nodes -- --max-nodes 25000
+//! ```
+
+use oca_bench::{run_algorithm, AlgorithmKind, Args, Table};
+use oca_gen::{lfr, LfrParams};
+
+fn main() {
+    let args = Args::parse();
+    let max_nodes: usize = args.get("max-nodes", 25_000);
+    let step: usize = args.get("step", 5_000);
+    let cfinder_cap: usize = args.get("cfinder-cap", 10_000);
+    let seed: u64 = args.get("seed", 42);
+
+    let mut table = Table::new(["nodes", "algorithm", "secs", "communities", "complete"]);
+    println!(
+        "Figure 5 reproduction: execution time vs nodes (LFR av.deg=50 max.deg=150 com=500-700)"
+    );
+    let mut n = step;
+    while n <= max_nodes {
+        let params = LfrParams::timing(n, 500.min(n / 2), 700.min(n - 1), seed + n as u64);
+        let bench = lfr(&params);
+        for alg in [
+            AlgorithmKind::Oca,
+            AlgorithmKind::Lfk,
+            AlgorithmKind::CFinderFaithful,
+        ] {
+            if alg == AlgorithmKind::CFinderFaithful && n > cfinder_cap {
+                table.row([
+                    n.to_string(),
+                    alg.name().to_string(),
+                    "skipped (prohibitive)".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+                continue;
+            }
+            let out = run_algorithm(alg, &bench.graph, seed);
+            table.row([
+                n.to_string(),
+                alg.name().to_string(),
+                oca_bench::secs(out.elapsed),
+                out.cover.len().to_string(),
+                out.complete.to_string(),
+            ]);
+            eprint!(".");
+        }
+        n += step;
+    }
+    eprintln!();
+    print!("{}", table.render());
+    match table.write_csv("fig5_time_vs_nodes") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 6: execution time against community size.
+//!
+//! LFR graphs (av.deg = 50, max.deg = 150) whose community sizes lie in
+//! `[k, k+50]` for k = 50…450. The paper shows OCA roughly flat in k while
+//! LFK's time grows; CFinder cannot finish at all and is omitted.
+//!
+//! ```text
+//! cargo run -p oca-bench --release --bin fig6_time_vs_comsize -- --nodes 5000
+//! ```
+
+use oca_bench::{run_algorithm, AlgorithmKind, Args, Table};
+use oca_gen::{lfr, LfrParams};
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes", 5_000);
+    let max_k: usize = args.get("max-k", 450);
+    let seed: u64 = args.get("seed", 42);
+
+    let mut table = Table::new(["k", "algorithm", "secs", "communities"]);
+    println!(
+        "Figure 6 reproduction: execution time vs community size (LFR n = {nodes}, sizes [k, k+50])"
+    );
+    let mut k = 50usize;
+    while k <= max_k {
+        let params = LfrParams::timing(nodes, k, (k + 50).min(nodes - 1), seed + k as u64);
+        let bench = lfr(&params);
+        for alg in [AlgorithmKind::Oca, AlgorithmKind::Lfk] {
+            let out = run_algorithm(alg, &bench.graph, seed);
+            table.row([
+                k.to_string(),
+                alg.name().to_string(),
+                oca_bench::secs(out.elapsed),
+                out.cover.len().to_string(),
+            ]);
+            eprint!(".");
+        }
+        k += 100;
+    }
+    eprintln!();
+    print!("{}", table.render());
+    match table.write_csv("fig6_time_vs_comsize") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,92 @@
+//! Table I: the datasets analyzed by OCA.
+//!
+//! Regenerates the dataset inventory — LFR benchmarks (10⁴–10⁶ nodes),
+//! a daisy tree (10⁵ nodes, ≈ 4·10⁵ edges) and the Wikipedia substitute
+//! (scale-free R-MAT; see DESIGN.md §3) — and prints the same columns the
+//! paper reports. Scales are configurable so the default run stays quick:
+//!
+//! ```text
+//! cargo run -p oca-bench --release --bin table1_datasets -- --scale full
+//! ```
+
+use oca_bench::{Args, Table};
+use oca_gen::{daisy_tree, lfr, rmat, DaisyParams, LfrParams, RmatParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let scale: String = args.get("scale", "quick".to_string());
+    let full = scale == "full";
+    let seed: u64 = args.get("seed", 42);
+
+    // Paper scales: LFR 10^4..10^6, daisy 10^5, Wikipedia 1.7e7/1.76e8.
+    // Quick scales keep the same shapes at CI-friendly sizes.
+    let lfr_sizes: Vec<usize> = if full {
+        vec![10_000, 100_000, 1_000_000]
+    } else {
+        vec![1_000, 10_000]
+    };
+    let daisy_flowers = if full { 1000 } else { 100 };
+    let rmat_scale = if full { 22 } else { 16 };
+
+    let mut table = Table::new(["name", "nodes", "edges", "avg degree", "ground truth"]);
+    println!("Table I reproduction: datasets analyzed by OCA ({scale} scale)");
+
+    for (i, &n) in lfr_sizes.iter().enumerate() {
+        let params = LfrParams {
+            average_degree: 20.0,
+            max_degree: 50,
+            ..LfrParams::small(n, 0.3, seed + i as u64)
+        };
+        let bench = lfr(&params);
+        table.row([
+            format!("LFR-benchmark (n={n})"),
+            bench.graph.node_count().to_string(),
+            bench.graph.edge_count().to_string(),
+            format!("{:.1}", bench.graph.average_degree()),
+            format!("{} communities", bench.ground_truth.len()),
+        ]);
+        eprint!(".");
+    }
+
+    let daisy_params = DaisyParams {
+        p: 5,
+        q: 7,
+        n: 100,
+        alpha: 0.35,
+        beta: 0.35,
+    };
+    let daisy = daisy_tree(&daisy_params, daisy_flowers - 1, 0.02, seed);
+    table.row([
+        "Daisy".to_string(),
+        daisy.graph.node_count().to_string(),
+        daisy.graph.edge_count().to_string(),
+        format!("{:.1}", daisy.graph.average_degree()),
+        format!(
+            "{} communities, {} overlap nodes",
+            daisy.ground_truth.len(),
+            daisy.ground_truth.overlap_node_count()
+        ),
+    ]);
+    eprint!(".");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wiki = rmat(&RmatParams::graph500(rmat_scale, 10), &mut rng);
+    table.row([
+        format!("Wikipedia substitute (R-MAT s={rmat_scale})"),
+        wiki.node_count().to_string(),
+        wiki.edge_count().to_string(),
+        format!("{:.1}", wiki.average_degree()),
+        "none (real-world stand-in)".to_string(),
+    ]);
+    eprintln!();
+
+    print!("{}", table.render());
+    println!("\npaper reference: LFR 10^4-10^6 nodes / ~10^5-10^7 edges;");
+    println!("daisy 10^5 nodes / ~4*10^5 edges; Wikipedia 16,986,429 / 176,454,501.");
+    match table.write_csv("table1_datasets") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,331 @@
+//! Shared experiment harness: uniform algorithm runner, timers, table and
+//! CSV output.
+//!
+//! Every figure/table binary goes through [`run_algorithm`] so all three
+//! algorithms see identical graphs and identical postprocessing — matching
+//! the paper's protocol ("as our postprocessing techniques also improve the
+//! quality of the other algorithms, we applied them to all the results").
+
+use oca::{merge_similar, Oca, OcaConfig};
+use oca_baselines::{cfinder, label_propagation, lfk, CFinderConfig, LfkConfig, LpaConfig};
+use oca_graph::{Cover, CsrGraph};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The algorithms under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// The paper's contribution (Sections II–IV).
+    Oca,
+    /// Local fitness maximization, ref \[8\].
+    Lfk,
+    /// k-clique percolation (k = 3), ref \[12\].
+    CFinder,
+    /// CFinder without the triangle shortcut: enumerates maximal cliques
+    /// like the original tool; used in the timing experiments.
+    CFinderFaithful,
+    /// Label propagation (extra, not in the paper).
+    Lpa,
+}
+
+impl AlgorithmKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Oca => "OCA",
+            AlgorithmKind::Lfk => "LFK",
+            AlgorithmKind::CFinder => "CFinder",
+            AlgorithmKind::CFinderFaithful => "CFinder",
+            AlgorithmKind::Lpa => "LPA",
+        }
+    }
+}
+
+/// One algorithm execution: the raw cover and its wall-clock time.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The cover produced (before shared postprocessing).
+    pub cover: Cover,
+    /// Wall-clock duration of the algorithm proper.
+    pub elapsed: Duration,
+    /// True if the algorithm completed (CFinder may hit its clique cap).
+    pub complete: bool,
+}
+
+/// Runs one algorithm with experiment-grade settings.
+pub fn run_algorithm(kind: AlgorithmKind, graph: &CsrGraph, seed: u64) -> RunOutput {
+    let start = Instant::now();
+    match kind {
+        AlgorithmKind::Oca => {
+            let config = OcaConfig {
+                halting: oca::HaltingConfig {
+                    max_seeds: (4 * graph.node_count()).max(100),
+                    target_coverage: 0.99,
+                    stagnation_limit: 200,
+                },
+                merge_threshold: None, // shared postprocessing applies it
+                rng_seed: seed,
+                ..Default::default()
+            };
+            let r = Oca::new(config).run(graph);
+            RunOutput {
+                cover: r.cover,
+                elapsed: start.elapsed(),
+                complete: true,
+            }
+        }
+        AlgorithmKind::Lfk => {
+            let config = LfkConfig {
+                rng_seed: seed,
+                min_community_size: 2,
+                ..Default::default()
+            };
+            let cover = lfk(graph, &config);
+            RunOutput {
+                cover,
+                elapsed: start.elapsed(),
+                complete: true,
+            }
+        }
+        AlgorithmKind::CFinder | AlgorithmKind::CFinderFaithful => {
+            let config = CFinderConfig {
+                triangle_fast_path: kind == AlgorithmKind::CFinder,
+                ..Default::default()
+            };
+            let r = cfinder(graph, &config);
+            RunOutput {
+                cover: r.cover,
+                elapsed: start.elapsed(),
+                complete: r.complete,
+            }
+        }
+        AlgorithmKind::Lpa => {
+            let cover = label_propagation(
+                graph,
+                &LpaConfig {
+                    rng_seed: seed,
+                    ..Default::default()
+                },
+            );
+            RunOutput {
+                cover,
+                elapsed: start.elapsed(),
+                complete: true,
+            }
+        }
+    }
+}
+
+/// The shared postprocessing of Section IV, applied to every algorithm's
+/// output in the quality experiments.
+pub fn shared_postprocess(cover: &Cover) -> Cover {
+    merge_similar(cover, 0.5)
+}
+
+/// A simple fixed-width table printer for experiment output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:width$}", cell, width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.max(cols * 3)));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `results/<name>.csv` under the workspace
+    /// root, creating the directory if needed. Returns the path.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut csv = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        csv.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| escape(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        csv.push('\n');
+        for row in &self.rows {
+            csv.push_str(&row.iter().map(|s| escape(s)).collect::<Vec<_>>().join(","));
+            csv.push('\n');
+        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+/// The `results/` directory next to the workspace root (falls back to cwd).
+pub fn results_dir() -> PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Parses `--key value` style arguments with defaults, for the experiment
+/// binaries (no external CLI crate in the sanctioned dependency set).
+#[derive(Debug, Clone)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(key) = argv[i].strip_prefix("--") {
+                if i + 1 < argv.len() {
+                    pairs.push((key.to_string(), argv[i + 1].clone()));
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        Args { pairs }
+    }
+
+    /// Returns the value for `key` parsed as `T`, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Formats a duration as fractional seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    fn toy() -> CsrGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((4, 5));
+        from_edges(10, edges)
+    }
+
+    #[test]
+    fn all_algorithms_run_on_toy_graph() {
+        let g = toy();
+        for kind in [
+            AlgorithmKind::Oca,
+            AlgorithmKind::Lfk,
+            AlgorithmKind::CFinder,
+            AlgorithmKind::CFinderFaithful,
+            AlgorithmKind::Lpa,
+        ] {
+            let out = run_algorithm(kind, &g, 7);
+            assert!(out.complete, "{:?} did not complete", kind);
+            assert!(!out.cover.is_empty(), "{:?} found nothing", kind);
+        }
+    }
+
+    #[test]
+    fn cfinder_variants_agree() {
+        let g = toy();
+        let fast = run_algorithm(AlgorithmKind::CFinder, &g, 1);
+        let slow = run_algorithm(AlgorithmKind::CFinderFaithful, &g, 1);
+        assert_eq!(fast.cover, slow.cover);
+    }
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let mut t = Table::new(["a", "long-header", "x"]);
+        t.row(["1", "2", "3"]);
+        t.row(["wide-cell", "4", "5"]);
+        let text = t.render();
+        assert!(text.contains("long-header"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn shared_postprocess_merges_duplicates() {
+        use oca_graph::Community;
+        let cover = Cover::new(
+            6,
+            vec![
+                Community::from_raw([0, 1, 2]),
+                Community::from_raw([0, 1, 2]),
+                Community::from_raw([3, 4, 5]),
+            ],
+        );
+        assert_eq!(shared_postprocess(&cover).len(), 2);
+    }
+}

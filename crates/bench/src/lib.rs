@@ -1,0 +1,15 @@
+//! # oca-bench — experiment harness for the OCA reproduction
+//!
+//! One runnable binary per table/figure of the paper's Section V (see
+//! DESIGN.md §4 for the index), built on a shared harness that runs OCA,
+//! LFK and CFinder under identical conditions, and criterion micro-benches
+//! for the hot kernels.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+
+pub use harness::{
+    results_dir, run_algorithm, secs, shared_postprocess, AlgorithmKind, Args, RunOutput, Table,
+};

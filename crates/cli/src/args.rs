@@ -1,0 +1,126 @@
+//! Minimal `--key value` argument parsing (the sanctioned dependency set
+//! has no CLI crate, so this is hand-rolled and well-tested).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    /// All `--key value` pairs (last occurrence wins).
+    options: HashMap<String, String>,
+    /// Bare `--flag`s with no value.
+    flags: Vec<String>,
+}
+
+impl Cli {
+    /// Parses an argument vector (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut cli = Cli::default();
+        let mut i = 0usize;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let next_is_value = args
+                    .get(i + 1)
+                    .map(|v| !v.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    cli.options.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    cli.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                if cli.command.is_none() {
+                    cli.command = Some(args[i].clone());
+                }
+                i += 1;
+            }
+        }
+        cli
+    }
+
+    /// Parses from the process environment.
+    pub fn from_env() -> Self {
+        Cli::parse(std::env::args().skip(1))
+    }
+
+    /// Typed option lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.options
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String option lookup.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get_str(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// True if `--flag` was given (with no value).
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Cli {
+        Cli::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let cli = parse("detect --input g.edges --algorithm oca --seed 7");
+        assert_eq!(cli.command.as_deref(), Some("detect"));
+        assert_eq!(cli.get_str("input"), Some("g.edges"));
+        assert_eq!(cli.get::<u64>("seed", 0), 7);
+        assert_eq!(cli.get::<usize>("missing", 42), 42);
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let cli = parse("generate --family lfr --quiet --nodes 100");
+        assert!(cli.has_flag("quiet"));
+        assert!(!cli.has_flag("loud"));
+        assert_eq!(cli.get::<usize>("nodes", 0), 100);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let cli = parse("stats --verbose");
+        assert!(cli.has_flag("verbose"));
+        assert_eq!(cli.command.as_deref(), Some("stats"));
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let cli = parse("x --seed 1 --seed 2");
+        assert_eq!(cli.get::<u64>("seed", 0), 2);
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let cli = parse("detect");
+        assert!(cli.require("input").is_err());
+        assert!(cli.require("input").unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn empty_args() {
+        let cli = parse("");
+        assert!(cli.command.is_none());
+    }
+}

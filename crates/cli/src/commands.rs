@@ -1,0 +1,331 @@
+//! CLI subcommand implementations.
+
+use crate::args::Cli;
+use oca::{HaltingConfig, Oca, OcaConfig};
+use oca_baselines::{cfinder, label_propagation, lfk, CFinderConfig, LfkConfig, LpaConfig};
+use oca_gen::{
+    barabasi_albert, daisy_tree, gnp, lfr, rmat, wiki_like, DaisyParams, LfrParams, RmatParams,
+    WikiLikeParams,
+};
+use oca_graph::io::{read_edge_list_path, write_edge_list_path};
+use oca_graph::{read_cover_path, write_cover_path, Cover, CsrGraph, GraphStats};
+use oca_hierarchy::Summary;
+use oca_metrics::{average_f1, extended_modularity, overlapping_nmi, theta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Top-level dispatch; returns an error message on failure.
+pub fn run(cli: &Cli) -> Result<(), String> {
+    match cli.command.as_deref() {
+        Some("generate") => generate(cli),
+        Some("detect") => detect(cli),
+        Some("eval") => eval(cli),
+        Some("stats") => stats(cli),
+        Some("summarize") => summarize(cli),
+        Some("help") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+oca — Overlapping Community Search (ICDE 2010 reproduction)
+
+USAGE: oca <command> [--key value]...
+
+COMMANDS:
+  generate   --family lfr|daisy|gnp|ba|rmat|wiki --output G.edges
+             [--nodes N] [--mu F] [--seed S] [--truth T.cover]
+  detect     --input G.edges --algorithm oca|lfk|cfinder|lpa
+             [--output C.cover] [--seed S] [--threads T] [--orphans]
+  eval       --input G.edges --truth T.cover --found C.cover
+  stats      --input G.edges
+  summarize  --input G.edges --cover C.cover
+  help
+"
+    .to_string()
+}
+
+fn load_graph(cli: &Cli) -> Result<CsrGraph, String> {
+    let path = cli.require("input")?;
+    read_edge_list_path(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn generate(cli: &Cli) -> Result<(), String> {
+    let family = cli.require("family")?.to_string();
+    let output = cli.require("output")?.to_string();
+    let nodes: usize = cli.get("nodes", 1000);
+    let seed: u64 = cli.get("seed", 42);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (graph, truth): (CsrGraph, Option<Cover>) = match family.as_str() {
+        "lfr" => {
+            let mu: f64 = cli.get("mu", 0.3);
+            let b = lfr(&LfrParams::small(nodes, mu, seed));
+            (b.graph, Some(b.ground_truth))
+        }
+        "daisy" => {
+            let flowers = (nodes / 100).max(1);
+            let b = daisy_tree(&DaisyParams::default_shape(100), flowers - 1, 0.05, seed);
+            (b.graph, Some(b.ground_truth))
+        }
+        "gnp" => {
+            let p: f64 = cli.get("p", 0.01);
+            (gnp(nodes, p, &mut rng), None)
+        }
+        "ba" => {
+            let m: usize = cli.get("m", 5);
+            (barabasi_albert(nodes, m, &mut rng), None)
+        }
+        "rmat" => {
+            let scale = (nodes.max(2) as f64).log2().ceil() as u32;
+            (rmat(&RmatParams::graph500(scale, 8), &mut rng), None)
+        }
+        "wiki" => {
+            let scale = (nodes.max(2) as f64).log2().ceil() as u32;
+            let b = wiki_like(&WikiLikeParams::at_scale(scale, seed));
+            (b.graph, Some(b.planted))
+        }
+        other => return Err(format!("unknown family {other:?}")),
+    };
+
+    write_edge_list_path(&graph, &output).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        output,
+        graph.node_count(),
+        graph.edge_count()
+    );
+    if let Some(path) = cli.get_str("truth") {
+        match truth {
+            Some(t) => {
+                write_cover_path(&t, path).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote {} ({} communities)", path, t.len());
+            }
+            None => return Err(format!("family {family:?} has no ground truth")),
+        }
+    }
+    Ok(())
+}
+
+fn detect(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    let algorithm = cli.get_str("algorithm").unwrap_or("oca").to_string();
+    let seed: u64 = cli.get("seed", 42);
+    let start = std::time::Instant::now();
+    let cover = match algorithm.as_str() {
+        "oca" => {
+            let config = OcaConfig {
+                halting: HaltingConfig {
+                    max_seeds: 4 * graph.node_count().max(25),
+                    target_coverage: 0.99,
+                    stagnation_limit: 200,
+                },
+                threads: cli.get("threads", 1),
+                rng_seed: seed,
+                assign_orphans: cli.has_flag("orphans"),
+                ..Default::default()
+            };
+            let r = Oca::new(config).run(&graph);
+            println!(
+                "c = {:.4} (lambda_min = {:.3}), {} seeds",
+                r.c, r.lambda_min, r.seeds_tried
+            );
+            r.cover
+        }
+        "lfk" => lfk(
+            &graph,
+            &LfkConfig {
+                rng_seed: seed,
+                ..Default::default()
+            },
+        ),
+        "cfinder" => {
+            let r = cfinder(
+                &graph,
+                &CFinderConfig {
+                    k: cli.get("k", 3),
+                    ..Default::default()
+                },
+            );
+            if !r.complete {
+                eprintln!("warning: clique cap hit; cover is partial");
+            }
+            r.cover
+        }
+        "lpa" => label_propagation(
+            &graph,
+            &LpaConfig {
+                rng_seed: seed,
+                ..Default::default()
+            },
+        ),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    println!(
+        "{}: {} communities, coverage {:.3}, {} overlap nodes, {:.3}s",
+        algorithm,
+        cover.len(),
+        cover.coverage(),
+        cover.overlap_node_count(),
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(path) = cli.get_str("output") {
+        write_cover_path(&cover, path).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn eval(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    let truth_path = cli.require("truth")?;
+    let found_path = cli.require("found")?;
+    let truth = read_cover_path(graph.node_count(), truth_path)
+        .map_err(|e| format!("reading {truth_path}: {e}"))?;
+    let found = read_cover_path(graph.node_count(), found_path)
+        .map_err(|e| format!("reading {found_path}: {e}"))?;
+    println!("theta (paper eq. V.2) = {:.4}", theta(&truth, &found));
+    println!("overlapping NMI       = {:.4}", overlapping_nmi(&truth, &found));
+    println!("average F1            = {:.4}", average_f1(&truth, &found));
+    println!(
+        "extended modularity   = {:.4}",
+        extended_modularity(&graph, &found)
+    );
+    Ok(())
+}
+
+fn stats(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    let s = GraphStats::compute(&graph);
+    println!("nodes        {}", s.nodes);
+    println!("edges        {}", s.edges);
+    println!("avg degree   {:.2}", s.avg_degree);
+    println!("max degree   {}", s.max_degree);
+    println!("isolated     {}", s.isolated);
+    let comps = oca_graph::Components::compute(&graph);
+    println!("components   {}", comps.count());
+    let cores = oca_graph::CoreDecomposition::compute(&graph);
+    println!("degeneracy   {}", cores.degeneracy());
+    Ok(())
+}
+
+fn summarize(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    let cover_path = cli.require("cover")?;
+    let cover = read_cover_path(graph.node_count(), cover_path)
+        .map_err(|e| format!("reading {cover_path}: {e}"))?;
+    let summary = Summary::build(&graph, &cover);
+    println!("supernodes          {}", summary.len());
+    println!("superedges          {}", summary.superedge_count());
+    println!(
+        "compression ratio   {:.4}",
+        summary.compression_ratio(&graph)
+    );
+    println!(
+        "reconstruction err  {:.4}",
+        summary.reconstruction_error(&graph)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("oca_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cli(s: &str) -> Cli {
+        Cli::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn generate_detect_eval_pipeline() {
+        let dir = tmpdir();
+        let g = dir.join("g.edges");
+        let t = dir.join("t.cover");
+        let c = dir.join("c.cover");
+        run(&cli(&format!(
+            "generate --family lfr --nodes 200 --mu 0.2 --output {} --truth {}",
+            g.display(),
+            t.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "detect --input {} --algorithm oca --output {}",
+            g.display(),
+            c.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "eval --input {} --truth {} --found {}",
+            g.display(),
+            t.display(),
+            c.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "summarize --input {} --cover {}",
+            g.display(),
+            c.display()
+        )))
+        .unwrap();
+        run(&cli(&format!("stats --input {}", g.display()))).unwrap();
+    }
+
+    #[test]
+    fn all_algorithms_run_via_cli() {
+        let dir = tmpdir();
+        let g = dir.join("g2.edges");
+        run(&cli(&format!(
+            "generate --family daisy --nodes 300 --output {}",
+            g.display()
+        )))
+        .unwrap();
+        for alg in ["oca", "lfk", "cfinder", "lpa"] {
+            run(&cli(&format!(
+                "detect --input {} --algorithm {alg}",
+                g.display()
+            )))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn generators_without_truth() {
+        let dir = tmpdir();
+        for family in ["gnp", "ba", "rmat", "wiki"] {
+            let g = dir.join(format!("{family}.edges"));
+            run(&cli(&format!(
+                "generate --family {family} --nodes 128 --output {}",
+                g.display()
+            )))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&cli("frobnicate")).is_err());
+        assert!(run(&cli("detect")).is_err());
+        assert!(run(&cli("generate --family nope --output /tmp/x")).is_err());
+        let err = run(&cli("generate --family gnp --nodes 10 --output /tmp/oca_g.edges --truth /tmp/oca_t.cover"))
+            .unwrap_err();
+        assert!(err.contains("no ground truth"));
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&cli("help")).unwrap();
+        run(&Cli::default()).unwrap();
+        assert!(usage().contains("detect"));
+    }
+}

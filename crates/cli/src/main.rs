@@ -1,0 +1,14 @@
+//! The `oca` command-line tool: generate benchmark graphs, detect
+//! overlapping communities (OCA and baselines), evaluate against ground
+//! truth, and summarize. Run `oca help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let cli = args::Cli::from_env();
+    if let Err(message) = commands::run(&cli) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

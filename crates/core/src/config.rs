@@ -1,0 +1,110 @@
+//! Configuration of a full OCA run.
+
+use crate::halting::HaltingConfig;
+use crate::search::SearchConfig;
+use crate::seed::SeedStrategy;
+use oca_spectral::PowerConfig;
+
+/// Where the interaction strength `c` comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CStrategy {
+    /// The paper's choice: `c = −1/λ_min` via the power method.
+    Spectral(PowerConfig),
+    /// A fixed value in `(0, 1)`; used by the ablation benches.
+    Fixed(f64),
+}
+
+impl Default for CStrategy {
+    fn default() -> Self {
+        CStrategy::Spectral(PowerConfig::default())
+    }
+}
+
+/// Full configuration of an OCA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcaConfig {
+    /// Interaction-strength source.
+    pub c: CStrategy,
+    /// Initial-set construction per seed.
+    pub seed_strategy: SeedStrategy,
+    /// Greedy-ascent tunables.
+    pub search: SearchConfig,
+    /// Halting criteria for the seed loop.
+    pub halting: HaltingConfig,
+    /// Merge communities with similarity ≥ threshold (Section IV
+    /// postprocessing); `None` disables merging.
+    pub merge_threshold: Option<f64>,
+    /// Force every node into a community afterwards (Section IV's orphan
+    /// rule). Off by default — the paper keeps "just the most relevant
+    /// nodes" unless an application needs a full cover.
+    pub assign_orphans: bool,
+    /// Discard local maxima smaller than this (noise communities).
+    pub min_community_size: usize,
+    /// Master RNG seed (sequential runs are fully deterministic).
+    pub rng_seed: u64,
+    /// Worker threads; 1 = sequential deterministic mode.
+    pub threads: usize,
+}
+
+impl Default for OcaConfig {
+    fn default() -> Self {
+        OcaConfig {
+            c: CStrategy::default(),
+            seed_strategy: SeedStrategy::default(),
+            search: SearchConfig::default(),
+            halting: HaltingConfig::default(),
+            merge_threshold: Some(0.5),
+            assign_orphans: false,
+            min_community_size: 3,
+            rng_seed: 0x0CA,
+            threads: 1,
+        }
+    }
+}
+
+impl OcaConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on out-of-range values; call before a long run.
+    pub fn validate(&self) {
+        if let CStrategy::Fixed(c) = self.c {
+            assert!(c > 0.0 && c < 1.0, "fixed c must lie in (0, 1), got {c}");
+        }
+        if let Some(t) = self.merge_threshold {
+            assert!((0.0..=1.0).contains(&t), "merge threshold in [0,1]");
+        }
+        assert!(self.threads >= 1, "need at least one thread");
+        assert!(self.halting.max_seeds >= 1, "need at least one seed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        OcaConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed c")]
+    fn rejects_bad_fixed_c() {
+        let cfg = OcaConfig {
+            c: CStrategy::Fixed(1.5),
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "thread")]
+    fn rejects_zero_threads() {
+        let cfg = OcaConfig {
+            threads: 0,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+}

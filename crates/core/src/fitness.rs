@@ -1,0 +1,172 @@
+//! The OCA fitness function: the directed Laplacian of `ϕ` on `Γ↑`.
+//!
+//! Section II maps a subset `S` to the sum of its nodes' virtual vectors,
+//! with squared length `ϕ(S) = s + 2·c·Ein(S)` (`s = |S|`, `Ein` = internal
+//! edges, `c` = interaction strength). Section III differentiates `ϕ` along
+//! the search-space orientation with the *directed Laplacian*
+//!
+//! `L(S) = ϕ(S) − Σ_{i∈S} ϕ(S∖{i}) / √(s(s−1))`
+//!
+//! (each predecessor `S∖{i}` has in-degree `s−1`, `S` itself has in-degree
+//! `s`). Substituting `ϕ` gives the closed form implemented here:
+//!
+//! `L(S) = s − √(s(s−1)) + 2·c·Ein(S) · (1 − (s−2)/√(s(s−1)))`
+//!
+//! Communities are the local maxima of `L` (Section IV).
+
+/// Squared length of the sum vector: `ϕ(S) = s + 2·c·Ein(S)`.
+#[inline]
+pub fn phi(s: usize, ein: usize, c: f64) -> f64 {
+    s as f64 + 2.0 * c * ein as f64
+}
+
+/// The directed-Laplacian fitness `L(S)` in closed form.
+///
+/// Conventions for degenerate sizes: the empty set scores 0 and a singleton
+/// scores `ϕ({v}) = 1` (a singleton has no predecessors in `Γ↑`, so the
+/// Laplacian reduces to `ϕ`).
+#[inline]
+pub fn fitness(s: usize, ein: usize, c: f64) -> f64 {
+    match s {
+        0 => 0.0,
+        1 => 1.0,
+        _ => {
+            let sf = s as f64;
+            let root = (sf * (sf - 1.0)).sqrt();
+            sf - root + 2.0 * c * ein as f64 * (1.0 - (sf - 2.0) / root)
+        }
+    }
+}
+
+/// The directed Laplacian evaluated from Definition 3, without the closed
+/// form: needs the internal degree of every member (`deg_S(i)`), since
+/// `Ein(S∖{i}) = Ein(S) − deg_S(i)`. Used to cross-check [`fitness`].
+pub fn fitness_from_definition(internal_degrees: &[usize], ein: usize, c: f64) -> f64 {
+    let s = internal_degrees.len();
+    if s == 0 {
+        return 0.0;
+    }
+    if s == 1 {
+        return phi(1, 0, c);
+    }
+    let denom = ((s * (s - 1)) as f64).sqrt();
+    let predecessors: f64 = internal_degrees
+        .iter()
+        .map(|&d| phi(s - 1, ein - d, c))
+        .sum();
+    phi(s, ein, c) - predecessors / denom
+}
+
+/// Fitness gain of adding a node with `deg_in` neighbors inside `S`.
+#[inline]
+pub fn gain_add(s: usize, ein: usize, deg_in: usize, c: f64) -> f64 {
+    fitness(s + 1, ein + deg_in, c) - fitness(s, ein, c)
+}
+
+/// Fitness gain of removing a member with `deg_in` neighbors inside `S`
+/// (not counting itself).
+#[inline]
+pub fn gain_remove(s: usize, ein: usize, deg_in: usize, c: f64) -> f64 {
+    debug_assert!(s >= 1 && ein >= deg_in);
+    fitness(s - 1, ein - deg_in, c) - fitness(s, ein, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 0.8;
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(fitness(0, 0, C), 0.0);
+        assert_eq!(fitness(1, 0, C), 1.0);
+    }
+
+    #[test]
+    fn closed_form_matches_definition() {
+        // Triangle: degrees [2, 2, 2], ein = 3.
+        let by_def = fitness_from_definition(&[2, 2, 2], 3, C);
+        let closed = fitness(3, 3, C);
+        assert!((by_def - closed).abs() < 1e-12, "{by_def} vs {closed}");
+
+        // Path of 3: degrees [1, 2, 1], ein = 2.
+        let by_def = fitness_from_definition(&[1, 2, 1], 2, C);
+        let closed = fitness(3, 2, C);
+        assert!((by_def - closed).abs() < 1e-12);
+
+        // Independent pair.
+        let by_def = fitness_from_definition(&[0, 0], 0, C);
+        assert!((by_def - fitness(2, 0, C)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_internal_edges_scores_higher() {
+        assert!(fitness(5, 10, C) > fitness(5, 4, C));
+        assert!(fitness(10, 45, C) > fitness(10, 9, C));
+    }
+
+    #[test]
+    fn ein_coefficient_is_always_positive() {
+        // 1 − (s−2)/√(s(s−1)) > 0 for all s ≥ 2.
+        for s in 2..10_000usize {
+            let sf = s as f64;
+            let coeff = 1.0 - (sf - 2.0) / (sf * (sf - 1.0)).sqrt();
+            assert!(coeff > 0.0, "coefficient non-positive at s = {s}");
+        }
+    }
+
+    #[test]
+    fn clique_beats_sparse_growth() {
+        // Example 2 of the paper: an independent set of size k has
+        // ϕ = k while a clique has ϕ = Θ(k²); the Laplacian inherits the
+        // separation.
+        let k = 20;
+        let clique = fitness(k, k * (k - 1) / 2, C);
+        let independent = fitness(k, 0, C);
+        assert!(clique > 10.0 * independent);
+    }
+
+    #[test]
+    fn gains_are_consistent_with_fitness_differences() {
+        let (s, ein) = (6, 9);
+        for d in 0..=s {
+            let g = gain_add(s, ein, d, C);
+            assert!((g - (fitness(s + 1, ein + d, C) - fitness(s, ein, C))).abs() < 1e-12);
+        }
+        for d in 0..=3 {
+            let g = gain_remove(s, ein, d, C);
+            assert!((g - (fitness(s - 1, ein - d, C) - fitness(s, ein, C))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adding_isolated_node_to_dense_set_is_harmful() {
+        // A 6-clique: adding a node with no internal edges must reduce L.
+        let s = 6;
+        let ein = 15;
+        assert!(gain_add(s, ein, 0, C) < 0.0);
+        // And adding a fully connected node must help.
+        assert!(gain_add(s, ein, s, C) > 0.0);
+    }
+
+    #[test]
+    fn removing_weak_member_from_dense_set_helps() {
+        // 6 nodes, 11 edges: a 5-clique (10 edges) plus a pendant with one
+        // edge. Removing the pendant (deg_in 1) should raise fitness.
+        assert!(gain_remove(6, 11, 1, C) > 0.0);
+        // Removing a clique member (deg_in 4 in the 5-clique + 0 to pendant)
+        // should lower it.
+        assert!(gain_remove(6, 11, 4, C) < 0.0);
+    }
+
+    #[test]
+    fn large_s_behaves_like_density() {
+        // L ≈ 1/2 + 3·c·Ein/s for large s: check the asymptote.
+        let s = 100_000;
+        let ein = 1_000_000;
+        let l = fitness(s, ein, C);
+        let approx = 0.5 + 3.0 * C * ein as f64 / s as f64;
+        assert!((l - approx).abs() / approx < 0.01, "{l} vs {approx}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Halting criteria for the multi-seed driver.
+//!
+//! The paper deliberately leaves the halting criterion out of scope
+//! (Section IV) while noting it must be non-trivial because not every node
+//! needs a community. We provide a composite criterion: a hard seed budget,
+//! a target coverage, and a stagnation window (consecutive seeds that
+//! produce nothing new).
+
+/// Composite halting configuration; the run stops when *any* criterion fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaltingConfig {
+    /// Hard upper bound on the number of seeds to try.
+    pub max_seeds: usize,
+    /// Stop when this fraction of nodes is covered (1.0 = full cover).
+    pub target_coverage: f64,
+    /// Stop after this many consecutive seeds that discover nothing new
+    /// (duplicate communities or no coverage gain).
+    pub stagnation_limit: usize,
+}
+
+impl Default for HaltingConfig {
+    fn default() -> Self {
+        HaltingConfig {
+            max_seeds: 10_000,
+            target_coverage: 0.95,
+            stagnation_limit: 50,
+        }
+    }
+}
+
+/// Mutable halting state, updated once per processed seed.
+#[derive(Debug, Clone)]
+pub struct HaltingState {
+    config: HaltingConfig,
+    node_count: usize,
+    seeds_tried: usize,
+    covered: usize,
+    stagnant: usize,
+}
+
+impl HaltingState {
+    /// Fresh state for a graph of `node_count` nodes.
+    pub fn new(config: HaltingConfig, node_count: usize) -> Self {
+        HaltingState {
+            config,
+            node_count,
+            seeds_tried: 0,
+            covered: 0,
+            stagnant: 0,
+        }
+    }
+
+    /// Records the outcome of one seed: how many previously uncovered nodes
+    /// its community added, and whether the community was new.
+    pub fn record(&mut self, newly_covered: usize, novel: bool) {
+        self.seeds_tried += 1;
+        self.covered += newly_covered;
+        if novel && newly_covered > 0 {
+            self.stagnant = 0;
+        } else {
+            self.stagnant += 1;
+        }
+    }
+
+    /// Number of seeds processed so far.
+    pub fn seeds_tried(&self) -> usize {
+        self.seeds_tried
+    }
+
+    /// Current covered-node count.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Current coverage fraction.
+    pub fn coverage(&self) -> f64 {
+        if self.node_count == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.node_count as f64
+        }
+    }
+
+    /// True if any criterion says stop.
+    pub fn should_halt(&self) -> bool {
+        self.seeds_tried >= self.config.max_seeds
+            || self.coverage() >= self.config.target_coverage
+            || self.stagnant >= self.config.stagnation_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_seeds: usize, cov: f64, stag: usize) -> HaltingConfig {
+        HaltingConfig {
+            max_seeds,
+            target_coverage: cov,
+            stagnation_limit: stag,
+        }
+    }
+
+    #[test]
+    fn halts_on_seed_budget() {
+        let mut st = HaltingState::new(cfg(3, 2.0, 100), 10);
+        assert!(!st.should_halt());
+        for _ in 0..3 {
+            st.record(1, true);
+        }
+        assert!(st.should_halt());
+        assert_eq!(st.seeds_tried(), 3);
+    }
+
+    #[test]
+    fn halts_on_coverage() {
+        let mut st = HaltingState::new(cfg(100, 0.5, 100), 10);
+        st.record(4, true);
+        assert!(!st.should_halt());
+        st.record(1, true);
+        assert!(st.should_halt(), "coverage 0.5 reached");
+        assert!((st.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halts_on_stagnation_and_resets_on_progress() {
+        let mut st = HaltingState::new(cfg(100, 2.0, 3), 100);
+        st.record(0, false);
+        st.record(0, true); // novel but adds nothing → still stagnant
+        assert!(!st.should_halt());
+        st.record(5, true); // progress resets the window
+        st.record(0, false);
+        st.record(0, false);
+        assert!(!st.should_halt());
+        st.record(0, false);
+        assert!(st.should_halt());
+    }
+
+    #[test]
+    fn empty_graph_is_instantly_covered() {
+        let st = HaltingState::new(HaltingConfig::default(), 0);
+        assert!(st.should_halt());
+    }
+}

@@ -1,0 +1,49 @@
+//! # oca — Overlapping Community Search (ICDE 2010)
+//!
+//! A from-scratch Rust implementation of **OCA**, the overlapping community
+//! search algorithm of Padrol-Sureda, Perarnau-Llobet, Pfeifle and
+//! Muntés-Mulero (ICDE 2010). OCA finds the communities of a large simple
+//! undirected graph as local maxima of a fitness function derived from a
+//! virtual vector representation of the graph:
+//!
+//! 1. nodes become unit vectors with inner product `c = −1/λ_min` between
+//!    neighbors ([`oca_spectral`] estimates `λ_min` with the power method);
+//! 2. a subset `S` scores `ϕ(S) = ‖Σ_{v∈S} v‖² = |S| + 2·c·Ein(S)`;
+//! 3. the *directed Laplacian* of `ϕ` over the subset lattice gives the
+//!    fitness `L(S)` ([`fitness()`]);
+//! 4. greedy add/remove ascents from random seeds find the local maxima
+//!    ([`search`], [`runner`]), merged and optionally completed by the
+//!    postprocessing of Section IV ([`postprocess`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use oca_graph::from_edges;
+//! use oca::{Oca, OcaConfig};
+//!
+//! // Two triangles sharing node 2 — an overlapping structure.
+//! let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+//! let result = Oca::new(OcaConfig::default()).run(&g);
+//! assert!(!result.cover.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod fitness;
+pub mod halting;
+pub mod postprocess;
+pub mod runner;
+pub mod search;
+pub mod seed;
+pub mod state;
+
+pub use config::{CStrategy, OcaConfig};
+pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi};
+pub use halting::{HaltingConfig, HaltingState};
+pub use postprocess::{assign_orphans, merge_similar};
+pub use runner::{run_default, Oca, OcaResult};
+pub use search::{local_search, SearchConfig, SearchOutcome};
+pub use seed::{initial_set, SeedStrategy};
+pub use state::CommunityState;

@@ -1,0 +1,216 @@
+//! Postprocessing (Section IV): merging near-duplicate communities and
+//! assigning orphan nodes.
+//!
+//! OCA's independent seeds frequently converge to communities that are
+//! "too similar, i.e. that differ in very few nodes"; the paper merges
+//! them. Optionally, every node is then forced into at least one community
+//! by giving each orphan to the community holding most of its neighbors.
+
+use oca_graph::{Community, Cover, CsrGraph, NodeId};
+use std::collections::HashMap;
+
+/// Merges communities whose pairwise similarity `ρ` is at least
+/// `threshold`, repeating until a fixed point. Exact duplicates always
+/// merge. Uses a shared-member index so only overlapping pairs are compared.
+pub fn merge_similar(cover: &Cover, threshold: f64) -> Cover {
+    assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
+    let mut communities: Vec<Community> = cover.communities().to_vec();
+    loop {
+        let merged = merge_pass(&communities, threshold);
+        let done = merged.len() == communities.len();
+        communities = merged;
+        if done {
+            break;
+        }
+    }
+    Cover::new(cover.node_count(), communities)
+}
+
+fn merge_pass(communities: &[Community], threshold: f64) -> Vec<Community> {
+    let mut node_to_comms: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (ci, c) in communities.iter().enumerate() {
+        for &v in c.members() {
+            node_to_comms.entry(v).or_default().push(ci);
+        }
+    }
+    let mut absorbed_into: Vec<Option<usize>> = vec![None; communities.len()];
+    let mut result: Vec<Community> = Vec::new();
+    let mut result_of: Vec<Option<usize>> = vec![None; communities.len()];
+    for ci in 0..communities.len() {
+        if absorbed_into[ci].is_some() {
+            continue;
+        }
+        // Candidate partners: communities sharing at least one node.
+        let mut candidates: Vec<usize> = communities[ci]
+            .members()
+            .iter()
+            .flat_map(|v| node_to_comms[v].iter().copied())
+            .filter(|&cj| cj > ci && absorbed_into[cj].is_none())
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let slot = match result_of[ci] {
+            Some(slot) => slot,
+            None => {
+                result.push(communities[ci].clone());
+                result_of[ci] = Some(result.len() - 1);
+                result.len() - 1
+            }
+        };
+        for cj in candidates {
+            if result[slot].similarity(&communities[cj]) >= threshold {
+                result[slot] = result[slot].merged(&communities[cj]);
+                absorbed_into[cj] = Some(ci);
+            }
+        }
+    }
+    result
+}
+
+/// Assigns each orphan node to the community containing the most of its
+/// neighbors (Section IV's "orphan node" rule). Orphans whose neighbors are
+/// all orphans too are retried for `max_rounds` rounds, so chains attached
+/// to a community get absorbed; nodes in componentless limbo stay orphans.
+pub fn assign_orphans(graph: &CsrGraph, cover: &Cover, max_rounds: usize) -> Cover {
+    let mut communities: Vec<Vec<NodeId>> = cover
+        .communities()
+        .iter()
+        .map(|c| c.members().to_vec())
+        .collect();
+    if communities.is_empty() {
+        return cover.clone();
+    }
+    // membership[v] = communities containing v (updated as we assign).
+    let mut membership: Vec<Vec<u32>> = cover.membership_index();
+    let mut orphans: Vec<NodeId> = cover.orphans();
+    for _ in 0..max_rounds {
+        if orphans.is_empty() {
+            break;
+        }
+        let mut still_orphan = Vec::new();
+        let mut assigned_any = false;
+        for &v in &orphans {
+            // Count neighbor memberships.
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for &u in graph.neighbors(v) {
+                for &ci in &membership[u.index()] {
+                    *counts.entry(ci).or_insert(0) += 1;
+                }
+            }
+            // Deterministic winner: max count, lowest index on ties.
+            let winner = counts
+                .iter()
+                .map(|(&ci, &cnt)| (cnt, std::cmp::Reverse(ci)))
+                .max()
+                .map(|(_, std::cmp::Reverse(ci))| ci);
+            match winner {
+                Some(ci) => {
+                    communities[ci as usize].push(v);
+                    membership[v.index()].push(ci);
+                    assigned_any = true;
+                }
+                None => still_orphan.push(v),
+            }
+        }
+        orphans = still_orphan;
+        if !assigned_any {
+            break;
+        }
+    }
+    Cover::new(
+        cover.node_count(),
+        communities.into_iter().map(Community::new).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    fn c(ids: &[u32]) -> Community {
+        Community::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn merges_exact_duplicates() {
+        let cover = Cover::new(5, vec![c(&[0, 1, 2]), c(&[0, 1, 2]), c(&[3, 4])]);
+        let merged = merge_similar(&cover, 0.5);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merges_near_duplicates_above_threshold() {
+        // ρ({0..4}, {0..3,5}) = 4/6 = 0.667.
+        let cover = Cover::new(7, vec![c(&[0, 1, 2, 3, 4]), c(&[0, 1, 2, 3, 5])]);
+        let merged = merge_similar(&cover, 0.6);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.communities()[0].len(), 6);
+        let kept = merge_similar(&cover, 0.7);
+        assert_eq!(kept.len(), 2, "below-threshold pair must stay split");
+    }
+
+    #[test]
+    fn merge_cascades_to_fixed_point() {
+        // ρ(a,b) = 3/5 = 0.6, and after a∪b the union's similarity to c is
+        // 3/6 = 0.5: at threshold 0.5 the chain collapses fully, at 0.6 the
+        // third community survives.
+        let cover = Cover::new(
+            10,
+            vec![c(&[0, 1, 2, 3]), c(&[1, 2, 3, 4]), c(&[2, 3, 4, 5])],
+        );
+        let merged = merge_similar(&cover, 0.5);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.communities()[0].len(), 6);
+        let partial = merge_similar(&cover, 0.6);
+        assert_eq!(partial.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_communities_never_merge() {
+        let cover = Cover::new(6, vec![c(&[0, 1, 2]), c(&[3, 4, 5])]);
+        let merged = merge_similar(&cover, 0.0);
+        // Threshold 0 with no shared node: the index never pairs them.
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn orphan_joins_majority_neighbor_community() {
+        // Triangle community {0,1,2}; node 3 has 2 edges into it and one to
+        // orphan 4.
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 0), (3, 1), (3, 4)]);
+        let cover = Cover::new(5, vec![c(&[0, 1, 2])]);
+        let out = assign_orphans(&g, &cover, 5);
+        assert!(out.communities()[0].contains(NodeId(3)));
+        assert!(out.communities()[0].contains(NodeId(4)), "chain absorbed");
+        assert!(out.orphans().is_empty());
+    }
+
+    #[test]
+    fn unreachable_orphans_stay() {
+        let g = from_edges(4, [(0, 1), (2, 3)]);
+        let cover = Cover::new(4, vec![c(&[0, 1])]);
+        let out = assign_orphans(&g, &cover, 5);
+        assert_eq!(out.orphans(), vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_community_index() {
+        let g = from_edges(5, [(4, 0), (4, 2)]);
+        let cover = Cover::new(5, vec![c(&[0, 1]), c(&[2, 3])]);
+        let out = assign_orphans(&g, &cover, 3);
+        assert!(out.communities()[0].contains(NodeId(4)));
+        assert!(!out.communities()[1].contains(NodeId(4)));
+    }
+
+    #[test]
+    fn empty_cover_passthrough() {
+        let g = from_edges(2, [(0, 1)]);
+        let cover = Cover::empty(2);
+        let out = assign_orphans(&g, &cover, 3);
+        assert!(out.is_empty());
+        let merged = merge_similar(&cover, 0.5);
+        assert!(merged.is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! The OCA driver: repeated seeded ascents, dedup, halting, postprocessing.
+//!
+//! This is Section IV end-to-end: communities are found independently from
+//! randomly distributed seeds, so the driver also ships a parallel mode
+//! (work-stealing over a shared halting state) — each ascent touches only
+//! its own `CommunityState`, making the algorithm embarrassingly parallel.
+
+use crate::config::{CStrategy, OcaConfig};
+use crate::halting::HaltingState;
+use crate::postprocess::{assign_orphans, merge_similar};
+use crate::search::{local_search, SearchConfig};
+use crate::seed::{initial_set, SeedStrategy};
+use crate::state::CommunityState;
+use oca_graph::{Community, Cover, CsrGraph, NodeId};
+use oca_spectral::interaction_strength;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Result of an OCA run.
+#[derive(Debug, Clone)]
+pub struct OcaResult {
+    /// The final (postprocessed) cover.
+    pub cover: Cover,
+    /// The interaction strength used.
+    pub c: f64,
+    /// The `λ_min` estimate behind it (0 when `c` was fixed).
+    pub lambda_min: f64,
+    /// Seeds processed before halting.
+    pub seeds_tried: usize,
+    /// Communities accepted before merge postprocessing.
+    pub raw_community_count: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// The OCA algorithm, configured and ready to run.
+#[derive(Debug, Clone, Default)]
+pub struct Oca {
+    config: OcaConfig,
+}
+
+/// Shared driver state behind the mutex in parallel mode.
+struct Shared {
+    halting: HaltingState,
+    covered: Vec<bool>,
+    seen: HashSet<Vec<NodeId>>,
+    accepted: Vec<Community>,
+}
+
+impl Shared {
+    /// Picks a seed node, preferring uncovered nodes (rejection sampling).
+    fn pick_seed<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> NodeId {
+        for _ in 0..20 {
+            let v = rng.random_range(0..n as u32);
+            if !self.covered[v as usize] {
+                return NodeId(v);
+            }
+        }
+        NodeId(rng.random_range(0..n as u32))
+    }
+
+    /// Records one ascent outcome; returns nothing.
+    fn record(&mut self, community: Community, min_size: usize) {
+        if community.len() < min_size {
+            self.halting.record(0, false);
+            return;
+        }
+        let key = community.members().to_vec();
+        if !self.seen.insert(key) {
+            self.halting.record(0, false);
+            return;
+        }
+        let mut newly = 0usize;
+        for &v in community.members() {
+            if !self.covered[v.index()] {
+                self.covered[v.index()] = true;
+                newly += 1;
+            }
+        }
+        self.accepted.push(community);
+        self.halting.record(newly, true);
+    }
+}
+
+impl Oca {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: OcaConfig) -> Self {
+        config.validate();
+        Oca { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OcaConfig {
+        &self.config
+    }
+
+    /// Resolves the interaction strength for `graph`.
+    fn resolve_c(&self, graph: &CsrGraph) -> (f64, f64) {
+        match self.config.c {
+            CStrategy::Fixed(c) => (c, 0.0),
+            CStrategy::Spectral(ref pc) => {
+                let s = interaction_strength(graph, pc);
+                (s.c, s.lambda_min)
+            }
+        }
+    }
+
+    /// Runs OCA on `graph` and returns the overlapping cover.
+    pub fn run(&self, graph: &CsrGraph) -> OcaResult {
+        let start = Instant::now();
+        let n = graph.node_count();
+        let (c, lambda_min) = self.resolve_c(graph);
+        if n == 0 {
+            return OcaResult {
+                cover: Cover::empty(0),
+                c,
+                lambda_min,
+                seeds_tried: 0,
+                raw_community_count: 0,
+                elapsed: start.elapsed(),
+            };
+        }
+        let shared = Mutex::new(Shared {
+            halting: HaltingState::new(self.config.halting, n),
+            covered: vec![false; n],
+            seen: HashSet::new(),
+            accepted: Vec::new(),
+        });
+
+        if self.config.threads <= 1 {
+            let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+            let mut state = CommunityState::new(graph, c);
+            let guard = shared.lock();
+            drop(guard);
+            loop {
+                let sh = shared.lock();
+                if sh.halting.should_halt() {
+                    break;
+                }
+                let seed = sh.pick_seed(n, &mut rng);
+                drop(sh);
+                let community = ascend(
+                    graph,
+                    &mut state,
+                    seed,
+                    self.config.seed_strategy,
+                    &self.config.search,
+                    &mut rng,
+                );
+                shared
+                    .lock()
+                    .record(community, self.config.min_community_size);
+            }
+        } else {
+            crossbeam::scope(|scope| {
+                for tid in 0..self.config.threads {
+                    let shared = &shared;
+                    let config = &self.config;
+                    scope.spawn(move |_| {
+                        let mut rng =
+                            StdRng::seed_from_u64(config.rng_seed ^ (0x9E37 + tid as u64));
+                        let mut state = CommunityState::new(graph, c);
+                        loop {
+                            let sh = shared.lock();
+                            if sh.halting.should_halt() {
+                                break;
+                            }
+                            let seed = sh.pick_seed(n, &mut rng);
+                            drop(sh);
+                            let community = ascend(
+                                graph,
+                                &mut state,
+                                seed,
+                                config.seed_strategy,
+                                &config.search,
+                                &mut rng,
+                            );
+                            shared.lock().record(community, config.min_community_size);
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+
+        let sh = shared.into_inner();
+        let raw_count = sh.accepted.len();
+        let mut cover = Cover::new(n, sh.accepted);
+        if let Some(threshold) = self.config.merge_threshold {
+            cover = merge_similar(&cover, threshold);
+        }
+        if self.config.assign_orphans {
+            cover = assign_orphans(graph, &cover, 16);
+        }
+        OcaResult {
+            cover,
+            c,
+            lambda_min,
+            seeds_tried: sh.halting.seeds_tried(),
+            raw_community_count: raw_count,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// One seeded greedy ascent.
+fn ascend<R: Rng + ?Sized>(
+    graph: &CsrGraph,
+    state: &mut CommunityState<'_>,
+    seed: NodeId,
+    strategy: SeedStrategy,
+    search: &SearchConfig,
+    rng: &mut R,
+) -> Community {
+    let initial = initial_set(strategy, graph, seed, rng);
+    local_search(state, &initial, search).community
+}
+
+/// Convenience: run OCA with default configuration.
+pub fn run_default(graph: &CsrGraph) -> OcaResult {
+    Oca::default().run(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OcaConfig;
+    use oca_graph::from_edges;
+
+    /// Three 5-cliques connected in a ring by single bridges.
+    fn three_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for b in [0u32, 5, 10] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((b + i, b + j));
+                }
+            }
+        }
+        edges.extend([(4, 5), (9, 10), (14, 0)]);
+        from_edges(15, edges)
+    }
+
+    fn quick_config() -> OcaConfig {
+        OcaConfig {
+            halting: crate::halting::HaltingConfig {
+                max_seeds: 200,
+                target_coverage: 1.0,
+                stagnation_limit: 30,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_the_three_cliques() {
+        let g = three_cliques();
+        let result = Oca::new(quick_config()).run(&g);
+        assert_eq!(result.cover.len(), 3, "expected 3 communities");
+        let mut sizes: Vec<usize> = result
+            .cover
+            .communities()
+            .iter()
+            .map(|c| c.len())
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![5, 5, 5]);
+        assert!((result.cover.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_runs_are_deterministic() {
+        let g = three_cliques();
+        let a = Oca::new(quick_config()).run(&g);
+        let b = Oca::new(quick_config()).run(&g);
+        assert_eq!(a.cover, b.cover);
+        assert_eq!(a.seeds_tried, b.seeds_tried);
+    }
+
+    #[test]
+    fn parallel_run_finds_same_structure() {
+        let g = three_cliques();
+        let cfg = OcaConfig {
+            threads: 4,
+            ..quick_config()
+        };
+        let result = Oca::new(cfg).run(&g);
+        assert_eq!(result.cover.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let r = run_default(&g);
+        assert!(r.cover.is_empty());
+        assert_eq!(r.seeds_tried, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_yields_no_communities() {
+        let g = CsrGraph::empty(10);
+        let cfg = OcaConfig {
+            halting: crate::halting::HaltingConfig {
+                max_seeds: 30,
+                target_coverage: 1.0,
+                stagnation_limit: 10,
+            },
+            ..Default::default()
+        };
+        let r = Oca::new(cfg).run(&g);
+        assert!(r.cover.is_empty(), "singletons are below min size");
+    }
+
+    #[test]
+    fn orphan_assignment_covers_everything_connected() {
+        let g = three_cliques();
+        let cfg = OcaConfig {
+            assign_orphans: true,
+            ..quick_config()
+        };
+        let r = Oca::new(cfg).run(&g);
+        assert!(r.cover.orphans().is_empty());
+    }
+
+    #[test]
+    fn fixed_c_skips_spectral() {
+        let g = three_cliques();
+        let cfg = OcaConfig {
+            c: CStrategy::Fixed(0.7),
+            ..quick_config()
+        };
+        let r = Oca::new(cfg).run(&g);
+        assert_eq!(r.c, 0.7);
+        assert_eq!(r.lambda_min, 0.0);
+        assert_eq!(r.cover.len(), 3);
+    }
+
+    use oca_graph::CsrGraph;
+}

@@ -1,0 +1,117 @@
+//! Seed-set construction (Section IV: "a random neighborhood of the seed").
+
+use oca_graph::{ball, CsrGraph, NodeId};
+use rand::Rng;
+
+/// How to turn a seed node into an initial candidate set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeedStrategy {
+    /// Start from the seed node alone.
+    Singleton,
+    /// The paper's choice: the seed plus each neighbor independently with
+    /// the given probability.
+    RandomNeighborhood {
+        /// Probability of including each neighbor.
+        include_probability: f64,
+    },
+    /// The seed plus all nodes within the given number of hops.
+    Ball {
+        /// Hop radius.
+        radius: usize,
+    },
+}
+
+impl Default for SeedStrategy {
+    fn default() -> Self {
+        SeedStrategy::RandomNeighborhood {
+            include_probability: 0.5,
+        }
+    }
+}
+
+/// Materializes the initial set for `seed` under the strategy.
+pub fn initial_set<R: Rng + ?Sized>(
+    strategy: SeedStrategy,
+    graph: &CsrGraph,
+    seed: NodeId,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    match strategy {
+        SeedStrategy::Singleton => vec![seed],
+        SeedStrategy::RandomNeighborhood {
+            include_probability,
+        } => {
+            let mut set = vec![seed];
+            for &u in graph.neighbors(seed) {
+                if rng.random::<f64>() < include_probability {
+                    set.push(u);
+                }
+            }
+            set
+        }
+        SeedStrategy::Ball { radius } => ball(graph, seed, radius),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star() -> oca_graph::CsrGraph {
+        from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)])
+    }
+
+    #[test]
+    fn singleton_strategy() {
+        let g = star();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = initial_set(SeedStrategy::Singleton, &g, NodeId(0), &mut rng);
+        assert_eq!(s, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn neighborhood_always_contains_seed() {
+        let g = star();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let s = initial_set(SeedStrategy::default(), &g, NodeId(0), &mut rng);
+            assert!(s.contains(&NodeId(0)));
+            assert!(s.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn neighborhood_probability_extremes() {
+        let g = star();
+        let mut rng = StdRng::seed_from_u64(3);
+        let all = initial_set(
+            SeedStrategy::RandomNeighborhood {
+                include_probability: 1.0,
+            },
+            &g,
+            NodeId(0),
+            &mut rng,
+        );
+        assert_eq!(all.len(), 6);
+        let none = initial_set(
+            SeedStrategy::RandomNeighborhood {
+                include_probability: 0.0,
+            },
+            &g,
+            NodeId(0),
+            &mut rng,
+        );
+        assert_eq!(none, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn ball_strategy_radius() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = initial_set(SeedStrategy::Ball { radius: 2 }, &g, NodeId(0), &mut rng);
+        assert_eq!(b.len(), 3, "0, 1, 2");
+    }
+}

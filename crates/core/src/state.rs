@@ -1,0 +1,444 @@
+//! Incremental community state for the greedy search.
+//!
+//! Maintains the candidate set `S`, its internal edge count `Ein(S)`, and
+//! the internal degree `deg_S(v)` of every touched node, so that evaluating
+//! or applying a move costs `O(deg v)` instead of `O(Σ_{u∈S} deg u)`. This
+//! is the difference between OCA's flat runtime curve (Fig. 6) and a
+//! quadratic blow-up; the ablation bench quantifies it.
+
+use crate::fitness::{fitness, gain_add, gain_remove};
+use oca_graph::{Community, CsrGraph, NodeId};
+
+/// Mutable state of one community search over a fixed graph.
+///
+/// Buffers are `O(n)` but reusable across seeds via [`CommunityState::reset`],
+/// which clears only the touched entries.
+#[derive(Debug)]
+pub struct CommunityState<'g> {
+    graph: &'g CsrGraph,
+    c: f64,
+    in_set: Vec<bool>,
+    /// Internal degree of every node (valid only for touched nodes).
+    deg_in: Vec<u32>,
+    /// Nodes whose `deg_in` entry may be non-zero (for cheap reset).
+    touched: Vec<NodeId>,
+    touched_flag: Vec<bool>,
+    members: Vec<NodeId>,
+    ein: usize,
+    /// Lazy bucket queue over boundary internal degrees: `buckets[d]` holds
+    /// candidate boundary nodes that had `deg_S = d` when pushed. Entries go
+    /// stale when a node joins `S` or its degree changes; they are discarded
+    /// on pop. Gives O(1) amortized best-addition lookups.
+    buckets: Vec<Vec<NodeId>>,
+    max_bucket: usize,
+    /// Mirror min-queue over *member* internal degrees for best-removal.
+    min_buckets: Vec<Vec<NodeId>>,
+    min_bucket: usize,
+}
+
+impl<'g> CommunityState<'g> {
+    /// Creates an empty state for `graph` with interaction strength `c`.
+    pub fn new(graph: &'g CsrGraph, c: f64) -> Self {
+        let n = graph.node_count();
+        CommunityState {
+            graph,
+            c,
+            in_set: vec![false; n],
+            deg_in: vec![0; n],
+            touched: Vec::new(),
+            touched_flag: vec![false; n],
+            members: Vec::new(),
+            ein: 0,
+            buckets: Vec::new(),
+            max_bucket: 0,
+            min_buckets: Vec::new(),
+            min_bucket: 0,
+        }
+    }
+
+    #[inline]
+    fn push_bucket(&mut self, v: NodeId, d: u32) {
+        let d = d as usize;
+        if d >= self.buckets.len() {
+            self.buckets.resize_with(d + 1, Vec::new);
+        }
+        self.buckets[d].push(v);
+        self.max_bucket = self.max_bucket.max(d);
+    }
+
+    #[inline]
+    fn push_member_bucket(&mut self, v: NodeId, d: u32) {
+        let d = d as usize;
+        if d >= self.min_buckets.len() {
+            self.min_buckets.resize_with(d + 1, Vec::new);
+        }
+        self.min_buckets[d].push(v);
+        self.min_bucket = self.min_bucket.min(d);
+    }
+
+    /// The interaction strength in use.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Current community size `s`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Current internal edge count `Ein(S)`.
+    pub fn internal_edges(&self) -> usize {
+        self.ein
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.in_set[v.index()]
+    }
+
+    /// Internal degree of `v` with respect to the current set.
+    pub fn internal_degree(&self, v: NodeId) -> usize {
+        self.deg_in[v.index()] as usize
+    }
+
+    /// The current members (unsorted).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The current fitness `L(S)`.
+    pub fn fitness(&self) -> f64 {
+        fitness(self.members.len(), self.ein, self.c)
+    }
+
+    /// Fitness gain if `v` were added. `v` must not be a member.
+    pub fn gain_add(&self, v: NodeId) -> f64 {
+        debug_assert!(!self.contains(v));
+        gain_add(self.members.len(), self.ein, self.internal_degree(v), self.c)
+    }
+
+    /// Fitness gain if `v` were removed. `v` must be a member.
+    pub fn gain_remove(&self, v: NodeId) -> f64 {
+        debug_assert!(self.contains(v));
+        gain_remove(self.members.len(), self.ein, self.internal_degree(v), self.c)
+    }
+
+    fn touch(&mut self, v: NodeId) {
+        if !self.touched_flag[v.index()] {
+            self.touched_flag[v.index()] = true;
+            self.touched.push(v);
+        }
+    }
+
+    /// Adds `v` to the set. `O(deg v)`.
+    ///
+    /// # Panics
+    /// Debug-panics if `v` is already a member.
+    pub fn add(&mut self, v: NodeId) {
+        debug_assert!(!self.contains(v));
+        self.ein += self.deg_in[v.index()] as usize;
+        self.in_set[v.index()] = true;
+        self.touch(v);
+        self.members.push(v);
+        self.push_member_bucket(v, self.deg_in[v.index()]);
+        for i in 0..self.graph.neighbors(v).len() {
+            let u = self.graph.neighbors(v)[i];
+            self.deg_in[u.index()] += 1;
+            self.touch(u);
+            if self.in_set[u.index()] {
+                self.push_member_bucket(u, self.deg_in[u.index()]);
+            } else {
+                self.push_bucket(u, self.deg_in[u.index()]);
+            }
+        }
+    }
+
+    /// Removes `v` from the set. `O(deg v + s)` (member list swap-remove
+    /// after a linear scan).
+    ///
+    /// # Panics
+    /// Debug-panics if `v` is not a member.
+    pub fn remove(&mut self, v: NodeId) {
+        debug_assert!(self.contains(v));
+        self.ein -= self.deg_in[v.index()] as usize;
+        self.in_set[v.index()] = false;
+        for i in 0..self.graph.neighbors(v).len() {
+            let u = self.graph.neighbors(v)[i];
+            self.deg_in[u.index()] -= 1;
+            if self.in_set[u.index()] {
+                self.push_member_bucket(u, self.deg_in[u.index()]);
+            } else if self.deg_in[u.index()] > 0 {
+                self.push_bucket(u, self.deg_in[u.index()]);
+            }
+        }
+        if self.deg_in[v.index()] > 0 {
+            self.push_bucket(v, self.deg_in[v.index()]);
+        }
+        let pos = self
+            .members
+            .iter()
+            .position(|&m| m == v)
+            .expect("member list consistent with in_set");
+        self.members.swap_remove(pos);
+    }
+
+    /// Iterates the boundary: non-members adjacent to at least one member.
+    ///
+    /// Derived from the touched list, so the cost is proportional to the
+    /// neighborhood of the current and former members, not to `n`.
+    pub fn boundary(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.touched
+            .iter()
+            .copied()
+            .filter(|&v| !self.in_set[v.index()] && self.deg_in[v.index()] > 0)
+    }
+
+    /// The best addition candidate: the boundary node with the largest
+    /// internal degree.
+    ///
+    /// Correct because `L(s+1, ein+d)` is strictly increasing in `d` (the
+    /// `Ein` coefficient `1 − (s−2)/√(s(s−1))` is positive for all `s`), so
+    /// the node maximizing `deg_S(v)` also maximizes the fitness gain. The
+    /// lazy bucket queue makes this O(1) amortized — the key to OCA's flat
+    /// timing curves (Figs. 5–6). Runs stay deterministic (LIFO ties).
+    pub fn best_addition(&mut self) -> Option<NodeId> {
+        loop {
+            let b = self.max_bucket;
+            while let Some(&v) = self.buckets.get(b).and_then(|bk| bk.last()) {
+                if !self.in_set[v.index()] && self.deg_in[v.index()] as usize == b {
+                    return Some(v);
+                }
+                self.buckets[b].pop();
+            }
+            if b == 0 {
+                return None;
+            }
+            self.max_bucket = b - 1;
+        }
+    }
+
+    /// The best removal candidate: the member with the smallest internal
+    /// degree (the gain of removing is decreasing in `deg_S(v)`; see
+    /// [`CommunityState::best_addition`] for the monotonicity argument).
+    /// Returns `None` for sets of size ≤ 1.
+    pub fn best_removal(&mut self) -> Option<NodeId> {
+        if self.members.len() <= 1 {
+            return None;
+        }
+        loop {
+            let b = self.min_bucket;
+            while let Some(&v) = self.min_buckets.get(b).and_then(|bk| bk.last()) {
+                if self.in_set[v.index()] && self.deg_in[v.index()] as usize == b {
+                    return Some(v);
+                }
+                self.min_buckets[b].pop();
+            }
+            if b + 1 >= self.min_buckets.len() {
+                // All buckets drained of valid entries; can only happen if
+                // every member entry is stale, which the push discipline
+                // prevents for non-empty member lists.
+                return None;
+            }
+            self.min_bucket = b + 1;
+        }
+    }
+
+    /// Snapshots the current set as a [`Community`].
+    pub fn to_community(&self) -> Community {
+        Community::new(self.members.clone())
+    }
+
+    /// Clears the set, zeroing only the touched entries, so the state can be
+    /// reused for the next seed without an `O(n)` sweep.
+    pub fn reset(&mut self) {
+        for &v in &self.touched {
+            self.deg_in[v.index()] = 0;
+            self.in_set[v.index()] = false;
+            self.touched_flag[v.index()] = false;
+        }
+        self.touched.clear();
+        self.members.clear();
+        self.ein = 0;
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.max_bucket = 0;
+        for bucket in &mut self.min_buckets {
+            bucket.clear();
+        }
+        self.min_bucket = 0;
+    }
+
+    /// Recomputes `Ein` from scratch; for tests and debug assertions.
+    pub fn recompute_internal_edges(&self) -> usize {
+        let mut twice = 0usize;
+        for &v in &self.members {
+            twice += self
+                .graph
+                .neighbors(v)
+                .iter()
+                .filter(|u| self.in_set[u.index()])
+                .count();
+        }
+        twice / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    fn karate_ish() -> oca_graph::CsrGraph {
+        // Two triangles joined by one bridge: 0-1-2 and 3-4-5, bridge 2-3.
+        from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn add_tracks_internal_edges() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        st.add(NodeId(0));
+        assert_eq!(st.internal_edges(), 0);
+        st.add(NodeId(1));
+        assert_eq!(st.internal_edges(), 1);
+        st.add(NodeId(2));
+        assert_eq!(st.internal_edges(), 3);
+        assert_eq!(st.recompute_internal_edges(), 3);
+        assert_eq!(st.len(), 3);
+    }
+
+    #[test]
+    fn remove_reverses_add() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        for v in [0, 1, 2, 3] {
+            st.add(NodeId(v));
+        }
+        let f_before = st.fitness();
+        st.add(NodeId(4));
+        st.remove(NodeId(4));
+        assert!((st.fitness() - f_before).abs() < 1e-12);
+        assert_eq!(st.internal_edges(), st.recompute_internal_edges());
+        assert!(!st.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn boundary_is_exactly_adjacent_non_members() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        st.add(NodeId(0));
+        st.add(NodeId(1));
+        let mut b: Vec<u32> = st.boundary().map(|v| v.raw()).collect();
+        b.sort_unstable();
+        assert_eq!(b, vec![2]);
+        st.add(NodeId(2));
+        let mut b: Vec<u32> = st.boundary().map(|v| v.raw()).collect();
+        b.sort_unstable();
+        assert_eq!(b, vec![3]);
+    }
+
+    #[test]
+    fn gains_match_apply() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        st.add(NodeId(3));
+        st.add(NodeId(4));
+        let before = st.fitness();
+        let predicted = st.gain_add(NodeId(5));
+        st.add(NodeId(5));
+        assert!((st.fitness() - before - predicted).abs() < 1e-12);
+
+        let before = st.fitness();
+        let predicted = st.gain_remove(NodeId(3));
+        st.remove(NodeId(3));
+        assert!((st.fitness() - before - predicted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        for v in [0, 1, 2] {
+            st.add(NodeId(v));
+        }
+        st.reset();
+        assert!(st.is_empty());
+        assert_eq!(st.internal_edges(), 0);
+        assert_eq!(st.boundary().count(), 0);
+        st.add(NodeId(4));
+        assert_eq!(st.internal_degree(NodeId(3)), 1);
+        assert_eq!(st.internal_edges(), 0);
+    }
+
+    #[test]
+    fn best_addition_tracks_max_internal_degree() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        st.add(NodeId(0));
+        st.add(NodeId(1));
+        // Node 2 closes the triangle: deg_in 2, strictly best.
+        assert_eq!(st.best_addition(), Some(NodeId(2)));
+        st.add(NodeId(2));
+        // Boundary is only node 3 (deg_in 1).
+        assert_eq!(st.best_addition(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn best_removal_tracks_min_internal_degree() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        for v in [0, 1, 2, 3] {
+            st.add(NodeId(v));
+        }
+        // Node 3 has deg_in 1 (edge to 2), everyone else ≥ 2.
+        assert_eq!(st.best_removal(), Some(NodeId(3)));
+        st.remove(NodeId(3));
+        // Triangle members all have deg_in 2: any is valid.
+        let v = st.best_removal().unwrap();
+        assert_eq!(st.internal_degree(v), 2);
+    }
+
+    #[test]
+    fn best_candidates_survive_reset_and_reuse() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        for v in [0, 1, 2] {
+            st.add(NodeId(v));
+        }
+        st.reset();
+        assert_eq!(st.best_addition(), None);
+        assert_eq!(st.best_removal(), None);
+        st.add(NodeId(4));
+        let b = st.best_addition().unwrap();
+        assert!(b == NodeId(3) || b == NodeId(5), "neighbors of 4");
+    }
+
+    #[test]
+    fn best_addition_handles_degree_decreases() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        st.add(NodeId(0));
+        st.add(NodeId(1));
+        st.add(NodeId(2));
+        // 3's deg_in is 1; removing 2 drops it to 0 → no candidates left
+        // adjacent to {0,1} except 2 itself.
+        st.remove(NodeId(2));
+        assert_eq!(st.best_addition(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn to_community_is_sorted() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        st.add(NodeId(5));
+        st.add(NodeId(3));
+        let c = st.to_community();
+        assert_eq!(c.members(), &[NodeId(3), NodeId(5)]);
+    }
+}

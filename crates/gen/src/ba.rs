@@ -1,0 +1,105 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Produces scale-free graphs with a power-law degree tail — one of the two
+//! substitutes (with R-MAT) for the paper's Wikipedia link graph, whose
+//! degree distribution is heavy-tailed in the same way.
+
+use oca_graph::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph: starts from a small clique and
+/// attaches each new node to `m` existing nodes chosen proportionally to
+/// their degree (via the standard repeated-endpoint trick).
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    assert!(m >= 1, "attachment count m must be at least 1");
+    let seed_size = (m + 1).min(n);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n.saturating_mul(m));
+    // `targets` holds one entry per half-edge endpoint, so sampling a
+    // uniform element is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for u in 0..seed_size as u32 {
+        for v in (u + 1)..seed_size as u32 {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut chosen = Vec::with_capacity(m);
+    for v in seed_size..n {
+        chosen.clear();
+        // Sample m distinct degree-proportional targets.
+        let mut guard = 0usize;
+        while chosen.len() < m && guard < 50 * m + 100 {
+            guard += 1;
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as u32, t);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.node_count(), n);
+        // Seed clique K4 has 6 edges; each later node adds m.
+        let expected = 6 + (n - 4) * m;
+        assert_eq!(g.edge_count(), expected);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(300, 2, &mut rng);
+        assert!(oca_graph::is_connected(&g));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(2000, 3, &mut rng);
+        let max = g.max_degree() as f64;
+        let avg = g.average_degree();
+        assert!(
+            max > 8.0 * avg,
+            "scale-free hub expected: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(1, 2, &mut rng);
+        assert_eq!(g.node_count(), 1);
+        let g = barabasi_albert(3, 5, &mut rng);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3, "falls back to triangle seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_m_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        barabasi_albert(10, 0, &mut rng);
+    }
+}

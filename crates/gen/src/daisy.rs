@@ -1,0 +1,260 @@
+//! Daisy and daisy-tree benchmark graphs (Section V of the OCA paper).
+//!
+//! The paper introduces these as the (then) only benchmark with *overlapping*
+//! ground truth. A daisy with parameters `p, q, n, α, β` has vertices
+//! `0..n`, split into `p − 1` petals and a core:
+//!
+//! * petal `i` (for `1 ≤ i ≤ p−1`) holds the vertices `v ≡ i (mod p)`;
+//! * the core holds `{v ≡ 0 (mod p)} ∪ {v ≡ 0 (mod q)}`.
+//!
+//! A vertex with `v ≢ 0 (mod p)` but `v ≡ 0 (mod q)` therefore lies in both
+//! a petal and the core — the planted overlap. Petal pairs are wired with
+//! probability `α`, core pairs with probability `β`. A daisy *tree* with
+//! parameters `k, γ` grows from one daisy by attaching `k` more, each glued
+//! to a random existing daisy through a random petal pair wired with
+//! probability `γ`.
+
+use crate::gnp::sprinkle_clique;
+use oca_graph::{Community, Cover, CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a single daisy flower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaisyParams {
+    /// Modulus defining the petals; the daisy has `p − 1` petals.
+    pub p: usize,
+    /// Second modulus defining the extra core members (the overlap).
+    pub q: usize,
+    /// Number of vertices.
+    pub n: usize,
+    /// Petal edge probability `α`.
+    pub alpha: f64,
+    /// Core edge probability `β`.
+    pub beta: f64,
+}
+
+impl DaisyParams {
+    /// Defaults chosen so a daisy of 100–200 nodes has clear, dense
+    /// communities with non-trivial overlap: p = 5 petals-modulus,
+    /// q = 7 (coprime with p, so overlaps exist), α = β = 0.9.
+    pub fn default_shape(n: usize) -> Self {
+        DaisyParams {
+            p: 5,
+            q: 7,
+            n,
+            alpha: 0.9,
+            beta: 0.9,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.p >= 2, "p must be at least 2");
+        assert!(self.q >= 2, "q must be at least 2");
+        assert!(self.n >= self.p, "need at least one vertex per residue class");
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha is a probability");
+        assert!((0.0..=1.0).contains(&self.beta), "beta is a probability");
+    }
+}
+
+/// Membership of one daisy's vertices, with global vertex ids.
+#[derive(Debug, Clone)]
+pub struct DaisyLayout {
+    /// Global ids of each petal's vertices (length `p − 1`).
+    pub petals: Vec<Vec<u32>>,
+    /// Global ids of the core vertices.
+    pub core: Vec<u32>,
+}
+
+impl DaisyLayout {
+    /// Computes the petal/core split for vertices `offset..offset + n`.
+    pub fn new(params: &DaisyParams, offset: u32) -> Self {
+        let mut petals = vec![Vec::new(); params.p - 1];
+        let mut core = Vec::new();
+        for local in 0..params.n {
+            let v = offset + local as u32;
+            let in_core_p = local % params.p == 0;
+            let in_core_q = local % params.q == 0;
+            if in_core_p || in_core_q {
+                core.push(v);
+            }
+            if !in_core_p {
+                let petal = local % params.p; // 1..=p-1
+                petals[petal - 1].push(v);
+            }
+        }
+        DaisyLayout { petals, core }
+    }
+
+    /// All ground-truth communities (petals then core) of this daisy.
+    pub fn communities(&self) -> Vec<Community> {
+        let mut out: Vec<Community> = self
+            .petals
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| Community::from_raw(p.iter().copied()))
+            .collect();
+        if !self.core.is_empty() {
+            out.push(Community::from_raw(self.core.iter().copied()));
+        }
+        out
+    }
+}
+
+/// A generated daisy (or daisy tree): graph plus overlapping ground truth.
+#[derive(Debug, Clone)]
+pub struct DaisyBenchmark {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// Ground truth: one community per petal plus one per core.
+    pub ground_truth: Cover,
+    /// The layouts of the individual daisies (useful for diagnostics).
+    pub layouts: Vec<DaisyLayout>,
+}
+
+/// Generates a single daisy.
+pub fn daisy(params: &DaisyParams, seed: u64) -> DaisyBenchmark {
+    daisy_tree(params, 0, 0.0, seed)
+}
+
+/// Generates a daisy tree: the initial daisy plus `k` attached daisies,
+/// glued petal-to-petal with edge probability `gamma`.
+pub fn daisy_tree(params: &DaisyParams, k: usize, gamma: f64, seed: u64) -> DaisyBenchmark {
+    params.validate();
+    assert!((0.0..=1.0).contains(&gamma), "gamma is a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let daisy_count = k + 1;
+    let total_nodes = params.n * daisy_count;
+    let mut builder = GraphBuilder::new(total_nodes);
+    let mut layouts = Vec::with_capacity(daisy_count);
+
+    for d in 0..daisy_count {
+        let offset = (d * params.n) as u32;
+        let layout = DaisyLayout::new(params, offset);
+        for petal in &layout.petals {
+            sprinkle_clique(&mut builder, petal, params.alpha, &mut rng);
+        }
+        sprinkle_clique(&mut builder, &layout.core, params.beta, &mut rng);
+
+        if d > 0 {
+            // Attach to a random previous daisy by a random petal pair.
+            let target: usize = rng.random_range(0..d);
+            let target_layout: &DaisyLayout = &layouts[target];
+            let own_petal = layout.petals[rng.random_range(0..layout.petals.len())].clone();
+            let other_petal =
+                &target_layout.petals[rng.random_range(0..target_layout.petals.len())];
+            for &u in &own_petal {
+                for &v in other_petal {
+                    if rng.random::<f64>() < gamma {
+                        builder.add_edge(u, v);
+                    }
+                }
+            }
+        }
+        layouts.push(layout);
+    }
+
+    let communities: Vec<Community> = layouts.iter().flat_map(|l| l.communities()).collect();
+    DaisyBenchmark {
+        graph: builder.build(),
+        ground_truth: Cover::new(total_nodes, communities),
+        layouts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::NodeId;
+
+    fn shape() -> DaisyParams {
+        DaisyParams::default_shape(70)
+    }
+
+    #[test]
+    fn layout_partitions_and_overlaps() {
+        let params = shape();
+        let layout = DaisyLayout::new(&params, 0);
+        assert_eq!(layout.petals.len(), 4);
+        // Vertex 14: 14 % 5 = 4 → petal 4; 14 % 7 = 0 → also core. Overlap!
+        assert!(layout.petals[3].contains(&14));
+        assert!(layout.core.contains(&14));
+        // Vertex 10: 10 % 5 = 0 → core only.
+        assert!(layout.core.contains(&10));
+        assert!(!layout.petals.iter().any(|p| p.contains(&10)));
+        // Vertex 11: 11 % 5 = 1, 11 % 7 = 4 → petal 1 only.
+        assert!(layout.petals[0].contains(&11));
+        assert!(!layout.core.contains(&11));
+    }
+
+    #[test]
+    fn every_vertex_is_covered() {
+        let b = daisy(&shape(), 1);
+        assert_eq!(b.ground_truth.orphans(), Vec::<NodeId>::new());
+        assert!(b.ground_truth.overlap_node_count() > 0, "overlap planted");
+    }
+
+    #[test]
+    fn alpha_one_makes_petals_cliques() {
+        let params = DaisyParams {
+            alpha: 1.0,
+            beta: 1.0,
+            ..shape()
+        };
+        let b = daisy(&params, 2);
+        for c in b.ground_truth.communities() {
+            assert!(
+                (c.density(&b.graph) - 1.0).abs() < 1e-12,
+                "community of size {} not a clique",
+                c.len()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_attaches_all_daisies() {
+        let b = daisy_tree(&shape(), 3, 0.4, 3);
+        assert_eq!(b.graph.node_count(), 70 * 4);
+        assert_eq!(b.layouts.len(), 4);
+        // γ > 0 with dense petals: the whole tree should be one component.
+        assert!(oca_graph::is_connected(&b.graph), "tree should be connected");
+    }
+
+    #[test]
+    fn gamma_zero_leaves_daisies_disconnected() {
+        let b = daisy_tree(&shape(), 2, 0.0, 4);
+        let comps = oca_graph::Components::compute(&b.graph);
+        assert!(comps.count() >= 3, "got {} components", comps.count());
+    }
+
+    #[test]
+    fn ground_truth_community_count() {
+        let params = shape();
+        let b = daisy_tree(&params, 2, 0.3, 5);
+        // Each daisy: p−1 petals + core = 5 communities.
+        assert_eq!(b.ground_truth.len(), 3 * 5);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = daisy_tree(&shape(), 2, 0.3, 9);
+        let b = daisy_tree(&shape(), 2, 0.3, 9);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn paper_scale_density() {
+        // The paper's daisy dataset: 10⁵ nodes, ~4·10⁵ edges. Check that our
+        // default shape extrapolates to that edge/node ratio within 3x.
+        let params = DaisyParams {
+            p: 5,
+            q: 7,
+            n: 100,
+            alpha: 0.35,
+            beta: 0.35,
+        };
+        let b = daisy_tree(&params, 9, 0.02, 6);
+        let ratio = b.graph.edge_count() as f64 / b.graph.node_count() as f64;
+        assert!(ratio > 1.0 && ratio < 12.0, "edge/node ratio {ratio}");
+    }
+}

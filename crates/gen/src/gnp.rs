@@ -1,0 +1,168 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+//!
+//! Uses geometric skipping (Batagelj–Brandes) so generation is `O(n + m)`
+//! rather than `O(n²)`, which matters for the sparse regimes used throughout
+//! the paper's experiments.
+
+use oca_graph::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+/// Samples `G(n, p)`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.random();
+        w += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(w as u32, v as u32);
+        }
+    }
+    b.build()
+}
+
+/// Adds each pair from `nodes` as an edge with probability `p`
+/// (Bernoulli clique), streaming into an existing builder. Used by the
+/// daisy generator for petal and core wiring.
+pub fn sprinkle_clique<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    nodes: &[u32],
+    p: f64,
+    rng: &mut R,
+) {
+    if p <= 0.0 || nodes.len() < 2 {
+        return;
+    }
+    if p >= 1.0 {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                b.add_edge(u, v);
+            }
+        }
+        return;
+    }
+    // Geometric skipping over the flattened upper-triangular pair index.
+    let k = nodes.len();
+    let total = k * (k - 1) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut idx: i64 = -1;
+    loop {
+        let r: f64 = rng.random();
+        idx += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+        if idx as usize >= total {
+            break;
+        }
+        let (i, j) = unflatten(idx as usize, k);
+        b.add_edge(nodes[i], nodes[j]);
+    }
+}
+
+/// Maps a flat index in `0..k(k-1)/2` to an upper-triangular pair `(i, j)`,
+/// `i < j`, rows ordered `(0,1), (0,2), …, (0,k−1), (1,2), …`.
+fn unflatten(mut idx: usize, k: usize) -> (usize, usize) {
+    let mut i = 0usize;
+    let mut row = k - 1;
+    while idx >= row {
+        idx -= row;
+        i += 1;
+        row -= 1;
+    }
+    (i, i + 1 + idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p_zero_and_p_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnp(10, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+        let g = gnp(6, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 20.0,
+            "got {got}, expected ≈{expected}"
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(gnp(0, 0.5, &mut rng).node_count(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).edge_count(), 0);
+    }
+
+    #[test]
+    fn unflatten_enumerates_pairs() {
+        let k = 5;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..k * (k - 1) / 2 {
+            let (i, j) = unflatten(idx, k);
+            assert!(i < j && j < k);
+            assert!(seen.insert((i, j)));
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(unflatten(0, 5), (0, 1));
+        assert_eq!(unflatten(3, 5), (0, 4));
+        assert_eq!(unflatten(4, 5), (1, 2));
+        assert_eq!(unflatten(9, 5), (3, 4));
+    }
+
+    #[test]
+    fn sprinkle_clique_p_one_is_complete() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut b = oca_graph::GraphBuilder::new(10);
+        sprinkle_clique(&mut b, &[2, 4, 6, 8], 1.0, &mut rng);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn sprinkle_clique_density_near_p() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nodes: Vec<u32> = (0..60).collect();
+        let mut b = oca_graph::GraphBuilder::new(60);
+        sprinkle_clique(&mut b, &nodes, 0.3, &mut rng);
+        let g = b.build();
+        let expected = 0.3 * (60.0 * 59.0 / 2.0);
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "got {got}, expected ≈{expected}"
+        );
+    }
+}

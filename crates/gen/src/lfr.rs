@@ -1,0 +1,429 @@
+//! LFR benchmark graphs (Lancichinetti–Fortunato–Radicchi, paper ref \[9\]).
+//!
+//! Power-law degree sequence, power-law community sizes, and a mixing
+//! parameter `µ` controlling the fraction of each node's edges that leave
+//! its community. Ground-truth communities are returned alongside the graph,
+//! which is what Figures 2, 5 and 6 of the OCA paper consume.
+
+use crate::config_model::{wire, wire_simple};
+use crate::powerlaw::{min_for_mean, PowerLaw};
+use oca_graph::{Community, Cover, CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of an LFR benchmark instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LfrParams {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Mixing parameter `µ ∈ [0, 1]`: fraction of each node's degree that
+    /// points outside its community.
+    pub mixing: f64,
+    /// Degree power-law exponent `τ₁` (paper default 2).
+    pub degree_exponent: f64,
+    /// Community-size power-law exponent `τ₂` (paper default 1).
+    pub community_exponent: f64,
+    /// Target average degree.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Minimum community size.
+    pub min_community: usize,
+    /// Maximum community size.
+    pub max_community: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LfrParams {
+    /// Reasonable small-scale defaults (n = 1000, the regime of Fig. 2).
+    pub fn small(nodes: usize, mixing: f64, seed: u64) -> Self {
+        LfrParams {
+            nodes,
+            mixing,
+            degree_exponent: 2.0,
+            community_exponent: 1.0,
+            average_degree: 20.0,
+            max_degree: 50,
+            min_community: 20,
+            max_community: 50,
+            seed,
+        }
+    }
+
+    /// The configuration of the paper's Fig. 5 and 6 timing experiments:
+    /// av.deg = 50, max.deg = 150, community sizes in `[min_c, max_c]`.
+    pub fn timing(nodes: usize, min_c: usize, max_c: usize, seed: u64) -> Self {
+        LfrParams {
+            nodes,
+            mixing: 0.2,
+            degree_exponent: 2.0,
+            community_exponent: 1.0,
+            average_degree: 50.0,
+            max_degree: 150,
+            min_community: min_c,
+            max_community: max_c,
+            seed,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(
+            (0.0..=1.0).contains(&self.mixing),
+            "mixing must lie in [0, 1]"
+        );
+        assert!(self.max_degree >= 1 && self.max_degree < self.nodes);
+        assert!(self.min_community >= 2, "communities need at least 2 nodes");
+        assert!(self.min_community <= self.max_community);
+        assert!(
+            self.max_community <= self.nodes,
+            "max community exceeds node count"
+        );
+    }
+}
+
+/// A generated LFR instance: the graph plus its planted community structure.
+#[derive(Debug, Clone)]
+pub struct LfrBenchmark {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// The planted (non-overlapping) community structure.
+    pub ground_truth: Cover,
+}
+
+/// Generates an LFR benchmark graph.
+pub fn lfr(params: &LfrParams) -> LfrBenchmark {
+    params.validate();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n = params.nodes;
+
+    // 1. Degree sequence: power law on [k_min, max_degree] whose mean hits
+    //    the requested average degree.
+    let k_min = min_for_mean(
+        params.degree_exponent,
+        params.max_degree,
+        params.average_degree,
+    )
+    .unwrap_or(params.max_degree);
+    let deg_dist = PowerLaw::new(params.degree_exponent, k_min, params.max_degree);
+    let degrees: Vec<usize> = deg_dist.sample_n(&mut rng, n);
+
+    // 2. Community sizes: power law until the sizes cover all nodes.
+    let size_dist = PowerLaw::new(
+        params.community_exponent,
+        params.min_community,
+        params.max_community,
+    );
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut total = 0usize;
+    while total < n {
+        let s = size_dist.sample(&mut rng);
+        sizes.push(s);
+        total += s;
+    }
+    let excess = total - n;
+    if excess > 0 {
+        let last = *sizes.last().unwrap();
+        if last > excess && last - excess >= params.min_community {
+            let shrunk = last - excess;
+            *sizes.last_mut().unwrap() = shrunk;
+        } else {
+            // Drop the last community and spread its shortfall.
+            sizes.pop();
+            if sizes.is_empty() {
+                sizes.push(n);
+            } else {
+                let covered: usize = sizes.iter().sum();
+                let mut leftover = n - covered;
+                let len = sizes.len();
+                let mut i = 0usize;
+                while leftover > 0 {
+                    sizes[i % len] += 1;
+                    leftover -= 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), n);
+
+    // 3. Internal degrees, capped so every node fits in the largest community.
+    let max_size = *sizes.iter().max().unwrap();
+    let mut internal: Vec<usize> = degrees
+        .iter()
+        .map(|&d| {
+            let i = ((1.0 - params.mixing) * d as f64).round() as usize;
+            i.min(d).min(max_size - 1)
+        })
+        .collect();
+
+    // 4. Assign nodes to communities, hardest (highest internal degree)
+    //    first, into a random community that still has room and is large
+    //    enough for the node's internal degree.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| internal[b].cmp(&internal[a]));
+    let mut capacity = sizes.clone();
+    let mut community_of = vec![usize::MAX; n];
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); sizes.len()];
+    for &v in &order {
+        let mut candidates: Vec<usize> = (0..sizes.len())
+            .filter(|&ci| capacity[ci] > 0 && sizes[ci] > internal[v])
+            .collect();
+        if candidates.is_empty() {
+            // Relax: any community with room; shrink the internal degree.
+            candidates = (0..sizes.len()).filter(|&ci| capacity[ci] > 0).collect();
+            let ci = candidates[rng.random_range(0..candidates.len())];
+            internal[v] = internal[v].min(sizes[ci].saturating_sub(1));
+            capacity[ci] -= 1;
+            community_of[v] = ci;
+            members[ci].push(v as u32);
+        } else {
+            let ci = candidates[rng.random_range(0..candidates.len())];
+            capacity[ci] -= 1;
+            community_of[v] = ci;
+            members[ci].push(v as u32);
+        }
+    }
+
+    // 5. Wire internal edges per community with a local configuration model.
+    let mut builder = GraphBuilder::new(n);
+    for mem in &members {
+        let local_deg: Vec<usize> = mem.iter().map(|&v| internal[v as usize]).collect();
+        let local_edges = wire_simple(&local_deg, &mut rng, 25);
+        for (a, b) in local_edges {
+            builder.add_edge(mem[a as usize], mem[b as usize]);
+        }
+    }
+
+    // 6. Wire external edges globally, forbidding intra-community pairs.
+    let external: Vec<usize> = degrees
+        .iter()
+        .zip(&internal)
+        .map(|(&d, &i)| d.saturating_sub(i))
+        .collect();
+    let ext_edges = wire(&external, &mut rng, 25, |u, v| {
+        community_of[u as usize] == community_of[v as usize]
+    });
+    for (u, v) in ext_edges {
+        builder.add_edge(u, v);
+    }
+
+    // Shuffle-independence: ground truth from the assignment.
+    let communities = members
+        .into_iter()
+        .filter(|m| !m.is_empty())
+        .map(Community::from_raw)
+        .collect();
+    LfrBenchmark {
+        graph: builder.build(),
+        ground_truth: Cover::new(n, communities),
+    }
+}
+
+/// Generates an *overlapping* LFR variant.
+///
+/// The classic LFR extension parameterizes overlap by `on` (number of
+/// overlapping nodes) and `om` (memberships per overlapping node). We
+/// realize it by the virtual-node construction: generate a standard LFR
+/// instance with `on·(om−1)` extra virtual nodes, then fold each extra
+/// virtual node onto one of the first `on` physical hosts — the host
+/// inherits the virtual node's edges and community, ending up with `om`
+/// memberships (fewer if two of its virtual nodes landed in the same
+/// community).
+///
+/// # Panics
+/// Panics if `memberships == 0` or `overlap_nodes > params.nodes`.
+pub fn lfr_overlapping(
+    params: &LfrParams,
+    overlap_nodes: usize,
+    memberships: usize,
+) -> LfrBenchmark {
+    assert!(memberships >= 1, "memberships must be at least 1");
+    assert!(
+        overlap_nodes <= params.nodes,
+        "cannot have more overlapping nodes than nodes"
+    );
+    let extra = overlap_nodes * (memberships - 1);
+    if extra == 0 {
+        return lfr(params);
+    }
+    let mut virt_params = params.clone();
+    virt_params.nodes += extra;
+    let virt = lfr(&virt_params);
+    let n = params.nodes;
+    let fold = |v: u32| -> u32 {
+        if (v as usize) < n {
+            v
+        } else {
+            ((v as usize - n) % overlap_nodes) as u32
+        }
+    };
+    let mut builder = GraphBuilder::new(n);
+    for (u, v) in virt.graph.edges() {
+        let (fu, fv) = (fold(u.raw()), fold(v.raw()));
+        if fu != fv {
+            builder.add_edge(fu, fv);
+        }
+    }
+    let communities = virt
+        .ground_truth
+        .communities()
+        .iter()
+        .map(|c| Community::from_raw(c.members().iter().map(|v| fold(v.raw()))))
+        .collect();
+    LfrBenchmark {
+        graph: builder.build(),
+        ground_truth: Cover::new(n, communities),
+    }
+}
+
+/// Measures the realized mixing: the fraction of edge endpoints that cross
+/// a community boundary (should track the requested `µ`).
+pub fn realized_mixing(bench: &LfrBenchmark) -> f64 {
+    let idx = bench.ground_truth.membership_index();
+    let mut cross = 0usize;
+    let mut total = 0usize;
+    for (u, v) in bench.graph.edges() {
+        total += 1;
+        let cu = &idx[u.index()];
+        let cv = &idx[v.index()];
+        if cu.iter().all(|c| !cv.contains(c)) {
+            cross += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        cross as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, mu: f64, seed: u64) -> LfrParams {
+        LfrParams::small(n, mu, seed)
+    }
+
+    #[test]
+    fn basic_generation_properties() {
+        let b = lfr(&params(500, 0.2, 1));
+        assert_eq!(b.graph.node_count(), 500);
+        assert!(b.graph.validate().is_ok());
+        // Every node in exactly one ground-truth community.
+        let idx = b.ground_truth.membership_index();
+        assert!(idx.iter().all(|m| m.len() == 1));
+        // Community sizes within bounds (up to the redistribution slack).
+        let (min, max, _) = b.ground_truth.size_stats().unwrap();
+        assert!(min >= 2);
+        assert!(max <= 50 + b.ground_truth.len());
+    }
+
+    #[test]
+    fn average_degree_close_to_target() {
+        let b = lfr(&params(1000, 0.3, 2));
+        let avg = b.graph.average_degree();
+        assert!(
+            (avg - 20.0).abs() < 6.0,
+            "avg degree {avg} too far from target 20"
+        );
+    }
+
+    #[test]
+    fn realized_mixing_tracks_mu() {
+        for &mu in &[0.1, 0.3, 0.5] {
+            let b = lfr(&params(1000, mu, 3));
+            let got = realized_mixing(&b);
+            assert!(
+                (got - mu).abs() < 0.12,
+                "requested µ = {mu}, realized {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn mu_zero_keeps_all_edges_internal() {
+        let b = lfr(&params(400, 0.0, 4));
+        let got = realized_mixing(&b);
+        assert!(got < 0.02, "µ=0 should give ~no cross edges, got {got}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = lfr(&params(300, 0.25, 42));
+        let b = lfr(&params(300, 0.25, 42));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = lfr(&params(300, 0.25, 1));
+        let b = lfr(&params(300, 0.25, 2));
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn timing_preset_hits_degree_regime() {
+        let p = LfrParams::timing(2000, 300, 350, 5);
+        let b = lfr(&p);
+        let avg = b.graph.average_degree();
+        assert!(avg > 35.0, "timing preset avg degree {avg} too low");
+        assert!(b.graph.max_degree() <= 150 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing")]
+    fn invalid_mixing_panics() {
+        lfr(&params(100, 1.5, 0));
+    }
+
+    #[test]
+    fn overlapping_variant_plants_overlap() {
+        let on = 40;
+        let om = 2;
+        let b = lfr_overlapping(&params(400, 0.2, 6), on, om);
+        assert_eq!(b.graph.node_count(), 400);
+        assert!(b.graph.validate().is_ok());
+        let overlapping = b.ground_truth.overlap_node_count();
+        // Hosts whose two virtual nodes fell into the same community lose
+        // their overlap; most should keep it.
+        assert!(
+            overlapping > on / 2,
+            "only {overlapping} of {on} hosts overlap"
+        );
+        // Only the first `on` nodes may overlap.
+        for (v, ms) in b.ground_truth.membership_index().iter().enumerate() {
+            if v >= on {
+                assert!(ms.len() <= 1, "node {v} unexpectedly overlaps");
+            }
+            assert!(ms.len() <= om, "node {v} has {} memberships", ms.len());
+        }
+    }
+
+    #[test]
+    fn overlapping_with_om_one_is_plain_lfr() {
+        let a = lfr_overlapping(&params(300, 0.3, 7), 30, 1);
+        let b = lfr(&params(300, 0.3, 7));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+
+    #[test]
+    fn overlapping_nodes_have_boosted_degree() {
+        let b = lfr_overlapping(&params(400, 0.2, 8), 40, 3);
+        let plain = lfr(&params(400, 0.2, 8));
+        let avg_host: f64 = (0..40)
+            .map(|v| b.graph.degree(oca_graph::NodeId(v)) as f64)
+            .sum::<f64>()
+            / 40.0;
+        // Hosts absorb ~om nodes' worth of edges.
+        assert!(
+            avg_host > 1.5 * plain.graph.average_degree(),
+            "hosts avg {avg_host} vs plain avg {}",
+            plain.graph.average_degree()
+        );
+    }
+}

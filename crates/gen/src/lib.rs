@@ -1,0 +1,39 @@
+//! # oca-gen — benchmark graph generators for the OCA reproduction
+//!
+//! Builds every dataset family the paper evaluates on (Table I):
+//!
+//! * [`lfr()`] — the LFR benchmark of Lancichinetti–Fortunato–Radicchi
+//!   (ref \[9\]), with power-law degrees, power-law community sizes and a
+//!   mixing parameter `µ`; used by Figures 2, 5 and 6.
+//! * [`daisy()`] / [`daisy_tree()`] — the paper's own *overlapping*
+//!   benchmark (Figures 3 and 4).
+//! * [`barabasi_albert()`] and [`rmat()`] — scale-free generators standing
+//!   in for the Wikipedia link graph (see DESIGN.md §3 for the substitution
+//!   rationale).
+//! * [`gnp()`] and [`planted_partition()`] — auxiliary generators for tests
+//!   and ablations.
+//!
+//! All generators are deterministic given a seed, and the ones with planted
+//! structure return a [`oca_graph::Cover`] ground truth alongside the graph.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ba;
+pub mod config_model;
+pub mod daisy;
+pub mod gnp;
+pub mod lfr;
+pub mod planted;
+pub mod powerlaw;
+pub mod rmat;
+pub mod wiki_like;
+
+pub use ba::barabasi_albert;
+pub use daisy::{daisy, daisy_tree, DaisyBenchmark, DaisyLayout, DaisyParams};
+pub use gnp::gnp;
+pub use lfr::{lfr, lfr_overlapping, realized_mixing, LfrBenchmark, LfrParams};
+pub use planted::{planted_partition, PlantedPartition};
+pub use powerlaw::PowerLaw;
+pub use rmat::{rmat, rmat_edges_into, RmatParams};
+pub use wiki_like::{wiki_like, WikiLikeBenchmark, WikiLikeParams};

@@ -1,0 +1,99 @@
+//! Planted-partition graphs: the simplest ground-truth generator.
+//!
+//! `k` equal blocks; within-block pairs wired with probability `p_in`,
+//! cross-block pairs with `p_out`. Less realistic than LFR but exactly
+//! analyzable, so it anchors correctness tests for every algorithm.
+
+use crate::gnp::sprinkle_clique;
+use oca_graph::{Community, Cover, CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A planted-partition instance.
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// The planted blocks.
+    pub ground_truth: Cover,
+}
+
+/// Generates a planted partition with `blocks` blocks of `block_size` nodes.
+pub fn planted_partition(
+    blocks: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> PlantedPartition {
+    assert!(blocks >= 1 && block_size >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = blocks * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut communities = Vec::with_capacity(blocks);
+    let block_members: Vec<Vec<u32>> = (0..blocks)
+        .map(|bi| {
+            let lo = (bi * block_size) as u32;
+            (lo..lo + block_size as u32).collect()
+        })
+        .collect();
+    for members in &block_members {
+        sprinkle_clique(&mut b, members, p_in, &mut rng);
+        communities.push(Community::from_raw(members.iter().copied()));
+    }
+    if p_out > 0.0 {
+        for i in 0..blocks {
+            for j in (i + 1)..blocks {
+                for &u in &block_members[i] {
+                    for &v in &block_members[j] {
+                        if rng.random::<f64>() < p_out {
+                            b.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    PlantedPartition {
+        graph: b.build(),
+        ground_truth: Cover::new(n, communities),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let pp = planted_partition(3, 10, 1.0, 0.0, 1);
+        assert_eq!(pp.graph.node_count(), 30);
+        assert_eq!(pp.graph.edge_count(), 3 * 45);
+        let comps = oca_graph::Components::compute(&pp.graph);
+        assert_eq!(comps.count(), 3);
+    }
+
+    #[test]
+    fn ground_truth_is_partition() {
+        let pp = planted_partition(4, 8, 0.8, 0.05, 2);
+        let idx = pp.ground_truth.membership_index();
+        assert!(idx.iter().all(|m| m.len() == 1));
+        assert_eq!(pp.ground_truth.len(), 4);
+    }
+
+    #[test]
+    fn internal_density_exceeds_external() {
+        let pp = planted_partition(3, 20, 0.5, 0.02, 3);
+        for c in pp.ground_truth.communities() {
+            assert!(c.density(&pp.graph) > 0.3);
+        }
+    }
+
+    #[test]
+    fn single_block_is_gnp() {
+        let pp = planted_partition(1, 15, 0.4, 0.0, 4);
+        assert_eq!(pp.ground_truth.len(), 1);
+        assert!(pp.graph.edge_count() > 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Discrete truncated power-law sampling.
+//!
+//! The LFR benchmark (paper ref \[9\]) draws node degrees and community sizes
+//! from power laws with exponents `τ₁` and `τ₂`, truncated to `[min, max]`.
+//! Sampling uses the inverse-CDF over the precomputed discrete distribution.
+
+use rand::Rng;
+
+/// A discrete power-law distribution `P(k) ∝ k^(−exponent)` on `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    min: usize,
+    /// Cumulative distribution; `cdf[i]` = P(X ≤ min + i).
+    cdf: Vec<f64>,
+}
+
+impl PowerLaw {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    /// Panics if `min == 0` or `min > max`.
+    pub fn new(exponent: f64, min: usize, max: usize) -> Self {
+        assert!(min >= 1, "power-law support must start at 1 or above");
+        assert!(min <= max, "min must not exceed max");
+        let weights: Vec<f64> = (min..=max)
+            .map(|k| (k as f64).powf(-exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        PowerLaw { min, cdf }
+    }
+
+    /// Smallest supported value.
+    pub fn min(&self) -> usize {
+        self.min
+    }
+
+    /// Largest supported value.
+    pub fn max(&self) -> usize {
+        self.min + self.cdf.len() - 1
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (self.min + i) as f64 * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index with cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.min + idx.min(self.cdf.len() - 1)
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Finds the smallest cut-off `min` such that a power law on `[min, max]`
+/// with `exponent` has mean at least `target_mean`; used by LFR to hit a
+/// requested average degree. Returns `None` if even `[max, max]` is below
+/// the target.
+pub fn min_for_mean(exponent: f64, max: usize, target_mean: f64) -> Option<usize> {
+    (1..=max).find(|&lo| PowerLaw::new(exponent, lo, max).mean() >= target_mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degenerate_single_value() {
+        let pl = PowerLaw::new(2.0, 5, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(pl.sample(&mut rng), 5);
+        }
+        assert!((pl.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let pl = PowerLaw::new(2.0, 3, 50);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let k = pl.sample(&mut rng);
+            assert!((3..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn small_values_dominate() {
+        let pl = PowerLaw::new(2.5, 1, 100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = pl.sample_n(&mut rng, 5000);
+        let ones = samples.iter().filter(|&&k| k == 1).count();
+        assert!(
+            ones > samples.len() / 2,
+            "exponent 2.5 should put >50% mass on k=1, got {ones}"
+        );
+    }
+
+    #[test]
+    fn empirical_mean_matches_analytic() {
+        let pl = PowerLaw::new(2.0, 5, 150);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples = pl.sample_n(&mut rng, 20000);
+        let emp = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        assert!(
+            (emp - pl.mean()).abs() < 0.5,
+            "empirical {emp} vs analytic {}",
+            pl.mean()
+        );
+    }
+
+    #[test]
+    fn min_for_mean_hits_target() {
+        let max = 150;
+        let target = 50.0;
+        let lo = min_for_mean(2.0, max, target).unwrap();
+        let mean = PowerLaw::new(2.0, lo, max).mean();
+        assert!(mean >= target, "mean {mean} below target");
+        if lo > 1 {
+            let below = PowerLaw::new(2.0, lo - 1, max).mean();
+            assert!(below < target, "cut-off not minimal");
+        }
+    }
+
+    #[test]
+    fn min_for_mean_unreachable() {
+        assert_eq!(min_for_mean(2.0, 10, 11.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn invalid_range_panics() {
+        PowerLaw::new(2.0, 10, 5);
+    }
+}

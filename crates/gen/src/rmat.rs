@@ -1,0 +1,172 @@
+//! R-MAT (recursive matrix) graph generation.
+//!
+//! The classic Chakrabarti–Zhan–Faloutsos generator: each edge picks its
+//! endpoints by recursively descending a 2×2 probability matrix
+//! `(a, b; c, d)`. With the default skewed parameters it produces the
+//! heavy-tailed, community-ish structure typical of web/wiki link graphs —
+//! our stand-in for the paper's 1.7·10⁷-node Wikipedia snapshot.
+
+use oca_graph::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+/// R-MAT parameters; the four quadrant probabilities must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// log₂ of the node count.
+    pub scale: u32,
+    /// Average directed edges per node; undirected simplification lowers
+    /// the realized count slightly.
+    pub edge_factor: usize,
+}
+
+impl RmatParams {
+    /// The widely used Graph500-style defaults (a=0.57, b=c=0.19).
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            scale,
+            edge_factor,
+        }
+    }
+
+    /// The implied bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes.
+///
+/// # Panics
+/// Panics if probabilities are invalid.
+pub fn rmat<R: Rng + ?Sized>(params: &RmatParams, rng: &mut R) -> CsrGraph {
+    let n = 1usize << params.scale;
+    let mut builder =
+        GraphBuilder::new(n).with_edge_capacity(n.saturating_mul(params.edge_factor));
+    rmat_edges_into(params, &mut builder, rng);
+    builder.build()
+}
+
+/// Streams R-MAT edges into an existing builder (used by composite
+/// generators such as [`crate::wiki_like()`]).
+///
+/// # Panics
+/// Panics if probabilities are invalid.
+pub fn rmat_edges_into<R: Rng + ?Sized>(
+    params: &RmatParams,
+    builder: &mut GraphBuilder,
+    rng: &mut R,
+) {
+    let d = params.d();
+    assert!(
+        params.a >= 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= -1e-9,
+        "quadrant probabilities must be non-negative and sum to 1"
+    );
+    let n = 1usize << params.scale;
+    let m = n.saturating_mul(params.edge_factor);
+    let ab = params.a + params.b;
+    let a_frac = if ab > 0.0 { params.a / ab } else { 0.5 };
+    let cd = params.c + d;
+    let c_frac = if cd > 0.0 { params.c / cd } else { 0.5 };
+    for _ in 0..m {
+        let mut u = 0usize;
+        let mut v = 0usize;
+        for _ in 0..params.scale {
+            u <<= 1;
+            v <<= 1;
+            let top: bool = rng.random::<f64>() < ab;
+            let left: bool = if top {
+                rng.random::<f64>() < a_frac
+            } else {
+                rng.random::<f64>() < c_frac
+            };
+            if !top {
+                u |= 1;
+            }
+            if !left {
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u as u32, v as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = rmat(&RmatParams::graph500(8, 4), &mut rng);
+        assert_eq!(g.node_count(), 256);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edge_count_close_to_requested() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = rmat(&RmatParams::graph500(10, 8), &mut rng);
+        let requested = 1024 * 8;
+        // Self-loops and duplicates shrink the realized count.
+        assert!(g.edge_count() <= requested);
+        assert!(
+            g.edge_count() > requested / 2,
+            "too many collisions: {}",
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn skewed_parameters_create_hubs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = rmat(&RmatParams::graph500(12, 8), &mut rng);
+        assert!(
+            (g.max_degree() as f64) > 6.0 * g.average_degree(),
+            "R-MAT should produce hubs: max {} avg {}",
+            g.max_degree(),
+            g.average_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_look_like_gnp() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            scale: 10,
+            edge_factor: 6,
+        };
+        let g = rmat(&params, &mut rng);
+        // Under uniform quadrants degrees concentrate: max degree stays small.
+        assert!((g.max_degree() as f64) < 6.0 * g.average_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn invalid_probabilities_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = RmatParams {
+            a: 0.9,
+            b: 0.9,
+            c: 0.1,
+            scale: 4,
+            edge_factor: 2,
+        };
+        rmat(&params, &mut rng);
+    }
+}

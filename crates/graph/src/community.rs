@@ -1,0 +1,346 @@
+//! Communities (node subsets) and covers (possibly-overlapping collections).
+//!
+//! A *cover* generalizes a partition: communities may overlap and some nodes
+//! may be orphans (belong to no community) — both situations are explicitly
+//! embraced by the paper's Section IV.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// A community: a sorted, duplicate-free set of nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Community {
+    members: Vec<NodeId>,
+}
+
+impl Community {
+    /// Creates a community from any node list (sorted and deduplicated).
+    pub fn new(mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Community { members }
+    }
+
+    /// Creates a community from raw `u32` ids.
+    pub fn from_raw<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Community::new(ids.into_iter().map(NodeId::new).collect())
+    }
+
+    /// The sorted member slice.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the community has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test in `O(log n)`.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+
+    /// Size of the intersection with `other` (linear merge).
+    pub fn intersection_size(&self, other: &Community) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.members, &other.members);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Size of the union with `other`.
+    pub fn union_size(&self, other: &Community) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// The paper's similarity `ρ(C, D) = 1 − (|C\D| + |D\C|)/|C∪D|` (V.1),
+    /// which equals the Jaccard index `|C∩D| / |C∪D|`.
+    ///
+    /// Two empty communities are defined to have similarity 1.
+    pub fn similarity(&self, other: &Community) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            return 1.0;
+        }
+        self.intersection_size(other) as f64 / union as f64
+    }
+
+    /// Merges with `other` into a new community (set union).
+    pub fn merged(&self, other: &Community) -> Community {
+        let mut out = Vec::with_capacity(self.union_size(other));
+        let (a, b) = (&self.members, &other.members);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Community { members: out }
+    }
+
+    /// Number of internal edges of this community in `graph`.
+    pub fn internal_edges(&self, graph: &CsrGraph) -> usize {
+        let mut twice = 0usize;
+        for &v in &self.members {
+            twice += graph
+                .neighbors(v)
+                .iter()
+                .filter(|u| self.contains(**u))
+                .count();
+        }
+        twice / 2
+    }
+
+    /// Internal edge density `Ein / (s(s−1)/2)`; 0 for communities of size < 2.
+    pub fn density(&self, graph: &CsrGraph) -> f64 {
+        let s = self.len();
+        if s < 2 {
+            return 0.0;
+        }
+        let possible = s * (s - 1) / 2;
+        self.internal_edges(graph) as f64 / possible as f64
+    }
+}
+
+impl FromIterator<NodeId> for Community {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        Community::new(iter.into_iter().collect())
+    }
+}
+
+/// A cover: a collection of possibly-overlapping communities over a graph
+/// with `node_count` nodes.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cover {
+    node_count: usize,
+    communities: Vec<Community>,
+}
+
+impl Cover {
+    /// Creates a cover over `node_count` nodes; empty communities are dropped.
+    pub fn new(node_count: usize, communities: Vec<Community>) -> Self {
+        let communities = communities.into_iter().filter(|c| !c.is_empty()).collect();
+        Cover {
+            node_count,
+            communities,
+        }
+    }
+
+    /// An empty cover.
+    pub fn empty(node_count: usize) -> Self {
+        Cover {
+            node_count,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The communities.
+    pub fn communities(&self) -> &[Community] {
+        &self.communities
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// True if there are no communities.
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Adds a community (ignored if empty).
+    pub fn push(&mut self, c: Community) {
+        if !c.is_empty() {
+            self.communities.push(c);
+        }
+    }
+
+    /// For each node, the indices of the communities containing it.
+    pub fn membership_index(&self) -> Vec<Vec<u32>> {
+        let mut idx = vec![Vec::new(); self.node_count];
+        for (ci, c) in self.communities.iter().enumerate() {
+            for &v in c.members() {
+                idx[v.index()].push(ci as u32);
+            }
+        }
+        idx
+    }
+
+    /// Nodes that belong to no community.
+    pub fn orphans(&self) -> Vec<NodeId> {
+        let mut covered = vec![false; self.node_count];
+        for c in &self.communities {
+            for &v in c.members() {
+                covered[v.index()] = true;
+            }
+        }
+        covered
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| !c)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Fraction of nodes covered by at least one community.
+    pub fn coverage(&self) -> f64 {
+        if self.node_count == 0 {
+            return 1.0;
+        }
+        1.0 - self.orphans().len() as f64 / self.node_count as f64
+    }
+
+    /// Average number of communities per covered node (≥ 1; 0 if nothing
+    /// covered). Values above 1 quantify overlap.
+    pub fn average_memberships(&self) -> f64 {
+        let idx = self.membership_index();
+        let covered: Vec<_> = idx.iter().filter(|m| !m.is_empty()).collect();
+        if covered.is_empty() {
+            return 0.0;
+        }
+        covered.iter().map(|m| m.len()).sum::<usize>() as f64 / covered.len() as f64
+    }
+
+    /// Number of nodes in more than one community.
+    pub fn overlap_node_count(&self) -> usize {
+        self.membership_index()
+            .iter()
+            .filter(|m| m.len() > 1)
+            .count()
+    }
+
+    /// Community size statistics `(min, max, mean)`; `None` if empty.
+    pub fn size_stats(&self) -> Option<(usize, usize, f64)> {
+        if self.communities.is_empty() {
+            return None;
+        }
+        let sizes: Vec<_> = self.communities.iter().map(|c| c.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        Some((min, max, mean))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn c(ids: &[u32]) -> Community {
+        Community::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn community_normalizes_input() {
+        let com = c(&[3, 1, 2, 1, 3]);
+        assert_eq!(com.len(), 3);
+        assert_eq!(
+            com.members(),
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            "sorted, deduped"
+        );
+        assert!(com.contains(NodeId(2)));
+        assert!(!com.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = c(&[0, 1, 2, 3]);
+        let b = c(&[2, 3, 4]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        let m = a.merged(&b);
+        assert_eq!(m.len(), 5);
+        assert!(m.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn similarity_is_jaccard() {
+        let a = c(&[0, 1, 2, 3]);
+        let b = c(&[2, 3, 4]);
+        // |C∩D| = 2, |C∪D| = 5; paper form: 1 − (2 + 1)/5 = 2/5.
+        assert!((a.similarity(&b) - 0.4).abs() < 1e-12);
+        assert_eq!(a.similarity(&a), 1.0);
+        assert_eq!(a.similarity(&c(&[9])), 0.0);
+        assert_eq!(c(&[]).similarity(&c(&[])), 1.0);
+    }
+
+    #[test]
+    fn internal_edges_and_density() {
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let tri = c(&[0, 1, 2]);
+        assert_eq!(tri.internal_edges(&g), 3);
+        assert!((tri.density(&g) - 1.0).abs() < 1e-12);
+        let pair = c(&[3, 4]);
+        assert_eq!(pair.internal_edges(&g), 0);
+        assert_eq!(pair.density(&g), 0.0);
+        assert_eq!(c(&[0]).density(&g), 0.0, "singletons have density 0");
+    }
+
+    #[test]
+    fn cover_membership_and_orphans() {
+        let cover = Cover::new(6, vec![c(&[0, 1, 2]), c(&[2, 3])]);
+        let idx = cover.membership_index();
+        assert_eq!(idx[2], vec![0, 1], "node 2 overlaps");
+        assert_eq!(idx[4], Vec::<u32>::new());
+        assert_eq!(cover.orphans(), vec![NodeId(4), NodeId(5)]);
+        assert!((cover.coverage() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(cover.overlap_node_count(), 1);
+    }
+
+    #[test]
+    fn cover_drops_empty_communities() {
+        let cover = Cover::new(3, vec![c(&[]), c(&[0])]);
+        assert_eq!(cover.len(), 1);
+    }
+
+    #[test]
+    fn cover_stats() {
+        let cover = Cover::new(10, vec![c(&[0, 1]), c(&[2, 3, 4, 5])]);
+        let (min, max, mean) = cover.size_stats().unwrap();
+        assert_eq!((min, max), (2, 4));
+        assert!((mean - 3.0).abs() < 1e-12);
+        assert!((cover.average_memberships() - 1.0).abs() < 1e-12);
+        assert!(Cover::empty(5).size_stats().is_none());
+        assert_eq!(Cover::empty(0).coverage(), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Connected components.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use crate::union_find::UnionFind;
+
+/// The connected-component decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Dense component label per node.
+    labels: Vec<u32>,
+    /// Number of components.
+    count: usize,
+}
+
+impl Components {
+    /// Computes connected components with union–find (`O(m α(n))`).
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let mut uf = UnionFind::new(graph.node_count());
+        for (u, v) in graph.edges() {
+            uf.union(u.index(), v.index());
+        }
+        let labels = uf.labels();
+        Components {
+            count: uf.set_count(),
+            labels,
+        }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of `v`.
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// True if `u` and `v` share a component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.label(u) == self.label(v)
+    }
+
+    /// Size of each component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of each component, indexed by label.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (i, &l) in self.labels.iter().enumerate() {
+            out[l as usize].push(NodeId(i as u32));
+        }
+        out
+    }
+
+    /// Label and members of the largest component (ties broken by label).
+    pub fn largest(&self) -> Option<(u32, Vec<NodeId>)> {
+        if self.count == 0 {
+            return None;
+        }
+        let sizes = self.sizes();
+        let best = (0..self.count).max_by_key(|&i| sizes[i]).unwrap() as u32;
+        let members = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == best)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        Some((best, members))
+    }
+}
+
+/// True if every pair of nodes is connected (vacuously true for n ≤ 1).
+pub fn is_connected(graph: &CsrGraph) -> bool {
+    graph.node_count() <= 1 || Components::compute(graph).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn two_components_plus_isolate() {
+        let g = from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.same_component(NodeId(0), NodeId(2)));
+        assert!(!c.same_component(NodeId(0), NodeId(3)));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_component() {
+        let g = from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let c = Components::compute(&g);
+        let (_, members) = c.largest().unwrap();
+        let raw: Vec<_> = members.iter().map(|v| v.raw()).collect();
+        assert_eq!(raw, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let g = from_edges(5, [(0, 4), (1, 2)]);
+        let c = Components::compute(&g);
+        let members = c.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(members.len(), c.count());
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&from_edges(3, [(0, 1), (1, 2)])));
+        assert!(!is_connected(&from_edges(3, [(0, 1)])));
+        assert!(is_connected(&CsrGraph::empty(0)));
+        assert!(is_connected(&CsrGraph::empty(1)));
+        assert!(!is_connected(&CsrGraph::empty(2)));
+    }
+
+    use crate::csr::CsrGraph;
+}

@@ -1,0 +1,277 @@
+//! Compressed sparse row (CSR) storage for simple undirected graphs.
+//!
+//! This is the "ad hoc C++ structure" of the paper's Section V, rebuilt in
+//! Rust: offsets + a flat neighbor array, with each undirected edge stored in
+//! both endpoint rows. Neighbor rows are sorted, which gives `O(log deg)`
+//! adjacency tests via binary search and cache-friendly merges (used heavily
+//! by the triangle-counting path of the CFinder baseline).
+
+use crate::node::NodeId;
+
+/// A simple undirected graph in CSR form.
+///
+/// Invariants (checked by [`CsrGraph::validate`], relied upon everywhere):
+/// * `offsets.len() == node_count + 1`, `offsets[0] == 0`, non-decreasing;
+/// * each neighbor row is strictly sorted (no duplicates, no self-loops);
+/// * adjacency is symmetric: `v ∈ N(u)` iff `u ∈ N(v)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from raw parts.
+    ///
+    /// Callers must uphold the invariants in the type docs; this is intended
+    /// for use by [`crate::builder::GraphBuilder`] and deserialization.
+    /// Debug builds verify with [`CsrGraph::validate`].
+    pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        let g = CsrGraph { offsets, neighbors };
+        debug_assert!(g.validate().is_ok(), "invalid CSR parts: {:?}", g.validate());
+        g
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// True if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// True if `{u, v}` is an edge. `O(log deg)`; probes the smaller row.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId::new)
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree (`2m / n`), or 0.0 for an empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.neighbors.len() as f64) / (self.node_count() as f64)
+        }
+    }
+
+    /// Number of edges with both endpoints in `set_flags` (a node→bool mask).
+    ///
+    /// This is `Ein(S)` from the paper's fitness function. `O(Σ_{v∈S} deg v)`.
+    pub fn internal_edges(&self, members: &[NodeId], set_flags: &[bool]) -> usize {
+        let mut twice = 0usize;
+        for &v in members {
+            debug_assert!(set_flags[v.index()]);
+            twice += self
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| set_flags[u.index()])
+                .count();
+        }
+        twice / 2
+    }
+
+    /// Checks all CSR invariants; returns a description of the first failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must have at least one entry".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        if *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("last offset must equal neighbor array length".into());
+        }
+        let n = self.node_count();
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        for u in self.nodes() {
+            let row = self.neighbors(u);
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row of {u:?} not strictly sorted"));
+                }
+            }
+            for &v in row {
+                if v.index() >= n {
+                    return Err(format!("neighbor {v:?} of {u:?} out of bounds"));
+                }
+                if v == u {
+                    return Err(format!("self-loop at {u:?}"));
+                }
+                if self.neighbors(v).binary_search(&u).is_err() {
+                    return Err(format!("edge {u:?}-{v:?} not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1, 1-2, 0-2 triangle; 3 pendant on 2; 4 isolated.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(2)), 3);
+        assert_eq!(g.degree(NodeId(4)), 0);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn has_edge_both_directions_and_non_edges() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+        assert!(!g.has_edge(NodeId(4), NodeId(0)));
+        assert!(!g.has_edge(NodeId(1), NodeId(1)), "no self loops");
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in &edges {
+            assert!(u < v);
+        }
+        assert!(edges.contains(&(NodeId(0), NodeId(2))));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert!(g.validate().is_ok());
+
+        let g = CsrGraph::empty(3);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn internal_edges_counts_ein() {
+        let g = triangle_plus_pendant();
+        let mut flags = vec![false; 5];
+        for i in [0usize, 1, 2] {
+            flags[i] = true;
+        }
+        let members = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(g.internal_edges(&members, &flags), 3);
+
+        let mut flags2 = vec![false; 5];
+        flags2[2] = true;
+        flags2[3] = true;
+        assert_eq!(g.internal_edges(&[NodeId(2), NodeId(3)], &flags2), 1);
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        // 0 -> 1 but not 1 -> 0.
+        let g = CsrGraph {
+            offsets: vec![0, 1, 1],
+            neighbors: vec![NodeId(1)],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let g = CsrGraph {
+            offsets: vec![0, 1],
+            neighbors: vec![NodeId(0)],
+        };
+        assert!(g.validate().is_err());
+    }
+}

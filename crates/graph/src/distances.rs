@@ -1,0 +1,124 @@
+//! BFS distances, eccentricity and diameter estimation.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances; unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(graph: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &u in graph.neighbors(v) {
+            if dist[u.index()] == UNREACHABLE {
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of a node within its component (max finite distance).
+pub fn eccentricity(graph: &CsrGraph, v: NodeId) -> u32 {
+    bfs_distances(graph, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower-bounds the diameter with the standard double-sweep heuristic:
+/// BFS from `start`, then BFS from the farthest node found. Exact on trees.
+pub fn double_sweep_diameter(graph: &CsrGraph, start: NodeId) -> u32 {
+    if graph.node_count() == 0 {
+        return 0;
+    }
+    let first = bfs_distances(graph, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| NodeId(i as u32))
+        .unwrap_or(start);
+    eccentricity(graph, far)
+}
+
+/// Average shortest-path length over reachable pairs from a sample of
+/// `sources` (exact when `sources` covers all nodes).
+pub fn average_distance_sampled(graph: &CsrGraph, sources: &[NodeId]) -> f64 {
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &s in sources {
+        for d in bfs_distances(graph, s) {
+            if d != UNREACHABLE && d > 0 {
+                total += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn path_distances() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+        assert_eq!(eccentricity(&g, NodeId(0)), 4);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = from_edges(4, [(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+        assert_eq!(eccentricity(&g, NodeId(0)), 1);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        // Start mid-path; the sweep still finds the true diameter 5.
+        assert_eq!(double_sweep_diameter(&g, NodeId(2)), 5);
+    }
+
+    #[test]
+    fn double_sweep_on_cycle() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(double_sweep_diameter(&g, NodeId(0)), 3);
+    }
+
+    #[test]
+    fn average_distance_on_triangle() {
+        let g = from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert!((average_distance_sampled(&g, &all) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = crate::csr::CsrGraph::empty(0);
+        assert_eq!(double_sweep_diameter(&g, NodeId(0)), 0);
+        assert_eq!(average_distance_sampled(&g, &[]), 0.0);
+    }
+}

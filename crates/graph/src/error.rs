@@ -1,0 +1,91 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, validation and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node index `>= node_count`.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: u32,
+        /// The number of nodes in the graph being built.
+        node_count: u32,
+    },
+    /// A parsed edge list line could not be understood.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The operation needs a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "node index {node} out of bounds for graph with {node_count} nodes"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience alias for graph results.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(io);
+        assert!(e.source().is_some());
+    }
+}

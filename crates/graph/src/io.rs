@@ -1,0 +1,130 @@
+//! Plain-text edge-list input/output.
+//!
+//! Format: one `u v` pair per line, whitespace separated; `#`- or `%`-prefixed
+//! lines are comments. This covers SNAP-style and Pajek-ish exports, which is
+//! how graphs like the paper's Wikipedia snapshot are normally distributed.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut b = GraphBuilder::new_growable();
+    let mut buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u = parse_field(it.next(), lineno)?;
+        let v = parse_field(it.next(), lineno)?;
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+fn parse_field(field: Option<&str>, line: usize) -> Result<u32> {
+    let field = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two node ids".into(),
+    })?;
+    field.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad node id {field:?}: {e}"),
+    })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes a graph as an edge list (`u v` per line, `u < v`).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = std::io::BufWriter::new(writer);
+    writeln!(
+        w,
+        "# undirected simple graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{} {}", u.raw(), v.raw())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_path<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let text = "0 1\n1 2\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n% pajek style\n\n0 1\n\n# trailing\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn handles_tabs_and_extra_whitespace() {
+        let text = "0\t1\n  1   2  \n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let err = read_edge_list("0 1\nxyz 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = from_edges(3, [(0, 2), (1, 2)]);
+        let dir = std::env::temp_dir().join("oca_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        write_edge_list_path(&g, &path).unwrap();
+        let g2 = read_edge_list_path(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,102 @@
+//! Node identifiers.
+//!
+//! Nodes are dense `u32` indices. A 32-bit id keeps adjacency arrays half the
+//! size of `usize` indices on 64-bit targets, which matters for the
+//! 10⁷-node-scale graphs the paper's Wikipedia experiment targets (Section V).
+
+use std::fmt;
+
+/// A node identifier: a dense index in `0..graph.node_count()`.
+///
+/// `NodeId` is a transparent newtype over `u32`, so storing neighbor lists as
+/// `Vec<NodeId>` costs 4 bytes per entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index as `usize`, for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_index_round_trip() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.raw(), 42);
+        assert_eq!(u32::from(n), 42);
+        assert_eq!(usize::from(n), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId::new(3)), "3");
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+    }
+
+    #[test]
+    fn is_four_bytes() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
+    }
+}

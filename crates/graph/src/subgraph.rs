@@ -1,0 +1,97 @@
+//! Induced subgraphs with node-id remapping.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// An induced subgraph together with the mapping back to the parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph, with dense node ids `0..members.len()`.
+    pub graph: CsrGraph,
+    /// `to_parent[i]` is the parent-graph id of subgraph node `i`.
+    pub to_parent: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Extracts the subgraph induced by `members` (duplicates ignored).
+    pub fn induced(parent: &CsrGraph, members: &[NodeId]) -> Self {
+        let mut to_local = vec![u32::MAX; parent.node_count()];
+        let mut to_parent = Vec::with_capacity(members.len());
+        for &v in members {
+            if to_local[v.index()] == u32::MAX {
+                to_local[v.index()] = to_parent.len() as u32;
+                to_parent.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(to_parent.len());
+        for (local, &v) in to_parent.iter().enumerate() {
+            for &u in parent.neighbors(v) {
+                let lu = to_local[u.index()];
+                if lu != u32::MAX && (local as u32) < lu {
+                    b.add_edge(local as u32, lu);
+                }
+            }
+        }
+        Subgraph {
+            graph: b.build(),
+            to_parent,
+        }
+    }
+
+    /// Maps a subgraph node id back to the parent graph.
+    pub fn parent_id(&self, local: NodeId) -> NodeId {
+        self.to_parent[local.index()]
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn len(&self) -> usize {
+        self.to_parent.len()
+    }
+
+    /// True if the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        // Square 0-1-2-3 with diagonal 0-2, plus pendant 4 on 0.
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 4)]);
+        let sub = Subgraph::induced(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.graph.edge_count(), 3, "0-1, 1-2, 0-2");
+        assert!(sub.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let g = from_edges(4, [(0, 1), (2, 3)]);
+        let sub = Subgraph::induced(&g, &[NodeId(3), NodeId(2)]);
+        assert_eq!(sub.parent_id(NodeId(0)), NodeId(3));
+        assert_eq!(sub.parent_id(NodeId(1)), NodeId(2));
+        assert!(sub.graph.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn duplicates_in_member_list_are_ignored() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let sub = Subgraph::induced(&g, &[NodeId(1), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_member_list() {
+        let g = from_edges(3, [(0, 1)]);
+        let sub = Subgraph::induced(&g, &[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.graph.node_count(), 0);
+    }
+}

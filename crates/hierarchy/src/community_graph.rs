@@ -1,0 +1,226 @@
+//! The community graph: relations among the communities of a cover.
+//!
+//! Section VI of the OCA paper names "the hierarchies and relations among
+//! \[communities\]" as the next step once communities are identified. The
+//! community graph makes those relations concrete: one vertex per
+//! community, annotated with two kinds of weighted edges —
+//!
+//! * **overlap edges**: how many nodes two communities share (the
+//!   specifically *overlapping* relation OCA produces), and
+//! * **cross edges**: how many graph edges run between their non-shared
+//!   parts (the classical inter-community relation).
+
+use oca_graph::{Cover, CsrGraph};
+use std::collections::HashMap;
+
+/// A weighted graph over the communities of one cover.
+#[derive(Debug, Clone)]
+pub struct CommunityGraph {
+    community_count: usize,
+    /// Shared-node counts for community pairs `(i, j)`, `i < j`.
+    overlap: HashMap<(u32, u32), u32>,
+    /// Underlying-graph edge counts between distinct communities.
+    cross_edges: HashMap<(u32, u32), u32>,
+    /// Internal edges of each community.
+    internal: Vec<u32>,
+    /// Size of each community.
+    sizes: Vec<u32>,
+}
+
+impl CommunityGraph {
+    /// Builds the community graph of `cover` over `graph`.
+    pub fn build(graph: &CsrGraph, cover: &Cover) -> Self {
+        let k = cover.len();
+        let memberships = cover.membership_index();
+        let mut overlap: HashMap<(u32, u32), u32> = HashMap::new();
+        for ms in &memberships {
+            for (a, &ci) in ms.iter().enumerate() {
+                for &cj in &ms[a + 1..] {
+                    let key = (ci.min(cj), ci.max(cj));
+                    *overlap.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut cross_edges: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut internal = vec![0u32; k];
+        for (u, v) in graph.edges() {
+            let mu = &memberships[u.index()];
+            let mv = &memberships[v.index()];
+            for &ci in mu {
+                for &cj in mv {
+                    if ci == cj {
+                        internal[ci as usize] += 1;
+                    } else {
+                        let key = (ci.min(cj), ci.max(cj));
+                        *cross_edges.entry(key).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let sizes = cover
+            .communities()
+            .iter()
+            .map(|c| c.len() as u32)
+            .collect();
+        CommunityGraph {
+            community_count: k,
+            overlap,
+            cross_edges,
+            internal,
+            sizes,
+        }
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.community_count
+    }
+
+    /// Shared-node count between two communities.
+    pub fn overlap(&self, i: usize, j: usize) -> u32 {
+        if i == j {
+            return self.sizes[i];
+        }
+        let key = ((i as u32).min(j as u32), (i as u32).max(j as u32));
+        self.overlap.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Cross-edge count between two distinct communities.
+    pub fn cross_edges(&self, i: usize, j: usize) -> u32 {
+        if i == j {
+            return 0;
+        }
+        let key = ((i as u32).min(j as u32), (i as u32).max(j as u32));
+        self.cross_edges.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Internal edge count of one community.
+    pub fn internal_edges(&self, i: usize) -> u32 {
+        self.internal[i]
+    }
+
+    /// Size of one community.
+    pub fn size(&self, i: usize) -> u32 {
+        self.sizes[i]
+    }
+
+    /// Jaccard overlap similarity of two communities (0 when disjoint).
+    pub fn overlap_similarity(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let inter = self.overlap(i, j) as f64;
+        let union = (self.sizes[i] + self.sizes[j]) as f64 - inter;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// All related community pairs `(i, j, overlap, cross_edges)` — pairs
+    /// with at least one shared node or one cross edge — sorted by ids.
+    pub fn related_pairs(&self) -> Vec<(u32, u32, u32, u32)> {
+        let mut keys: Vec<(u32, u32)> = self
+            .overlap
+            .keys()
+            .chain(self.cross_edges.keys())
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter()
+            .map(|(i, j)| {
+                (
+                    i,
+                    j,
+                    self.overlap(i as usize, j as usize),
+                    self.cross_edges(i as usize, j as usize),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::{from_edges, Community};
+
+    /// Two triangles sharing node 2, plus a separate edge community.
+    fn setup() -> (CsrGraph, Cover) {
+        let g = from_edges(
+            7,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (5, 6), (4, 5)],
+        );
+        let cover = Cover::new(
+            7,
+            vec![
+                Community::from_raw([0, 1, 2]),
+                Community::from_raw([2, 3, 4]),
+                Community::from_raw([5, 6]),
+            ],
+        );
+        (g, cover)
+    }
+
+    use oca_graph::CsrGraph;
+
+    #[test]
+    fn overlap_counts_shared_nodes() {
+        let (g, cover) = setup();
+        let cg = CommunityGraph::build(&g, &cover);
+        assert_eq!(cg.overlap(0, 1), 1, "node 2 shared");
+        assert_eq!(cg.overlap(0, 2), 0);
+        assert_eq!(cg.overlap(1, 1), 3, "self-overlap = size");
+    }
+
+    #[test]
+    fn cross_edges_counted_between_communities() {
+        let (g, cover) = setup();
+        let cg = CommunityGraph::build(&g, &cover);
+        // Edge 4-5 crosses communities 1 and 2.
+        assert_eq!(cg.cross_edges(1, 2), 1);
+        assert_eq!(cg.cross_edges(2, 1), 1, "symmetric");
+        assert_eq!(cg.cross_edges(0, 2), 0);
+    }
+
+    #[test]
+    fn internal_edges_match_communities() {
+        let (g, cover) = setup();
+        let cg = CommunityGraph::build(&g, &cover);
+        assert_eq!(cg.internal_edges(0), 3);
+        assert_eq!(cg.internal_edges(1), 3);
+        assert_eq!(cg.internal_edges(2), 1);
+    }
+
+    #[test]
+    fn overlap_edges_also_count_cross() {
+        // Edges incident to the shared node count toward cross weight of
+        // the pair (they connect the two communities through membership).
+        let (g, cover) = setup();
+        let cg = CommunityGraph::build(&g, &cover);
+        // Edges 0-2 and 1-2: node 2 is in both communities, so each edge is
+        // internal to community 0 AND crosses 0/1 via node 2's membership.
+        assert!(cg.cross_edges(0, 1) >= 2);
+    }
+
+    #[test]
+    fn similarity_and_pairs() {
+        let (g, cover) = setup();
+        let cg = CommunityGraph::build(&g, &cover);
+        assert!((cg.overlap_similarity(0, 1) - 0.2).abs() < 1e-12, "1/5");
+        assert_eq!(cg.overlap_similarity(0, 2), 0.0);
+        let pairs = cg.related_pairs();
+        assert!(pairs.iter().any(|&(i, j, o, _)| (i, j) == (0, 1) && o == 1));
+        assert!(pairs.iter().any(|&(i, j, _, x)| (i, j) == (1, 2) && x == 1));
+    }
+
+    #[test]
+    fn empty_cover() {
+        let g = from_edges(3, [(0, 1)]);
+        let cg = CommunityGraph::build(&g, &Cover::empty(3));
+        assert_eq!(cg.community_count(), 0);
+        assert!(cg.related_pairs().is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! Agglomerative community hierarchy.
+//!
+//! Builds a dendrogram over a cover's communities by repeatedly merging the
+//! most related pair. Relatedness combines the two signals of the community
+//! graph: node overlap (Jaccard) and cross-edge density. Cutting the
+//! dendrogram at a threshold yields a coarser cover, giving the multi-level
+//! view the paper's Section VI asks for.
+
+use crate::community_graph::CommunityGraph;
+use oca_graph::{Community, Cover, CsrGraph};
+
+/// One merge step of the agglomeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster (initial communities are `0..k`; later merges
+    /// create ids `k`, `k+1`, …).
+    pub left: usize,
+    /// Second merged cluster.
+    pub right: usize,
+    /// The similarity at which the merge happened (non-increasing along
+    /// the merge sequence... up to agglomeration chaining effects).
+    pub similarity: f64,
+    /// Id of the new cluster.
+    pub merged: usize,
+}
+
+/// A dendrogram over the communities of one cover.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    base: Cover,
+    merges: Vec<Merge>,
+}
+
+/// How to score candidate merges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Linkage {
+    /// Jaccard overlap of the member sets.
+    Overlap,
+    /// Cross edges normalized by the smaller cluster's possible volume:
+    /// `cross / min(size_i, size_j)`.
+    CrossEdges,
+    /// The maximum of both signals (default).
+    Combined,
+}
+
+impl Dendrogram {
+    /// Builds the full dendrogram (merging until one root or until no pair
+    /// has positive similarity).
+    pub fn build(graph: &CsrGraph, cover: &Cover, linkage: Linkage) -> Self {
+        let cg = CommunityGraph::build(graph, cover);
+        let k = cover.len();
+        // Active clusters as member sets (simple O(k² log k) agglomeration;
+        // covers have at most a few thousand communities in practice).
+        let mut clusters: Vec<Option<Community>> =
+            cover.communities().iter().cloned().map(Some).collect();
+        let mut cross: Vec<Vec<f64>> = vec![vec![0.0; k]; k];
+        for (i, j, _, x) in cg.related_pairs() {
+            cross[i as usize][j as usize] = x as f64;
+            cross[j as usize][i as usize] = x as f64;
+        }
+        let mut merges = Vec::new();
+        let mut ids: Vec<usize> = (0..k).collect();
+        loop {
+            // Find the best active pair.
+            let active: Vec<usize> = clusters
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if active.len() <= 1 {
+                break;
+            }
+            let mut best: Option<(f64, usize, usize)> = None;
+            for (ai, &i) in active.iter().enumerate() {
+                for &j in &active[ai + 1..] {
+                    let sim = Self::similarity(linkage, &clusters, &cross, i, j);
+                    if sim > 0.0 && best.is_none_or(|(bs, _, _)| sim > bs) {
+                        best = Some((sim, i, j));
+                    }
+                }
+            }
+            let Some((sim, i, j)) = best else {
+                break;
+            };
+            let merged_set = clusters[i]
+                .as_ref()
+                .unwrap()
+                .merged(clusters[j].as_ref().unwrap());
+            let new_slot = clusters.len();
+            // Cross weights of the union = sum of parts.
+            let mut new_cross = vec![0.0; clusters.len() + 1];
+            for (idx, slot) in clusters.iter().enumerate() {
+                if slot.is_some() && idx != i && idx != j {
+                    new_cross[idx] = cross[i][idx] + cross[j][idx];
+                }
+            }
+            for (idx, row) in cross.iter_mut().enumerate() {
+                row.push(new_cross[idx]);
+            }
+            cross.push(new_cross);
+            merges.push(Merge {
+                left: ids[i],
+                right: ids[j],
+                similarity: sim,
+                merged: k + merges.len(),
+            });
+            clusters[i] = None;
+            clusters[j] = None;
+            clusters.push(Some(merged_set));
+            ids.push(k + merges.len() - 1);
+            debug_assert_eq!(clusters.len(), new_slot + 1);
+        }
+        Dendrogram {
+            base: cover.clone(),
+            merges,
+        }
+    }
+
+    fn similarity(
+        linkage: Linkage,
+        clusters: &[Option<Community>],
+        cross: &[Vec<f64>],
+        i: usize,
+        j: usize,
+    ) -> f64 {
+        let (a, b) = (clusters[i].as_ref().unwrap(), clusters[j].as_ref().unwrap());
+        let overlap = a.similarity(b);
+        let denom = a.len().min(b.len()).max(1) as f64;
+        let cross_score = (cross[i][j] / denom).min(1.0);
+        match linkage {
+            Linkage::Overlap => overlap,
+            Linkage::CrossEdges => cross_score,
+            Linkage::Combined => overlap.max(cross_score),
+        }
+    }
+
+    /// The merge sequence.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Number of levels (base cover plus one per merge).
+    pub fn levels(&self) -> usize {
+        self.merges.len() + 1
+    }
+
+    /// Cuts the dendrogram: applies all merges with `similarity >=
+    /// threshold` (in merge order) and returns the resulting cover.
+    pub fn cut(&self, threshold: f64) -> Cover {
+        let k = self.base.len();
+        let mut clusters: Vec<Option<Community>> =
+            self.base.communities().iter().cloned().map(Some).collect();
+        // merge ids index into this vector once extended.
+        for m in &self.merges {
+            if m.similarity < threshold {
+                // Merges are applied in recorded order; later merges may
+                // reference unmade clusters, so stop at the first skip.
+                break;
+            }
+            let left = clusters[m.left].take().expect("merge order consistent");
+            let right = clusters[m.right].take().expect("merge order consistent");
+            debug_assert_eq!(clusters.len(), k + (m.merged - k));
+            clusters.push(Some(left.merged(&right)));
+        }
+        Cover::new(
+            self.base.node_count(),
+            clusters.into_iter().flatten().collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::{from_edges, Community};
+
+    /// Four tight communities: two heavily overlapping pairs.
+    fn setup() -> (oca_graph::CsrGraph, Cover) {
+        let g = from_edges(
+            12,
+            [
+                // clique A {0,1,2,3}
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                // clique B {2,3,4,5} overlaps A in {2,3}
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                // clique C {6,7,8}
+                (6, 7),
+                (7, 8),
+                (6, 8),
+                // clique D {9,10,11}, single cross edge to C
+                (9, 10),
+                (10, 11),
+                (9, 11),
+                (8, 9),
+            ],
+        );
+        let cover = Cover::new(
+            12,
+            vec![
+                Community::from_raw([0, 1, 2, 3]),
+                Community::from_raw([2, 3, 4, 5]),
+                Community::from_raw([6, 7, 8]),
+                Community::from_raw([9, 10, 11]),
+            ],
+        );
+        (g, cover)
+    }
+
+    #[test]
+    fn first_merge_is_the_overlapping_pair() {
+        let (g, cover) = setup();
+        let d = Dendrogram::build(&g, &cover, Linkage::Overlap);
+        assert!(!d.merges().is_empty());
+        let first = &d.merges()[0];
+        assert_eq!((first.left, first.right), (0, 1));
+        assert!((first.similarity - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_at_high_threshold_keeps_base() {
+        let (g, cover) = setup();
+        let d = Dendrogram::build(&g, &cover, Linkage::Combined);
+        let cut = d.cut(1.1);
+        assert_eq!(cut.len(), cover.len());
+    }
+
+    #[test]
+    fn cut_at_zero_merges_everything_related() {
+        let (g, cover) = setup();
+        let d = Dendrogram::build(&g, &cover, Linkage::Combined);
+        let cut = d.cut(0.0);
+        assert!(cut.len() < cover.len());
+    }
+
+    #[test]
+    fn intermediate_cut_merges_only_overlap_pair() {
+        let (g, cover) = setup();
+        let d = Dendrogram::build(&g, &cover, Linkage::Overlap);
+        let cut = d.cut(0.3);
+        assert_eq!(cut.len(), 3, "A∪B, C, D");
+        assert!(cut
+            .communities()
+            .iter()
+            .any(|c| c.len() == 6 && c.contains(oca_graph::NodeId(0)) && c.contains(oca_graph::NodeId(5))));
+    }
+
+    #[test]
+    fn cross_edge_linkage_connects_c_and_d() {
+        let (g, cover) = setup();
+        let d = Dendrogram::build(&g, &cover, Linkage::CrossEdges);
+        // C and D share one cross edge; with CrossEdges linkage they merge.
+        assert!(d
+            .merges()
+            .iter()
+            .any(|m| (m.left, m.right) == (2, 3) || (m.left, m.right) == (3, 2)));
+    }
+
+    #[test]
+    fn levels_count() {
+        let (g, cover) = setup();
+        let d = Dendrogram::build(&g, &cover, Linkage::Combined);
+        assert_eq!(d.levels(), d.merges().len() + 1);
+    }
+
+    #[test]
+    fn empty_cover_builds_trivial_dendrogram() {
+        let g = from_edges(2, [(0, 1)]);
+        let d = Dendrogram::build(&g, &Cover::empty(2), Linkage::Combined);
+        assert_eq!(d.levels(), 1);
+        assert!(d.cut(0.5).is_empty());
+    }
+}

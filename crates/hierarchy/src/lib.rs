@@ -1,0 +1,36 @@
+//! # oca-hierarchy — community hierarchies and graph summarization
+//!
+//! Section VI of the OCA paper sketches the steps that follow community
+//! identification: "we will explore the hierarchies and relations among
+//! them" and "graph summarization for graphs containing overlapped
+//! communities". This crate implements both on top of any
+//! [`oca_graph::Cover`] (OCA's output or a baseline's):
+//!
+//! * [`CommunityGraph`] — the relation structure: node-overlap and
+//!   cross-edge weights between communities;
+//! * [`Dendrogram`] — an agglomerative hierarchy with threshold cuts, so a
+//!   cover can be viewed at any coarseness;
+//! * [`Summary`] — a supernode/superedge summary with compression ratio
+//!   and reconstruction-error fidelity metrics, aware of overlaps.
+//!
+//! ```
+//! use oca_graph::{from_edges, Community, Cover};
+//! use oca_hierarchy::Summary;
+//!
+//! let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+//! let cover = Cover::new(5, vec![Community::from_raw([0, 1, 2]),
+//!                                Community::from_raw([2, 3, 4])]);
+//! let summary = Summary::build(&g, &cover);
+//! assert_eq!(summary.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod community_graph;
+pub mod dendrogram;
+pub mod summarize;
+
+pub use community_graph::CommunityGraph;
+pub use dendrogram::{Dendrogram, Linkage, Merge};
+pub use summarize::{Summary, Supernode};

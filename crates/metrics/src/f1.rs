@@ -1,0 +1,96 @@
+//! Average best-match F1 between covers.
+
+use oca_graph::{Community, Cover};
+
+/// F1 score between two communities: harmonic mean of precision and recall
+/// of `found` against `truth`.
+pub fn community_f1(truth: &Community, found: &Community) -> f64 {
+    let inter = truth.intersection_size(found);
+    if inter == 0 {
+        return 0.0;
+    }
+    let precision = inter as f64 / found.len() as f64;
+    let recall = inter as f64 / truth.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// One-directional average best-match F1: for each community in `from`,
+/// the best F1 against any community in `to`, averaged.
+fn directional_f1(from: &Cover, to: &Cover) -> f64 {
+    if from.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = from
+        .communities()
+        .iter()
+        .map(|a| {
+            to.communities()
+                .iter()
+                .map(|b| community_f1(a, b))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    total / from.len() as f64
+}
+
+/// Symmetric average F1 — the mean of both directional scores. 1 means
+/// every community in each cover has an exact counterpart in the other.
+pub fn average_f1(truth: &Cover, found: &Cover) -> f64 {
+    if truth.is_empty() && found.is_empty() {
+        return 1.0;
+    }
+    0.5 * (directional_f1(truth, found) + directional_f1(found, truth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(ids: &[u32]) -> Community {
+        Community::from_raw(ids.iter().copied())
+    }
+
+    fn cover(n: usize, comms: &[&[u32]]) -> Cover {
+        Cover::new(n, comms.iter().map(|ids| c(ids)).collect())
+    }
+
+    #[test]
+    fn identical_communities_score_one() {
+        let a = c(&[0, 1, 2]);
+        assert!((community_f1(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_communities_score_zero() {
+        assert_eq!(community_f1(&c(&[0, 1]), &c(&[2, 3])), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_balance() {
+        // truth {0..3}, found {0,1}: precision 1, recall 0.5 → F1 = 2/3.
+        let f1 = community_f1(&c(&[0, 1, 2, 3]), &c(&[0, 1]));
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_f1_identical_covers() {
+        let a = cover(9, &[&[0, 1, 2], &[3, 4, 5], &[6, 7, 8]]);
+        assert!((average_f1(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_f1_penalizes_missing() {
+        let truth = cover(8, &[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        let found = cover(8, &[&[0, 1, 2, 3]]);
+        // truth→found: (1 + 0)/2 = 0.5; found→truth: 1. Mean 0.75.
+        assert!((average_f1(&truth, &found) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a = cover(4, &[&[0, 1]]);
+        let e = Cover::empty(4);
+        assert_eq!(average_f1(&e, &e), 1.0);
+        assert_eq!(average_f1(&a, &e), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # oca-metrics — community quality metrics for the OCA reproduction
+//!
+//! Implements the paper's evaluation machinery (Section V-A):
+//!
+//! * [`rho`] — the per-community similarity of eq. (V.1) (the Jaccard index);
+//! * [`theta()`] — the suitability `Θ(F, O)` of eq. (V.2), defined for
+//!   overlapping structures, used by Figures 2 and 3;
+//!
+//! plus the standard complementary measures the later literature uses for
+//! overlapping covers: the LFK [`overlapping_nmi`], the [`omega_index`],
+//! best-match [`average_f1`], and intrinsic diagnostics
+//! ([`conductance`], [`cover_quality`]).
+//!
+//! ```
+//! use oca_graph::{Community, Cover};
+//! use oca_metrics::theta;
+//!
+//! let truth = Cover::new(6, vec![Community::from_raw([0, 1, 2]),
+//!                                Community::from_raw([3, 4, 5])]);
+//! assert_eq!(theta(&truth, &truth), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod f1;
+pub mod modularity;
+pub mod nmi;
+pub mod omega;
+pub mod quality;
+pub mod theta;
+
+pub use f1::{average_f1, community_f1};
+pub use modularity::{extended_modularity, modularity};
+pub use nmi::overlapping_nmi;
+pub use omega::omega_index;
+pub use quality::{average_internal_degree, conductance, cover_quality, CoverQuality};
+pub use theta::{best_match_indices, rho, theta};

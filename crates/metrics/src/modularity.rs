@@ -1,0 +1,144 @@
+//! Modularity measures: Newman's `Q` for partitions and the extended
+//! overlapping modularity `EQ` (Shen et al. 2009).
+//!
+//! Neither appears in the OCA paper itself, but modularity is the standard
+//! intrinsic score of the non-overlapping literature the paper contrasts
+//! against (\[6\], \[11\]), and `EQ` is its accepted overlapping extension —
+//! useful as a ground-truth-free cross-check of every algorithm's output.
+
+use oca_graph::{Cover, CsrGraph};
+
+/// Newman modularity `Q` of a cover treated as a partition:
+/// `Q = Σ_c [ Ein_c/m − (vol_c / 2m)² ]`.
+///
+/// Overlaps are permitted in the input but each shared node contributes to
+/// every community it belongs to, which inflates volumes; prefer
+/// [`extended_modularity`] for genuinely overlapping covers. Returns 0 for
+/// edgeless graphs.
+pub fn modularity(graph: &CsrGraph, cover: &Cover) -> f64 {
+    let m = graph.edge_count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let mut q = 0.0;
+    for c in cover.communities() {
+        let ein = c.internal_edges(graph) as f64;
+        let vol: usize = c.members().iter().map(|&v| graph.degree(v)).sum();
+        q += ein / m - (vol as f64 / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+/// Extended overlapping modularity `EQ` (Shen et al.):
+///
+/// `EQ = (1/2m) Σ_c Σ_{i,j ∈ c} [A_ij − k_i k_j / 2m] / (O_i O_j)`
+///
+/// where `O_i` is the number of communities containing node `i`. Equals
+/// Newman's `Q` on partitions. Returns 0 for edgeless graphs.
+pub fn extended_modularity(graph: &CsrGraph, cover: &Cover) -> f64 {
+    let m2 = 2.0 * graph.edge_count() as f64;
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    let memberships = cover.membership_index();
+    let o = |v: oca_graph::NodeId| memberships[v.index()].len().max(1) as f64;
+    let mut eq = 0.0;
+    for c in cover.communities() {
+        // Adjacency term: Σ_{i,j∈c} A_ij/(O_i O_j) — iterate internal edge
+        // endpoints (each unordered pair counted twice, as the formula
+        // does over ordered pairs).
+        let mut adj = 0.0;
+        for &v in c.members() {
+            let ov = o(v);
+            for &u in graph.neighbors(v) {
+                if c.contains(u) {
+                    adj += 1.0 / (ov * o(u));
+                }
+            }
+        }
+        // Null-model term: (Σ_{i∈c} k_i/O_i)².
+        let weighted_vol: f64 = c
+            .members()
+            .iter()
+            .map(|&v| graph.degree(v) as f64 / o(v))
+            .sum();
+        eq += adj - weighted_vol * weighted_vol / m2;
+    }
+    eq / m2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::{from_edges, Community, Cover};
+
+    fn two_triangles() -> oca_graph::CsrGraph {
+        from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    fn partition() -> Cover {
+        Cover::new(
+            6,
+            vec![Community::from_raw([0, 1, 2]), Community::from_raw([3, 4, 5])],
+        )
+    }
+
+    #[test]
+    fn good_partition_has_positive_modularity() {
+        let g = two_triangles();
+        let q = modularity(&g, &partition());
+        assert!(q > 0.3, "q = {q}");
+    }
+
+    #[test]
+    fn whole_graph_has_zero_modularity() {
+        let g = two_triangles();
+        let blob = Cover::new(6, vec![Community::from_raw(0..6)]);
+        assert!(modularity(&g, &blob).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_equals_q_on_partitions() {
+        let g = two_triangles();
+        let p = partition();
+        assert!((modularity(&g, &p) - extended_modularity(&g, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_handles_overlap_gracefully() {
+        // Two triangles sharing node 2.
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let overlap = Cover::new(
+            5,
+            vec![
+                Community::from_raw([0, 1, 2]),
+                Community::from_raw([2, 3, 4]),
+            ],
+        );
+        let eq = extended_modularity(&g, &overlap);
+        // Hand computation: each triangle contributes adj 4 − null 3 = 1,
+        // so EQ = 2/(2m) = 2/12.
+        assert!((eq - 2.0 / 12.0).abs() < 1e-12, "eq = {eq}");
+        // The overlapping split should beat one blob.
+        let blob = Cover::new(5, vec![Community::from_raw(0..5)]);
+        assert!(eq > extended_modularity(&g, &blob));
+    }
+
+    #[test]
+    fn edgeless_graph_scores_zero() {
+        let g = oca_graph::CsrGraph::empty(4);
+        let cover = Cover::new(4, vec![Community::from_raw([0, 1])]);
+        assert_eq!(modularity(&g, &cover), 0.0);
+        assert_eq!(extended_modularity(&g, &cover), 0.0);
+    }
+
+    #[test]
+    fn random_split_scores_near_zero() {
+        let g = two_triangles();
+        let bad = Cover::new(
+            6,
+            vec![Community::from_raw([0, 3]), Community::from_raw([1, 4]), Community::from_raw([2, 5])],
+        );
+        assert!(modularity(&g, &bad) < 0.05);
+    }
+}

@@ -1,0 +1,151 @@
+//! Omega index: chance-corrected pairwise agreement for overlapping covers.
+//!
+//! The omega index (Collins & Dent, 1988) generalizes the adjusted Rand
+//! index to overlaps: two covers agree on a node pair if the pair co-occurs
+//! in the *same number* of communities in both. Only pairs inside some
+//! community need explicit counting, so the cost is `O(Σ |C|²)`, not
+//! `O(n²)`.
+
+use oca_graph::Cover;
+use std::collections::HashMap;
+
+/// Counts, for every node pair that shares at least one community, how many
+/// communities contain both.
+fn pair_counts(cover: &Cover) -> HashMap<(u32, u32), u32> {
+    let mut counts = HashMap::new();
+    for c in cover.communities() {
+        let m = c.members();
+        for (i, &u) in m.iter().enumerate() {
+            for &v in &m[i + 1..] {
+                *counts.entry((u.raw(), v.raw())).or_insert(0u32) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Histogram over co-occurrence multiplicities; index 0 is inferred from the
+/// total pair count.
+fn histogram(counts: &HashMap<(u32, u32), u32>, total_pairs: u64) -> Vec<u64> {
+    let mut hist = vec![0u64];
+    for &c in counts.values() {
+        let c = c as usize;
+        if hist.len() <= c {
+            hist.resize(c + 1, 0);
+        }
+        hist[c] += 1;
+    }
+    let nonzero: u64 = hist.iter().skip(1).sum();
+    hist[0] = total_pairs - nonzero;
+    hist
+}
+
+/// The omega index of two covers over the same node set, usually in
+/// `[−1, 1]`; 1 = identical, 0 = agreement expected by chance.
+///
+/// # Panics
+/// Panics if the covers disagree on node count or have fewer than 2 nodes.
+pub fn omega_index(a: &Cover, b: &Cover) -> f64 {
+    assert_eq!(a.node_count(), b.node_count(), "covers over different node sets");
+    let n = a.node_count() as u64;
+    assert!(n >= 2, "omega needs at least two nodes");
+    let total_pairs = n * (n - 1) / 2;
+
+    let ca = pair_counts(a);
+    let cb = pair_counts(b);
+
+    // Observed agreement: pairs with equal multiplicity in both covers.
+    let mut agree: u64 = 0;
+    for (pair, &ka) in &ca {
+        let kb = cb.get(pair).copied().unwrap_or(0);
+        if ka == kb {
+            agree += 1;
+        }
+    }
+    // Pairs appearing in only one of the maps disagree (other side is 0);
+    // pairs absent from both agree at multiplicity 0.
+    let only_b = cb.keys().filter(|p| !ca.contains_key(*p)).count() as u64;
+    let union_nonzero = ca.len() as u64 + only_b;
+    agree += total_pairs - union_nonzero;
+
+    let observed = agree as f64 / total_pairs as f64;
+
+    // Expected agreement from the multiplicity histograms.
+    let ha = histogram(&ca, total_pairs);
+    let hb = histogram(&cb, total_pairs);
+    let expected: f64 = ha
+        .iter()
+        .zip(hb.iter())
+        .map(|(&x, &y)| (x as f64 / total_pairs as f64) * (y as f64 / total_pairs as f64))
+        .sum();
+
+    if (1.0 - expected).abs() < 1e-15 {
+        // Degenerate: both covers have a constant multiplicity everywhere.
+        return if (observed - 1.0).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (observed - expected) / (1.0 - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::Community;
+
+    fn cover(n: usize, comms: &[&[u32]]) -> Cover {
+        Cover::new(
+            n,
+            comms
+                .iter()
+                .map(|ids| Community::from_raw(ids.iter().copied()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_covers_score_one() {
+        let a = cover(8, &[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        assert!((omega_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_overlapping_covers_score_one() {
+        let a = cover(6, &[&[0, 1, 2, 3], &[2, 3, 4, 5]]);
+        assert!((omega_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_partitions_score_below_one() {
+        let a = cover(8, &[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        let b = cover(8, &[&[0, 1, 4, 5], &[2, 3, 6, 7]]);
+        let w = omega_index(&a, &b);
+        assert!(w < 0.5, "shuffled partition scored {w}");
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        // Pair (0,1) co-occurs twice in a, once in b → disagreement even
+        // though both contain the pair.
+        let a = cover(4, &[&[0, 1, 2], &[0, 1, 3]]);
+        let b = cover(4, &[&[0, 1, 2], &[0, 3]]);
+        assert!(omega_index(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = cover(7, &[&[0, 1, 2, 3], &[3, 4, 5, 6]]);
+        let b = cover(7, &[&[0, 1, 2], &[3, 4], &[5, 6]]);
+        assert!((omega_index(&a, &b) - omega_index(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_covers_agree() {
+        let e = Cover::empty(5);
+        assert!((omega_index(&e, &e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node sets")]
+    fn mismatched_node_counts_panic() {
+        omega_index(&Cover::empty(3), &Cover::empty(4));
+    }
+}

@@ -1,0 +1,117 @@
+//! Intrinsic (ground-truth-free) community quality diagnostics.
+
+use oca_graph::{Community, Cover, CsrGraph};
+
+/// Conductance of a community: cut edges over the smaller side's volume.
+/// Lower is better; 0 means no boundary edges. Returns 1 for degenerate
+/// communities (zero volume).
+pub fn conductance(graph: &CsrGraph, community: &Community) -> f64 {
+    let mut volume = 0usize; // Σ degrees of members
+    let mut internal_twice = 0usize;
+    for &v in community.members() {
+        volume += graph.degree(v);
+        internal_twice += graph
+            .neighbors(v)
+            .iter()
+            .filter(|u| community.contains(**u))
+            .count();
+    }
+    let cut = volume - internal_twice;
+    let total_volume = 2 * graph.edge_count();
+    let denom = volume.min(total_volume - volume);
+    if denom == 0 {
+        return 1.0;
+    }
+    cut as f64 / denom as f64
+}
+
+/// Average internal degree of a community's members.
+pub fn average_internal_degree(graph: &CsrGraph, community: &Community) -> f64 {
+    if community.is_empty() {
+        return 0.0;
+    }
+    2.0 * community.internal_edges(graph) as f64 / community.len() as f64
+}
+
+/// Summary quality of a cover: mean density, mean conductance, coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverQuality {
+    /// Mean internal edge density over communities.
+    pub mean_density: f64,
+    /// Mean conductance over communities (lower is better).
+    pub mean_conductance: f64,
+    /// Fraction of nodes in at least one community.
+    pub coverage: f64,
+    /// Average memberships per covered node.
+    pub average_memberships: f64,
+}
+
+/// Computes [`CoverQuality`] for a cover on its graph.
+pub fn cover_quality(graph: &CsrGraph, cover: &Cover) -> CoverQuality {
+    let k = cover.len().max(1) as f64;
+    let mean_density = cover
+        .communities()
+        .iter()
+        .map(|c| c.density(graph))
+        .sum::<f64>()
+        / k;
+    let mean_conductance = cover
+        .communities()
+        .iter()
+        .map(|c| conductance(graph, c))
+        .sum::<f64>()
+        / k;
+    CoverQuality {
+        mean_density,
+        mean_conductance,
+        coverage: cover.coverage(),
+        average_memberships: cover.average_memberships(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    fn c(ids: &[u32]) -> Community {
+        Community::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn isolated_clique_has_zero_conductance() {
+        let g = from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert_eq!(conductance(&g, &c(&[0, 1, 2])), 0.0);
+    }
+
+    #[test]
+    fn split_community_has_high_conductance() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        // {1, 2} has volume 4, internal 2·1=2, cut 2 → 2/min(4,2)=1.
+        assert!((conductance(&g, &c(&[1, 2])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_conductance() {
+        let g = from_edges(3, [(0, 1)]);
+        assert_eq!(conductance(&g, &c(&[2])), 1.0, "isolated node");
+    }
+
+    #[test]
+    fn average_internal_degree_triangle() {
+        let g = from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert!((average_internal_degree(&g, &c(&[0, 1, 2])) - 2.0).abs() < 1e-12);
+        assert_eq!(average_internal_degree(&g, &c(&[])), 0.0);
+    }
+
+    #[test]
+    fn cover_quality_aggregates() {
+        let g = from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let cover = Cover::new(6, vec![c(&[0, 1, 2]), c(&[3, 4, 5])]);
+        let q = cover_quality(&g, &cover);
+        assert!((q.mean_density - 1.0).abs() < 1e-12);
+        assert!((q.mean_conductance - 0.0).abs() < 1e-12);
+        assert!((q.coverage - 1.0).abs() < 1e-12);
+        assert!((q.average_memberships - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's quality metrics: similarity `ρ` (V.1) and suitability `Θ` (V.2).
+
+use oca_graph::{Community, Cover};
+
+/// The paper's similarity `ρ(C, D) = 1 − (|C\D| + |D\C|)/|C∪D|` (eq. V.1),
+/// algebraically the Jaccard index. Delegates to
+/// [`Community::similarity`].
+pub fn rho(c: &Community, d: &Community) -> f64 {
+    c.similarity(d)
+}
+
+/// For each observed community, the index of the reference community it is
+/// most similar to (`argmax_k ρ(F_k, O_j)`; first index on ties).
+/// Returns `None` when the reference structure is empty.
+pub fn best_match_indices(reference: &Cover, observed: &Cover) -> Option<Vec<usize>> {
+    if reference.is_empty() {
+        return None;
+    }
+    let refs = reference.communities();
+    Some(
+        observed
+            .communities()
+            .iter()
+            .map(|oj| {
+                let mut best = 0usize;
+                let mut best_rho = f64::NEG_INFINITY;
+                for (k, fk) in refs.iter().enumerate() {
+                    let r = rho(fk, oj);
+                    if r > best_rho {
+                        best_rho = r;
+                        best = k;
+                    }
+                }
+                best
+            })
+            .collect(),
+    )
+}
+
+/// The paper's suitability `Θ(F, O)` (eq. V.2) of an observed community
+/// structure `O` against the real structure `F`:
+///
+/// `Θ(F, O) = (1/ℓ) Σ_i (1/|V_i|) Σ_{O_j ∈ V_i} ρ(F_i, O_j)`
+///
+/// where `V_i` is the set of observed communities whose best match is `F_i`.
+/// Reference communities with no matched observation contribute 0, so a
+/// structure that misses real communities is penalized. Ranges in `[0, 1]`;
+/// 1 means identical structures. Defined for overlapping covers.
+///
+/// Returns 0 when either structure is empty (completely different), except
+/// two empty structures which are identical (1).
+pub fn theta(reference: &Cover, observed: &Cover) -> f64 {
+    if reference.is_empty() && observed.is_empty() {
+        return 1.0;
+    }
+    if reference.is_empty() || observed.is_empty() {
+        return 0.0;
+    }
+    let refs = reference.communities();
+    let obs = observed.communities();
+    let assignment = best_match_indices(reference, observed).expect("reference non-empty");
+    let mut rho_sum = vec![0.0f64; refs.len()];
+    let mut counts = vec![0usize; refs.len()];
+    for (j, &i) in assignment.iter().enumerate() {
+        rho_sum[i] += rho(&refs[i], &obs[j]);
+        counts[i] += 1;
+    }
+    let total: f64 = rho_sum
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .sum();
+    total / refs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(ids: &[u32]) -> Community {
+        Community::from_raw(ids.iter().copied())
+    }
+
+    fn cover(n: usize, comms: &[&[u32]]) -> Cover {
+        Cover::new(n, comms.iter().map(|ids| c(ids)).collect())
+    }
+
+    #[test]
+    fn identical_structures_score_one() {
+        let f = cover(10, &[&[0, 1, 2], &[3, 4, 5], &[6, 7, 8, 9]]);
+        assert!((theta(&f, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_structures_score_zero() {
+        let f = cover(8, &[&[0, 1, 2, 3]]);
+        let o = cover(8, &[&[4, 5, 6, 7]]);
+        assert_eq!(theta(&f, &o), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_intermediate() {
+        let f = cover(6, &[&[0, 1, 2, 3]]);
+        let o = cover(6, &[&[0, 1, 2, 3, 4, 5]]);
+        // ρ = 4/6.
+        assert!((theta(&f, &o) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_reference_community_penalized() {
+        let f = cover(8, &[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        let o = cover(8, &[&[0, 1, 2, 3]]);
+        // First community matched perfectly, second unmatched → (1 + 0)/2.
+        assert!((theta(&f, &o) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_observations_are_averaged_not_summed() {
+        let f = cover(8, &[&[0, 1, 2, 3]]);
+        // Two observations both matching F1, one perfect, one half.
+        let o = cover(8, &[&[0, 1, 2, 3], &[0, 1]]);
+        // ρ values: 1 and 0.5; V_1 = both → average 0.75.
+        assert!((theta(&f, &o) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_covers_are_supported() {
+        let f = cover(6, &[&[0, 1, 2, 3], &[3, 4, 5]]);
+        let o = cover(6, &[&[0, 1, 2, 3], &[3, 4, 5]]);
+        assert!((theta(&f, &o) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let f = cover(5, &[&[0, 1]]);
+        let e = Cover::empty(5);
+        assert_eq!(theta(&f, &e), 0.0);
+        assert_eq!(theta(&e, &f), 0.0);
+        assert_eq!(theta(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn best_match_prefers_higher_rho() {
+        let f = cover(10, &[&[0, 1, 2], &[5, 6, 7, 8]]);
+        let o = cover(10, &[&[5, 6, 7], &[0, 1]]);
+        let m = best_match_indices(&f, &o).unwrap();
+        assert_eq!(m, vec![1, 0]);
+    }
+
+    #[test]
+    fn theta_is_not_symmetric() {
+        // The measure is defined w.r.t. a reference; check the asymmetry is
+        // real rather than accidental.
+        let f = cover(8, &[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        let o = cover(8, &[&[0, 1, 2, 3]]);
+        assert!((theta(&f, &o) - 0.5).abs() < 1e-12);
+        assert!((theta(&o, &f) - 0.5).abs() < 1e-12);
+        // Cover::new deduplicates nothing, but two identical communities
+        // both match F1: observed duplicates are averaged (0.5), and as a
+        // reference, ties send everything to the first copy (0.25).
+        let o2 = cover(8, &[&[0, 1, 2, 3], &[0, 1, 2, 3]]);
+        assert!((theta(&f, &o2) - 0.5).abs() < 1e-12);
+        assert!((theta(&o2, &f) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # oca-spectral — sparse spectral estimation for OCA
+//!
+//! Section II of the OCA paper embeds a graph into a vector space whose
+//! interaction strength `c` must satisfy `c = −1/λ_min`, where `λ_min` is
+//! the most negative eigenvalue of the adjacency matrix, "efficiently
+//! calculated using the well-known power method". This crate implements
+//! exactly that: streaming CSR matrix–vector products, dominance-safe
+//! shifted power iterations for both spectral extremes, and the clamped
+//! interaction strength.
+//!
+//! ```
+//! use oca_graph::from_edges;
+//! use oca_spectral::{interaction_strength, PowerConfig};
+//!
+//! // A 4-star: λ_min = −2, so c = 1/2.
+//! let g = from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+//! let s = interaction_strength(&g, &PowerConfig::default());
+//! assert!((s.c - 0.5).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod interaction;
+pub mod matvec;
+pub mod power;
+pub mod vectors;
+
+pub use interaction::{interaction_strength, InteractionStrength, DEFAULT_C, MAX_C};
+pub use matvec::{adj_matvec, dot, norm, normalize, rayleigh_quotient};
+pub use power::{lambda_max, lambda_min, PowerConfig, PowerResult};
+pub use vectors::{VectorError, VectorRepresentation};

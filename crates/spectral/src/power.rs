@@ -1,0 +1,236 @@
+//! Power iteration for extreme adjacency eigenvalues.
+//!
+//! The paper (Section II) computes the most negative adjacency eigenvalue
+//! `λ_min` "using the well-known power method". A plain power iteration on
+//! `A` fails on bipartite-like spectra where `|λ_min| = λ_max`, so both
+//! extremes are computed via strictly dominant *shifted* iterations:
+//!
+//! * `λ_max`: iterate `A + I` (spectrum shifted positive, dominant is
+//!   `λ_max + 1`);
+//! * `λ_min`: iterate `(λ_max + 1)·I − A` (spectrum positive, dominant is
+//!   `λ_max + 1 − λ_min`).
+
+use crate::matvec::{dot, normalize, reflected_matvec, shifted_matvec};
+use oca_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Convergence configuration for power iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Maximum number of iterations before giving up with the best estimate.
+    pub max_iterations: usize,
+    /// Relative tolerance on successive eigenvalue estimates.
+    pub tolerance: f64,
+    /// Seed for the random starting vector (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            max_iterations: 1000,
+            tolerance: 1e-9,
+            seed: 0x0CA_5EED,
+        }
+    }
+}
+
+/// Result of a power iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerResult {
+    /// The eigenvalue estimate.
+    pub eigenvalue: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+}
+
+fn random_unit_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    if normalize(&mut x) == 0.0 {
+        // Astronomically unlikely; fall back to a coordinate vector.
+        if let Some(first) = x.first_mut() {
+            *first = 1.0;
+        }
+    }
+    x
+}
+
+/// Generic shifted power iteration; `matvec` must apply a PSD-shifted
+/// operator whose dominant eigenvalue maps monotonically to the target.
+fn power_iterate<F>(n: usize, config: &PowerConfig, mut matvec: F) -> PowerResult
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let mut x = random_unit_vector(n, config.seed);
+    let mut y = vec![0.0; n];
+    let mut prev = f64::INFINITY;
+    for it in 1..=config.max_iterations {
+        matvec(&x, &mut y);
+        // Rayleigh quotient of the shifted operator (x is unit).
+        let lambda = dot(&x, &y);
+        std::mem::swap(&mut x, &mut y);
+        if normalize(&mut x) == 0.0 {
+            // Operator annihilated the vector: eigenvalue 0 in this operator.
+            return PowerResult {
+                eigenvalue: 0.0,
+                iterations: it,
+                converged: true,
+            };
+        }
+        if (lambda - prev).abs() <= config.tolerance * lambda.abs().max(1.0) {
+            return PowerResult {
+                eigenvalue: lambda,
+                iterations: it,
+                converged: true,
+            };
+        }
+        prev = lambda;
+    }
+    PowerResult {
+        eigenvalue: prev,
+        iterations: config.max_iterations,
+        converged: false,
+    }
+}
+
+/// Estimates the largest adjacency eigenvalue `λ_max`.
+///
+/// Returns 0 for graphs with no nodes or no edges.
+pub fn lambda_max(graph: &CsrGraph, config: &PowerConfig) -> PowerResult {
+    let n = graph.node_count();
+    if n == 0 || graph.edge_count() == 0 {
+        return PowerResult {
+            eigenvalue: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+    // Iterate A + I: eigenvalues λ_i + 1; dominant is λ_max + 1 ≥ 1 > |λ_i + 1|
+    // for all others, since λ_i ≥ -λ_max ⇒ λ_i + 1 > -(λ_max + 1).
+    let mut r = power_iterate(n, config, |x, y| shifted_matvec(graph, 1.0, x, y));
+    r.eigenvalue -= 1.0;
+    r
+}
+
+/// Estimates the most negative adjacency eigenvalue `λ_min`.
+///
+/// Internally first estimates `λ_max`, then runs a reflected iteration.
+/// Returns 0 for graphs with no nodes or no edges.
+pub fn lambda_min(graph: &CsrGraph, config: &PowerConfig) -> PowerResult {
+    let n = graph.node_count();
+    if n == 0 || graph.edge_count() == 0 {
+        return PowerResult {
+            eigenvalue: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let top = lambda_max(graph, config);
+    let shift = top.eigenvalue + 1.0;
+    // Iterate shift·I − A: eigenvalues shift − λ_i, dominant is shift − λ_min.
+    let r = power_iterate(n, config, |x, y| reflected_matvec(graph, shift, x, y));
+    PowerResult {
+        eigenvalue: shift - r.eigenvalue,
+        iterations: top.iterations + r.iterations,
+        converged: top.converged && r.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    const TOL: f64 = 1e-6;
+
+    fn cfg() -> PowerConfig {
+        PowerConfig::default()
+    }
+
+    #[test]
+    fn k2_extremes_are_plus_minus_one() {
+        let g = from_edges(2, [(0, 1)]);
+        let hi = lambda_max(&g, &cfg());
+        let lo = lambda_min(&g, &cfg());
+        assert!(hi.converged && lo.converged);
+        assert!((hi.eigenvalue - 1.0).abs() < TOL, "{}", hi.eigenvalue);
+        assert!((lo.eigenvalue + 1.0).abs() < TOL, "{}", lo.eigenvalue);
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K5: λ_max = 4, λ_min = −1.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = from_edges(5, edges);
+        assert!((lambda_max(&g, &cfg()).eigenvalue - 4.0).abs() < TOL);
+        assert!((lambda_min(&g, &cfg()).eigenvalue + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn star_graph_spectrum() {
+        // K_{1,4}: λ_max = 2, λ_min = −2 (bipartite; breaks naive power method).
+        let g = from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!((lambda_max(&g, &cfg()).eigenvalue - 2.0).abs() < TOL);
+        assert!((lambda_min(&g, &cfg()).eigenvalue + 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn path_p3_spectrum() {
+        // P3: eigenvalues ±√2, 0.
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let s = 2.0f64.sqrt();
+        assert!((lambda_max(&g, &cfg()).eigenvalue - s).abs() < TOL);
+        assert!((lambda_min(&g, &cfg()).eigenvalue + s).abs() < TOL);
+    }
+
+    #[test]
+    fn cycle_c4_bipartite() {
+        // C4: eigenvalues 2, 0, 0, −2.
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!((lambda_max(&g, &cfg()).eigenvalue - 2.0).abs() < TOL);
+        assert!((lambda_min(&g, &cfg()).eigenvalue + 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn edgeless_graph_returns_zero() {
+        let g = oca_graph::CsrGraph::empty(5);
+        assert_eq!(lambda_max(&g, &cfg()).eigenvalue, 0.0);
+        assert_eq!(lambda_min(&g, &cfg()).eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn disconnected_components_take_extreme_over_all() {
+        // Triangle (λ ∈ {2, −1, −1}) plus K2 (λ ∈ {1, −1}).
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        assert!((lambda_max(&g, &cfg()).eigenvalue - 2.0).abs() < TOL);
+        assert!((lambda_min(&g, &cfg()).eigenvalue + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let a = lambda_min(&g, &cfg());
+        let b = lambda_min(&g, &cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tight = PowerConfig {
+            max_iterations: 1,
+            ..cfg()
+        };
+        let r = lambda_max(&g, &tight);
+        assert!(r.iterations <= 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Future-work tour (paper Section VI): community hierarchy and graph
+//! summarization on top of OCA's overlapping cover.
+//!
+//! ```text
+//! cargo run --release --example hierarchy_summary
+//! ```
+
+use oca::{Oca, OcaConfig};
+use oca_gen::{daisy_tree, DaisyParams};
+use oca_hierarchy::{CommunityGraph, Dendrogram, Linkage, Summary};
+
+fn main() {
+    let bench = daisy_tree(&DaisyParams::default_shape(100), 4, 0.05, 99);
+    println!(
+        "daisy tree: {} nodes, {} edges, {} planted communities",
+        bench.graph.node_count(),
+        bench.graph.edge_count(),
+        bench.ground_truth.len()
+    );
+
+    let result = Oca::new(OcaConfig::default()).run(&bench.graph);
+    println!("OCA found {} communities\n", result.cover.len());
+
+    // 1. Relations among communities (community graph).
+    let cg = CommunityGraph::build(&bench.graph, &result.cover);
+    let pairs = cg.related_pairs();
+    println!("community graph: {} related pairs", pairs.len());
+    for &(i, j, overlap, cross) in pairs.iter().take(8) {
+        println!(
+            "  #{i} ~ #{j}: {overlap} shared nodes, {cross} cross edges, jaccard {:.3}",
+            cg.overlap_similarity(i as usize, j as usize)
+        );
+    }
+
+    // 2. The hierarchy: cut the dendrogram at decreasing thresholds.
+    let dendro = Dendrogram::build(&bench.graph, &result.cover, Linkage::Combined);
+    println!("\ndendrogram: {} merge steps", dendro.merges().len());
+    for threshold in [0.8, 0.4, 0.2, 0.05] {
+        let cut = dendro.cut(threshold);
+        println!("  cut at {threshold:.2}: {} communities", cut.len());
+    }
+
+    // 3. Summarization with fidelity numbers.
+    let summary = Summary::build(&bench.graph, &result.cover);
+    println!(
+        "\nsummary: {} supernodes, {} superedges",
+        summary.len(),
+        summary.superedge_count()
+    );
+    println!(
+        "compression ratio    {:.4} (lower = smaller summary)",
+        summary.compression_ratio(&bench.graph)
+    );
+    println!(
+        "reconstruction error {:.4} (0 = lossless)",
+        summary.reconstruction_error(&bench.graph)
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: find overlapping communities in Zachary's karate club.
+//!
+//! The karate club is the canonical social-network test case: 34 members,
+//! 78 friendship ties, and a famous split into two factions — with a
+//! handful of members socially tied to both. OCA's overlapping output
+//! shows exactly those bridge members in more than one community.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oca::{Oca, OcaConfig};
+use oca_graph::from_edges;
+
+/// Zachary (1977), 0-indexed edge list.
+const KARATE: [(u32, u32); 78] = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+    (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),
+    (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30), (2, 3),
+    (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32), (3, 7),
+    (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16), (6, 16),
+    (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+    (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+    (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+    (24, 25), (24, 27), (24, 31), (25, 31), (26, 29), (26, 33), (27, 33),
+    (28, 31), (28, 33), (29, 32), (29, 33), (30, 32), (30, 33), (31, 32),
+    (31, 33), (32, 33),
+];
+
+fn main() {
+    let graph = from_edges(34, KARATE);
+    println!(
+        "Zachary's karate club: {} members, {} ties",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let result = Oca::new(OcaConfig {
+        assign_orphans: true,
+        ..Default::default()
+    })
+    .run(&graph);
+
+    println!(
+        "interaction strength c = {:.4} (lambda_min = {:.3})",
+        result.c, result.lambda_min
+    );
+    println!(
+        "found {} communities from {} seeds in {:?}\n",
+        result.cover.len(),
+        result.seeds_tried,
+        result.elapsed
+    );
+    for (i, community) in result.cover.communities().iter().enumerate() {
+        let ids: Vec<String> = community.members().iter().map(|v| v.to_string()).collect();
+        println!("community #{i} ({} members): {}", community.len(), ids.join(" "));
+    }
+
+    let overlapping: Vec<String> = result
+        .cover
+        .membership_index()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.len() > 1)
+        .map(|(v, _)| v.to_string())
+        .collect();
+    println!(
+        "\nmembers in more than one community: {}",
+        if overlapping.is_empty() {
+            "none".to_string()
+        } else {
+            overlapping.join(" ")
+        }
+    );
+}

@@ -1,0 +1,21 @@
+//! # oca-repro — workspace facade for the OCA (ICDE 2010) reproduction
+//!
+//! Re-exports every crate of the reproduction under one roof so examples
+//! and integration tests can use a single dependency. See the README for
+//! the architecture overview and DESIGN.md for the paper-to-code map.
+
+pub use oca as core_alg;
+pub use oca_baselines as baselines;
+pub use oca_bench as bench;
+pub use oca_gen as gen;
+pub use oca_graph as graph;
+pub use oca_hierarchy as hierarchy;
+pub use oca_metrics as metrics;
+pub use oca_spectral as spectral;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use oca::{Oca, OcaConfig, OcaResult, SeedStrategy};
+    pub use oca_graph::{Community, Cover, CsrGraph, GraphBuilder, NodeId};
+    pub use oca_metrics::{rho, theta};
+}

@@ -1,0 +1,144 @@
+//! End-to-end integration tests spanning all crates: generator → algorithm
+//! → metrics, checking the paper's headline claims at test-friendly scale.
+
+use oca::{HaltingConfig, Oca, OcaConfig};
+use oca_baselines::{cfinder, lfk, CFinderConfig, LfkConfig};
+use oca_gen::{daisy_tree, lfr, planted_partition, DaisyParams, LfrParams};
+use oca_metrics::{average_f1, overlapping_nmi, theta};
+
+fn quality_config(n: usize) -> OcaConfig {
+    OcaConfig {
+        halting: HaltingConfig {
+            max_seeds: 4 * n,
+            target_coverage: 0.99,
+            stagnation_limit: 200,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn oca_recovers_planted_partition() {
+    let pp = planted_partition(5, 20, 0.8, 0.02, 11);
+    let result = Oca::new(quality_config(100)).run(&pp.graph);
+    let th = theta(&pp.ground_truth, &result.cover);
+    assert!(th > 0.9, "theta = {th} on an easy planted partition");
+}
+
+#[test]
+fn oca_recovers_lfr_at_low_mixing() {
+    let bench = lfr(&LfrParams::small(500, 0.2, 12));
+    let result = Oca::new(quality_config(500)).run(&bench.graph);
+    let th = theta(&bench.ground_truth, &result.cover);
+    assert!(th > 0.85, "theta = {th} at mu = 0.2 (paper: near 1)");
+}
+
+#[test]
+fn oca_degrades_gracefully_with_mixing() {
+    // Fig. 2's monotone shape: quality at mu=0.2 should comfortably beat
+    // quality at mu=0.8 (where no structure remains).
+    let easy = lfr(&LfrParams::small(400, 0.2, 13));
+    let hard = lfr(&LfrParams::small(400, 0.8, 13));
+    let easy_theta = theta(
+        &easy.ground_truth,
+        &Oca::new(quality_config(400)).run(&easy.graph).cover,
+    );
+    let hard_theta = theta(
+        &hard.ground_truth,
+        &Oca::new(quality_config(400)).run(&hard.graph).cover,
+    );
+    assert!(
+        easy_theta > hard_theta + 0.3,
+        "expected clear separation, got {easy_theta} vs {hard_theta}"
+    );
+}
+
+#[test]
+fn oca_beats_baselines_on_overlapping_daisy() {
+    // Fig. 3's claim: OCA handles the planted overlap best.
+    let bench = daisy_tree(&DaisyParams::default_shape(100), 4, 0.05, 14);
+    let n = bench.graph.node_count();
+
+    let oca_theta = theta(
+        &bench.ground_truth,
+        &Oca::new(quality_config(n)).run(&bench.graph).cover,
+    );
+    let lfk_theta = theta(&bench.ground_truth, &lfk(&bench.graph, &LfkConfig::default()));
+    let cf_theta = theta(
+        &bench.ground_truth,
+        &cfinder(&bench.graph, &CFinderConfig::default()).cover,
+    );
+    assert!(
+        oca_theta >= lfk_theta && oca_theta > cf_theta,
+        "OCA {oca_theta} vs LFK {lfk_theta} vs CFinder {cf_theta}"
+    );
+    assert!(oca_theta > 0.9, "OCA theta {oca_theta} on daisy");
+}
+
+#[test]
+fn oca_reports_overlapping_membership() {
+    let bench = daisy_tree(&DaisyParams::default_shape(100), 2, 0.05, 15);
+    let result = Oca::new(quality_config(300)).run(&bench.graph);
+    assert!(
+        result.cover.overlap_node_count() > 0,
+        "daisy overlap nodes must appear in multiple communities"
+    );
+}
+
+#[test]
+fn full_pipeline_with_orphan_assignment() {
+    let bench = lfr(&LfrParams::small(300, 0.3, 16));
+    let config = OcaConfig {
+        assign_orphans: true,
+        ..quality_config(300)
+    };
+    let result = Oca::new(config).run(&bench.graph);
+    // Connected LFR graph + orphan rule → everything covered.
+    assert!(
+        result.cover.orphans().len() < 10,
+        "almost all nodes covered, {} orphans",
+        result.cover.orphans().len()
+    );
+}
+
+#[test]
+fn metrics_agree_on_good_and_bad_structures() {
+    let bench = lfr(&LfrParams::small(400, 0.2, 17));
+    let found = Oca::new(quality_config(400)).run(&bench.graph).cover;
+    let th = theta(&bench.ground_truth, &found);
+    let nmi = overlapping_nmi(&bench.ground_truth, &found);
+    let f1 = average_f1(&bench.ground_truth, &found);
+    // All three metrics should agree this is a good reconstruction.
+    for (name, value) in [("theta", th), ("nmi", nmi), ("f1", f1)] {
+        assert!(value > 0.8, "{name} = {value}");
+    }
+}
+
+#[test]
+fn oca_finds_planted_overlap_in_overlapping_lfr() {
+    let bench = oca_gen::lfr_overlapping(&oca_gen::LfrParams::small(400, 0.15, 19), 40, 2);
+    let result = Oca::new(quality_config(400)).run(&bench.graph);
+    let th = theta(&bench.ground_truth, &result.cover);
+    assert!(th > 0.6, "theta = {th} on overlapping LFR");
+    assert!(
+        result.cover.overlap_node_count() > 0,
+        "planted overlap should surface in the found cover"
+    );
+}
+
+#[test]
+fn parallel_matches_sequential_quality() {
+    let bench = lfr(&LfrParams::small(400, 0.25, 18));
+    let seq = Oca::new(quality_config(400)).run(&bench.graph);
+    let par = Oca::new(OcaConfig {
+        threads: 4,
+        ..quality_config(400)
+    })
+    .run(&bench.graph);
+    let seq_theta = theta(&bench.ground_truth, &seq.cover);
+    let par_theta = theta(&bench.ground_truth, &par.cover);
+    assert!(
+        (seq_theta - par_theta).abs() < 0.15,
+        "parallel quality {par_theta} far from sequential {seq_theta}"
+    );
+}

@@ -1,0 +1,111 @@
+//! Integration tests for the Section VI pipeline: OCA output → community
+//! graph → dendrogram → summary.
+
+use oca::{HaltingConfig, Oca, OcaConfig};
+use oca_gen::{daisy_tree, lfr, DaisyParams, LfrParams};
+use oca_hierarchy::{CommunityGraph, Dendrogram, Linkage, Summary};
+use oca_metrics::theta;
+
+fn detect(graph: &oca_graph::CsrGraph) -> oca_graph::Cover {
+    Oca::new(OcaConfig {
+        halting: HaltingConfig {
+            max_seeds: 4 * graph.node_count(),
+            target_coverage: 0.99,
+            stagnation_limit: 150,
+        },
+        ..Default::default()
+    })
+    .run(graph)
+    .cover
+}
+
+#[test]
+fn community_graph_reflects_daisy_overlap() {
+    let bench = daisy_tree(&DaisyParams::default_shape(100), 2, 0.05, 31);
+    let cover = detect(&bench.graph);
+    let cg = CommunityGraph::build(&bench.graph, &cover);
+    // Petals overlap the core: at least one pair must share nodes.
+    let has_overlap = cg
+        .related_pairs()
+        .iter()
+        .any(|&(_, _, overlap, _)| overlap > 0);
+    assert!(has_overlap, "daisy cover should have overlapping pairs");
+}
+
+#[test]
+fn dendrogram_cuts_interpolate_between_cover_and_root() {
+    let bench = lfr(&LfrParams::small(300, 0.25, 32));
+    let cover = detect(&bench.graph);
+    let d = Dendrogram::build(&bench.graph, &cover, Linkage::Combined);
+    let fine = d.cut(1.01);
+    let coarse = d.cut(0.0);
+    assert_eq!(fine.len(), cover.len(), "threshold above 1 keeps the base");
+    assert!(coarse.len() <= fine.len());
+    // Monotonicity of community count along the threshold sweep.
+    let mut last = usize::MAX;
+    for t in [0.9, 0.6, 0.3, 0.0] {
+        let cut = d.cut(t);
+        assert!(cut.len() <= last, "cut at {t} grew the cover");
+        last = cut.len();
+    }
+}
+
+#[test]
+fn cutting_never_loses_nodes() {
+    let bench = lfr(&LfrParams::small(300, 0.3, 33));
+    let cover = detect(&bench.graph);
+    let d = Dendrogram::build(&bench.graph, &cover, Linkage::Combined);
+    let cut = d.cut(0.2);
+    assert_eq!(
+        cut.orphans().len(),
+        cover.orphans().len(),
+        "merging communities must not change which nodes are covered"
+    );
+}
+
+#[test]
+fn summary_of_good_cover_is_compact_and_faithful() {
+    let bench = lfr(&LfrParams::small(400, 0.2, 34));
+    let cover = detect(&bench.graph);
+    assert!(
+        theta(&bench.ground_truth, &cover) > 0.8,
+        "precondition: decent cover"
+    );
+    let s = Summary::build(&bench.graph, &cover);
+    assert!(
+        s.compression_ratio(&bench.graph) < 0.5,
+        "ratio {}",
+        s.compression_ratio(&bench.graph)
+    );
+    assert!(
+        s.reconstruction_error(&bench.graph) < 0.5,
+        "error {}",
+        s.reconstruction_error(&bench.graph)
+    );
+}
+
+#[test]
+fn summary_of_ground_truth_beats_random_cover() {
+    let bench = lfr(&LfrParams::small(300, 0.2, 35));
+    let good = Summary::build(&bench.graph, &bench.ground_truth);
+    // A deliberately wrong cover: nodes sliced by index ranges.
+    let k = bench.ground_truth.len();
+    let size = bench.graph.node_count() / k;
+    let wrong = oca_graph::Cover::new(
+        bench.graph.node_count(),
+        (0..k)
+            .map(|i| {
+                oca_graph::Community::from_raw(
+                    (i * size) as u32..((i + 1) * size).min(bench.graph.node_count()) as u32,
+                )
+            })
+            .collect(),
+    );
+    let bad = Summary::build(&bench.graph, &wrong);
+    assert!(
+        good.reconstruction_error(&bench.graph) < bad.reconstruction_error(&bench.graph),
+        "true structure should summarize better: {} vs {}",
+        good.reconstruction_error(&bench.graph),
+        bad.reconstruction_error(&bench.graph)
+    );
+}

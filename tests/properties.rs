@@ -1,0 +1,204 @@
+//! Property-based tests (proptest) on the core data-structure and
+//! algorithm invariants.
+
+use oca::{fitness, fitness_from_definition, CommunityState};
+use oca_graph::{from_edges, Community, Cover, CsrGraph, NodeId, UnionFind};
+use oca_metrics::{omega_index, overlapping_nmi, rho, theta};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over up to `n` nodes.
+fn edge_list(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+/// Strategy: a random community over nodes `0..n`.
+fn community(n: u32) -> impl Strategy<Value = Community> {
+    prop::collection::vec(0..n, 0..(n as usize)).prop_map(Community::from_raw)
+}
+
+proptest! {
+    #[test]
+    fn builder_always_produces_valid_simple_graphs(edges in edge_list(40, 200)) {
+        let g = from_edges(40, edges);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edge_iterator_matches_edge_count(edges in edge_list(30, 120)) {
+        let g = from_edges(30, edges);
+        prop_assert_eq!(g.edges().count(), g.edge_count());
+        // Degrees sum to twice the edge count (handshake lemma).
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn has_edge_is_symmetric(edges in edge_list(25, 100)) {
+        let g = from_edges(25, edges);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_agrees_with_components(edges in edge_list(30, 60)) {
+        let g = from_edges(30, edges.clone());
+        let comps = oca_graph::Components::compute(&g);
+        let mut uf = UnionFind::new(30);
+        for (u, v) in edges {
+            if u != v {
+                uf.union(u as usize, v as usize);
+            }
+        }
+        for u in 0..30usize {
+            for v in (u + 1)..30usize {
+                prop_assert_eq!(
+                    uf.connected(u, v),
+                    comps.same_component(NodeId(u as u32), NodeId(v as u32))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_fitness_matches_definition(
+        edges in edge_list(20, 80),
+        members in prop::collection::btree_set(0u32..20, 1..15),
+        c in 0.01f64..0.99,
+    ) {
+        let g = from_edges(20, edges);
+        let members: Vec<NodeId> = members.into_iter().map(NodeId).collect();
+        let mut st = CommunityState::new(&g, c);
+        for &v in &members {
+            st.add(v);
+        }
+        let internal_degrees: Vec<usize> =
+            members.iter().map(|&v| st.internal_degree(v)).collect();
+        let by_def = fitness_from_definition(&internal_degrees, st.internal_edges(), c);
+        let closed = fitness(members.len(), st.internal_edges(), c);
+        prop_assert!((by_def - closed).abs() < 1e-9, "{} vs {}", by_def, closed);
+    }
+
+    #[test]
+    fn state_add_remove_round_trips(
+        edges in edge_list(20, 80),
+        members in prop::collection::btree_set(0u32..20, 1..12),
+        c in 0.05f64..0.95,
+    ) {
+        let g = from_edges(20, edges);
+        let members: Vec<NodeId> = members.into_iter().map(NodeId).collect();
+        let mut st = CommunityState::new(&g, c);
+        for &v in &members {
+            st.add(v);
+        }
+        prop_assert_eq!(st.internal_edges(), st.recompute_internal_edges());
+        for &v in &members {
+            st.remove(v);
+        }
+        prop_assert_eq!(st.len(), 0);
+        prop_assert_eq!(st.internal_edges(), 0);
+    }
+
+    #[test]
+    fn rho_is_a_bounded_symmetric_similarity(a in community(30), b in community(30)) {
+        let r = rho(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((r - rho(&b, &a)).abs() < 1e-12);
+        prop_assert!((rho(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_is_bounded_and_maximal_on_self(
+        comms in prop::collection::vec(community(25), 1..6),
+    ) {
+        let cover = Cover::new(25, comms);
+        prop_assume!(!cover.is_empty());
+        let self_theta = theta(&cover, &cover);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&self_theta));
+        // Self-similarity: every observed community matches itself at rho 1,
+        // but duplicates of the same best-match can dilute; still ≥ 1/len.
+        prop_assert!(self_theta >= 1.0 / cover.len() as f64 - 1e-9);
+    }
+
+    #[test]
+    fn nmi_and_omega_are_symmetric(
+        a in prop::collection::vec(community(20), 1..4),
+        b in prop::collection::vec(community(20), 1..4),
+    ) {
+        let ca = Cover::new(20, a);
+        let cb = Cover::new(20, b);
+        let n1 = overlapping_nmi(&ca, &cb);
+        let n2 = overlapping_nmi(&cb, &ca);
+        prop_assert!((n1 - n2).abs() < 1e-9);
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&n1) || n1.is_finite());
+        let o1 = omega_index(&ca, &cb);
+        let o2 = omega_index(&cb, &ca);
+        prop_assert!((o1 - o2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_similar_never_increases_count_and_is_idempotent(
+        comms in prop::collection::vec(community(20), 0..8),
+        threshold in 0.1f64..1.0,
+    ) {
+        let cover = Cover::new(20, comms);
+        let merged = oca::merge_similar(&cover, threshold);
+        prop_assert!(merged.len() <= cover.len());
+        let twice = oca::merge_similar(&merged, threshold);
+        prop_assert_eq!(twice.len(), merged.len());
+    }
+
+    #[test]
+    fn orphan_assignment_only_grows_coverage(
+        edges in edge_list(20, 60),
+        comms in prop::collection::vec(community(20), 1..4),
+    ) {
+        let g: CsrGraph = from_edges(20, edges);
+        let cover = Cover::new(20, comms);
+        prop_assume!(!cover.is_empty());
+        let out = oca::assign_orphans(&g, &cover, 8);
+        prop_assert!(out.coverage() >= cover.coverage() - 1e-12);
+        // Assigned orphans must have a neighbor in their new community.
+        let before = cover.membership_index();
+        for (ci, c) in out.communities().iter().enumerate() {
+            for &v in c.members() {
+                let was_orphan = before[v.index()].is_empty();
+                if was_orphan {
+                    let has_neighbor_inside =
+                        g.neighbors(v).iter().any(|u| c.contains(*u));
+                    prop_assert!(
+                        has_neighbor_inside,
+                        "orphan {v:?} joined community {ci} with no neighbor inside"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_preserves_adjacency(
+        edges in edge_list(20, 80),
+        members in prop::collection::btree_set(0u32..20, 0..12),
+    ) {
+        let g = from_edges(20, edges);
+        let members: Vec<NodeId> = members.into_iter().map(NodeId).collect();
+        let sub = oca_graph::Subgraph::induced(&g, &members);
+        for u in sub.graph.nodes() {
+            for &v in sub.graph.neighbors(u) {
+                prop_assert!(g.has_edge(sub.parent_id(u), sub.parent_id(v)));
+            }
+        }
+        // Edge count equals internal edges of the member set.
+        let mut flags = vec![false; 20];
+        for &v in &members {
+            flags[v.index()] = true;
+        }
+        prop_assert_eq!(
+            sub.graph.edge_count(),
+            g.internal_edges(&members, &flags)
+        );
+    }
+}

@@ -76,10 +76,7 @@ pub fn label_propagation(graph: &CsrGraph, config: &LpaConfig) -> Cover {
     for (v, &l) in labels.iter().enumerate() {
         groups.entry(l).or_default().push(v as u32);
     }
-    let mut communities: Vec<Community> = groups
-        .into_values()
-        .map(Community::from_raw)
-        .collect();
+    let mut communities: Vec<Community> = groups.into_values().map(Community::from_raw).collect();
     communities.sort_unstable_by(|a, b| a.members().cmp(b.members()));
     Cover::new(n, communities)
 }

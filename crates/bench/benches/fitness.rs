@@ -25,7 +25,12 @@ fn bench_fitness_eval(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for d in 0..1000usize {
-                acc += gain_add(black_box(500), black_box(6000), black_box(d), black_box(0.3));
+                acc += gain_add(
+                    black_box(500),
+                    black_box(6000),
+                    black_box(d),
+                    black_box(0.3),
+                );
             }
             acc
         })
@@ -35,9 +40,7 @@ fn bench_fitness_eval(c: &mut Criterion) {
 fn bench_state(c: &mut Criterion) {
     let bench = lfr(&LfrParams::small(2000, 0.3, 7));
     let graph = &bench.graph;
-    let community: Vec<NodeId> = bench.ground_truth.communities()[0]
-        .members()
-        .to_vec();
+    let community: Vec<NodeId> = bench.ground_truth.communities()[0].members().to_vec();
 
     c.bench_function("state/add_remove_churn", |b| {
         b.iter_batched(

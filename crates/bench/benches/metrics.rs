@@ -10,18 +10,14 @@ fn bench_metrics(c: &mut Criterion) {
     let b = lfr(&LfrParams::small(2000, 0.3, 32));
     let (truth, other) = (&a.ground_truth, &b.ground_truth);
 
-    c.bench_function("metrics/theta", |bch| {
-        bch.iter(|| theta(truth, other))
-    });
+    c.bench_function("metrics/theta", |bch| bch.iter(|| theta(truth, other)));
     c.bench_function("metrics/nmi", |bch| {
         bch.iter(|| overlapping_nmi(truth, other))
     });
     c.bench_function("metrics/omega", |bch| {
         bch.iter(|| omega_index(truth, other))
     });
-    c.bench_function("metrics/f1", |bch| {
-        bch.iter(|| average_f1(truth, other))
-    });
+    c.bench_function("metrics/f1", |bch| bch.iter(|| average_f1(truth, other)));
 }
 
 criterion_group!(benches, bench_metrics);

@@ -18,10 +18,14 @@ fn bench_spectral(c: &mut Criterion) {
                 y[0]
             })
         });
-        group.bench_with_input(BenchmarkId::new("interaction_strength", n), graph, |b, g| {
-            let cfg = PowerConfig::default();
-            b.iter(|| interaction_strength(g, &cfg).c)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("interaction_strength", n),
+            graph,
+            |b, g| {
+                let cfg = PowerConfig::default();
+                b.iter(|| interaction_strength(g, &cfg).c)
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,12 @@ use oca_gen::{daisy_tree, lfr, DaisyParams, LfrParams};
 use oca_graph::{Cover, CsrGraph};
 use oca_metrics::theta;
 
-fn run(graph: &CsrGraph, c: CStrategy, seed_strategy: SeedStrategy, merge: Option<f64>) -> (Cover, usize) {
+fn run(
+    graph: &CsrGraph,
+    c: CStrategy,
+    seed_strategy: SeedStrategy,
+    merge: Option<f64>,
+) -> (Cover, usize) {
     let config = OcaConfig {
         c,
         seed_strategy,
@@ -35,7 +40,12 @@ fn main() {
     let nodes: usize = args.get("nodes", 1000);
     let seed: u64 = args.get("seed", 42);
     let lfr_bench = lfr(&LfrParams::small(nodes, 0.3, seed));
-    let daisy_bench = daisy_tree(&DaisyParams::default_shape(100), nodes / 100 - 1, 0.05, seed);
+    let daisy_bench = daisy_tree(
+        &DaisyParams::default_shape(100),
+        nodes / 100 - 1,
+        0.05,
+        seed,
+    );
 
     // 1. c sweep.
     let mut c_table = Table::new(["c", "theta(LFR)", "theta(daisy)"]);
@@ -48,8 +58,18 @@ fn main() {
         entries.push((format!("{c:.2}"), CStrategy::Fixed(c)));
     }
     for (label, strategy) in entries {
-        let (lc, _) = run(&lfr_bench.graph, strategy, SeedStrategy::default(), Some(0.5));
-        let (dc, _) = run(&daisy_bench.graph, strategy, SeedStrategy::default(), Some(0.5));
+        let (lc, _) = run(
+            &lfr_bench.graph,
+            strategy,
+            SeedStrategy::default(),
+            Some(0.5),
+        );
+        let (dc, _) = run(
+            &daisy_bench.graph,
+            strategy,
+            SeedStrategy::default(),
+            Some(0.5),
+        );
         c_table.row([
             label,
             format!("{:.3}", theta(&lfr_bench.ground_truth, &lc)),
@@ -62,9 +82,18 @@ fn main() {
     let _ = c_table.write_csv("ablation_c_sweep");
 
     // 2. merge postprocessing.
-    let mut m_table = Table::new(["merge", "raw communities", "final communities", "theta(LFR)"]);
+    let mut m_table = Table::new([
+        "merge",
+        "raw communities",
+        "final communities",
+        "theta(LFR)",
+    ]);
     println!("\nAblation 2: merge postprocessing");
-    for (label, merge) in [("off", None), ("rho>=0.5 (paper)", Some(0.5)), ("rho>=0.8", Some(0.8))] {
+    for (label, merge) in [
+        ("off", None),
+        ("rho>=0.5 (paper)", Some(0.5)),
+        ("rho>=0.8", Some(0.8)),
+    ] {
         let (cover, raw) = run(
             &lfr_bench.graph,
             CStrategy::Spectral(Default::default()),

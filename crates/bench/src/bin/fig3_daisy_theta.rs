@@ -31,7 +31,10 @@ fn main() {
     ];
 
     let mut table = Table::new(["size", "algorithm", "theta", "nmi", "communities", "secs"]);
-    println!("Figure 3 reproduction: Theta vs daisy tree size (petals of {} nodes)", flower.n);
+    println!(
+        "Figure 3 reproduction: Theta vs daisy tree size (petals of {} nodes)",
+        flower.n
+    );
     let mut size = 100usize;
     while size <= max_size {
         let flowers = (size / flower.n).max(1);

@@ -20,9 +20,13 @@ use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
-    let scale: u32 = args.get("scale", 18); // 2^18 = 262k nodes by default
-    let threads: usize = args.get("threads", 1);
-    let seed: u64 = args.get("seed", 42);
+    let scale: u32 = args.get_strict("scale", 18); // 2^18 = 262k nodes by default
+    let threads: usize = args.get_strict("threads", 1);
+    let seed: u64 = args.get_strict("seed", 42);
+    if threads == 0 {
+        eprintln!("error: --threads must be at least 1");
+        std::process::exit(2);
+    }
 
     println!("Wikipedia-scale reproduction: OCA on a wiki-like graph (2^{scale} nodes)");
     let gen_start = Instant::now();
@@ -62,10 +66,7 @@ fn main() {
         format!("{:.3}", result.lambda_min),
     ]);
     table.row(["seeds tried".to_string(), result.seeds_tried.to_string()]);
-    table.row([
-        "planted cores".to_string(),
-        bench.planted.len().to_string(),
-    ]);
+    table.row(["planted cores".to_string(), bench.planted.len().to_string()]);
     table.row([
         "communities found".to_string(),
         result.cover.len().to_string(),

@@ -249,6 +249,18 @@ impl Args {
             .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// Like [`Args::get`], but exits with an error message when the option
+    /// is present and malformed instead of silently using the default.
+    pub fn get_strict<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.pairs.iter().rev().find(|(k, _)| k == key) {
+            None => default,
+            Some((_, v)) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value for --{key}: {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
 }
 
 /// Formats a duration as fractional seconds.

@@ -48,12 +48,15 @@ impl Cli {
         Cli::parse(std::env::args().skip(1))
     }
 
-    /// Typed option lookup with a default.
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.options
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// Typed option lookup with a default; malformed values are reported
+    /// as errors rather than silently replaced by the default.
+    pub fn get_strict<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
     }
 
     /// String option lookup.
@@ -86,8 +89,8 @@ mod tests {
         let cli = parse("detect --input g.edges --algorithm oca --seed 7");
         assert_eq!(cli.command.as_deref(), Some("detect"));
         assert_eq!(cli.get_str("input"), Some("g.edges"));
-        assert_eq!(cli.get::<u64>("seed", 0), 7);
-        assert_eq!(cli.get::<usize>("missing", 42), 42);
+        assert_eq!(cli.get_strict::<u64>("seed", 0), Ok(7));
+        assert_eq!(cli.get_strict::<usize>("missing", 42), Ok(42));
     }
 
     #[test]
@@ -95,7 +98,7 @@ mod tests {
         let cli = parse("generate --family lfr --quiet --nodes 100");
         assert!(cli.has_flag("quiet"));
         assert!(!cli.has_flag("loud"));
-        assert_eq!(cli.get::<usize>("nodes", 0), 100);
+        assert_eq!(cli.get_strict::<usize>("nodes", 0), Ok(100));
     }
 
     #[test]
@@ -106,9 +109,24 @@ mod tests {
     }
 
     #[test]
+    fn get_strict_rejects_malformed_values() {
+        let cli = parse("detect --threads eight --seed 7");
+        assert_eq!(cli.get_strict::<usize>("threads", 1).ok(), None);
+        assert!(cli
+            .get_strict::<usize>("threads", 1)
+            .unwrap_err()
+            .contains("--threads"));
+        assert_eq!(cli.get_strict::<usize>("missing", 3), Ok(3));
+        assert_eq!(cli.get_strict::<u64>("seed", 0), Ok(7));
+        // Negative numbers are not swallowed into the default either.
+        let cli = parse("detect --threads -4");
+        assert!(cli.get_strict::<usize>("threads", 1).is_err());
+    }
+
+    #[test]
     fn last_option_wins() {
         let cli = parse("x --seed 1 --seed 2");
-        assert_eq!(cli.get::<u64>("seed", 0), 2);
+        assert_eq!(cli.get_strict::<u64>("seed", 0), Ok(2));
     }
 
     #[test]

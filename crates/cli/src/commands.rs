@@ -58,13 +58,13 @@ fn load_graph(cli: &Cli) -> Result<CsrGraph, String> {
 fn generate(cli: &Cli) -> Result<(), String> {
     let family = cli.require("family")?.to_string();
     let output = cli.require("output")?.to_string();
-    let nodes: usize = cli.get("nodes", 1000);
-    let seed: u64 = cli.get("seed", 42);
+    let nodes: usize = cli.get_strict("nodes", 1000)?;
+    let seed: u64 = cli.get_strict("seed", 42)?;
     let mut rng = StdRng::seed_from_u64(seed);
 
     let (graph, truth): (CsrGraph, Option<Cover>) = match family.as_str() {
         "lfr" => {
-            let mu: f64 = cli.get("mu", 0.3);
+            let mu: f64 = cli.get_strict("mu", 0.3)?;
             let b = lfr(&LfrParams::small(nodes, mu, seed));
             (b.graph, Some(b.ground_truth))
         }
@@ -74,11 +74,11 @@ fn generate(cli: &Cli) -> Result<(), String> {
             (b.graph, Some(b.ground_truth))
         }
         "gnp" => {
-            let p: f64 = cli.get("p", 0.01);
+            let p: f64 = cli.get_strict("p", 0.01)?;
             (gnp(nodes, p, &mut rng), None)
         }
         "ba" => {
-            let m: usize = cli.get("m", 5);
+            let m: usize = cli.get_strict("m", 5)?;
             (barabasi_albert(nodes, m, &mut rng), None)
         }
         "rmat" => {
@@ -115,7 +115,11 @@ fn generate(cli: &Cli) -> Result<(), String> {
 fn detect(cli: &Cli) -> Result<(), String> {
     let graph = load_graph(cli)?;
     let algorithm = cli.get_str("algorithm").unwrap_or("oca").to_string();
-    let seed: u64 = cli.get("seed", 42);
+    let seed: u64 = cli.get_strict("seed", 42)?;
+    let threads: usize = cli.get_strict("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
     let start = std::time::Instant::now();
     let cover = match algorithm.as_str() {
         "oca" => {
@@ -125,7 +129,7 @@ fn detect(cli: &Cli) -> Result<(), String> {
                     target_coverage: 0.99,
                     stagnation_limit: 200,
                 },
-                threads: cli.get("threads", 1),
+                threads,
                 rng_seed: seed,
                 assign_orphans: cli.has_flag("orphans"),
                 ..Default::default()
@@ -148,7 +152,7 @@ fn detect(cli: &Cli) -> Result<(), String> {
             let r = cfinder(
                 &graph,
                 &CFinderConfig {
-                    k: cli.get("k", 3),
+                    k: cli.get_strict("k", 3)?,
                     ..Default::default()
                 },
             );
@@ -190,7 +194,10 @@ fn eval(cli: &Cli) -> Result<(), String> {
     let found = read_cover_path(graph.node_count(), found_path)
         .map_err(|e| format!("reading {found_path}: {e}"))?;
     println!("theta (paper eq. V.2) = {:.4}", theta(&truth, &found));
-    println!("overlapping NMI       = {:.4}", overlapping_nmi(&truth, &found));
+    println!(
+        "overlapping NMI       = {:.4}",
+        overlapping_nmi(&truth, &found)
+    );
     println!("average F1            = {:.4}", average_f1(&truth, &found));
     println!(
         "extended modularity   = {:.4}",
@@ -317,8 +324,10 @@ mod tests {
         assert!(run(&cli("frobnicate")).is_err());
         assert!(run(&cli("detect")).is_err());
         assert!(run(&cli("generate --family nope --output /tmp/x")).is_err());
-        let err = run(&cli("generate --family gnp --nodes 10 --output /tmp/oca_g.edges --truth /tmp/oca_t.cover"))
-            .unwrap_err();
+        let err = run(&cli(
+            "generate --family gnp --nodes 10 --output /tmp/oca_g.edges --truth /tmp/oca_t.cover",
+        ))
+        .unwrap_err();
         assert!(err.contains("no ground truth"));
     }
 

@@ -62,6 +62,25 @@ impl Shared {
         NodeId(rng.random_range(0..n as u32))
     }
 
+    /// Records the previous ascent's outcome (if any) and, unless halting,
+    /// picks the next seed — one critical section per ascent.
+    fn record_and_pick<R: Rng + ?Sized>(
+        &mut self,
+        finished: Option<Community>,
+        min_size: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        if let Some(community) = finished {
+            self.record(community, min_size);
+        }
+        if self.halting.should_halt() {
+            None
+        } else {
+            Some(self.pick_seed(n, rng))
+        }
+    }
+
     /// Records one ascent outcome; returns nothing.
     fn record(&mut self, community: Community, min_size: usize) {
         if community.len() < min_size {
@@ -133,27 +152,7 @@ impl Oca {
         if self.config.threads <= 1 {
             let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
             let mut state = CommunityState::new(graph, c);
-            let guard = shared.lock();
-            drop(guard);
-            loop {
-                let sh = shared.lock();
-                if sh.halting.should_halt() {
-                    break;
-                }
-                let seed = sh.pick_seed(n, &mut rng);
-                drop(sh);
-                let community = ascend(
-                    graph,
-                    &mut state,
-                    seed,
-                    self.config.seed_strategy,
-                    &self.config.search,
-                    &mut rng,
-                );
-                shared
-                    .lock()
-                    .record(community, self.config.min_community_size);
-            }
+            ascent_loop(&shared, graph, &self.config, n, &mut state, &mut rng);
         } else {
             crossbeam::scope(|scope| {
                 for tid in 0..self.config.threads {
@@ -163,23 +162,7 @@ impl Oca {
                         let mut rng =
                             StdRng::seed_from_u64(config.rng_seed ^ (0x9E37 + tid as u64));
                         let mut state = CommunityState::new(graph, c);
-                        loop {
-                            let sh = shared.lock();
-                            if sh.halting.should_halt() {
-                                break;
-                            }
-                            let seed = sh.pick_seed(n, &mut rng);
-                            drop(sh);
-                            let community = ascend(
-                                graph,
-                                &mut state,
-                                seed,
-                                config.seed_strategy,
-                                &config.search,
-                                &mut rng,
-                            );
-                            shared.lock().record(community, config.min_community_size);
-                        }
+                        ascent_loop(shared, graph, config, n, &mut state, &mut rng);
                     });
                 }
             })
@@ -203,6 +186,39 @@ impl Oca {
             raw_community_count: raw_count,
             elapsed: start.elapsed(),
         }
+    }
+}
+
+/// Runs seeded ascents until the shared halting state says stop. Each
+/// iteration takes the driver lock exactly once, recording the previous
+/// community and drawing the next seed in the same critical section; the
+/// ascent itself runs lock-free on thread-local state.
+fn ascent_loop<R: Rng + ?Sized>(
+    shared: &Mutex<Shared>,
+    graph: &CsrGraph,
+    config: &OcaConfig,
+    n: usize,
+    state: &mut CommunityState<'_>,
+    rng: &mut R,
+) {
+    let mut finished: Option<Community> = None;
+    loop {
+        let seed =
+            match shared
+                .lock()
+                .record_and_pick(finished.take(), config.min_community_size, n, rng)
+            {
+                Some(seed) => seed,
+                None => break,
+            };
+        finished = Some(ascend(
+            graph,
+            state,
+            seed,
+            config.seed_strategy,
+            &config.search,
+            rng,
+        ));
     }
 }
 
@@ -260,12 +276,7 @@ mod tests {
         let g = three_cliques();
         let result = Oca::new(quick_config()).run(&g);
         assert_eq!(result.cover.len(), 3, "expected 3 communities");
-        let mut sizes: Vec<usize> = result
-            .cover
-            .communities()
-            .iter()
-            .map(|c| c.len())
-            .collect();
+        let mut sizes: Vec<usize> = result.cover.communities().iter().map(|c| c.len()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![5, 5, 5]);
         assert!((result.cover.coverage() - 1.0).abs() < 1e-12);

@@ -119,13 +119,23 @@ impl<'g> CommunityState<'g> {
     /// Fitness gain if `v` were added. `v` must not be a member.
     pub fn gain_add(&self, v: NodeId) -> f64 {
         debug_assert!(!self.contains(v));
-        gain_add(self.members.len(), self.ein, self.internal_degree(v), self.c)
+        gain_add(
+            self.members.len(),
+            self.ein,
+            self.internal_degree(v),
+            self.c,
+        )
     }
 
     /// Fitness gain if `v` were removed. `v` must be a member.
     pub fn gain_remove(&self, v: NodeId) -> f64 {
         debug_assert!(self.contains(v));
-        gain_remove(self.members.len(), self.ein, self.internal_degree(v), self.c)
+        gain_remove(
+            self.members.len(),
+            self.ein,
+            self.internal_degree(v),
+            self.c,
+        )
     }
 
     fn touch(&mut self, v: NodeId) {

@@ -51,7 +51,10 @@ impl DaisyParams {
     fn validate(&self) {
         assert!(self.p >= 2, "p must be at least 2");
         assert!(self.q >= 2, "q must be at least 2");
-        assert!(self.n >= self.p, "need at least one vertex per residue class");
+        assert!(
+            self.n >= self.p,
+            "need at least one vertex per residue class"
+        );
         assert!((0.0..=1.0).contains(&self.alpha), "alpha is a probability");
         assert!((0.0..=1.0).contains(&self.beta), "beta is a probability");
     }
@@ -217,7 +220,10 @@ mod tests {
         assert_eq!(b.graph.node_count(), 70 * 4);
         assert_eq!(b.layouts.len(), 4);
         // γ > 0 with dense petals: the whole tree should be one component.
-        assert!(oca_graph::is_connected(&b.graph), "tree should be connected");
+        assert!(
+            oca_graph::is_connected(&b.graph),
+            "tree should be connected"
+        );
     }
 
     #[test]

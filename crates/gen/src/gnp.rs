@@ -43,12 +43,7 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
 /// Adds each pair from `nodes` as an edge with probability `p`
 /// (Bernoulli clique), streaming into an existing builder. Used by the
 /// daisy generator for petal and core wiring.
-pub fn sprinkle_clique<R: Rng + ?Sized>(
-    b: &mut GraphBuilder,
-    nodes: &[u32],
-    p: f64,
-    rng: &mut R,
-) {
+pub fn sprinkle_clique<R: Rng + ?Sized>(b: &mut GraphBuilder, nodes: &[u32], p: f64, rng: &mut R) {
     if p <= 0.0 || nodes.len() < 2 {
         return;
     }

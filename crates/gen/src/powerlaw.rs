@@ -22,9 +22,7 @@ impl PowerLaw {
     pub fn new(exponent: f64, min: usize, max: usize) -> Self {
         assert!(min >= 1, "power-law support must start at 1 or above");
         assert!(min <= max, "min must not exceed max");
-        let weights: Vec<f64> = (min..=max)
-            .map(|k| (k as f64).powf(-exponent))
-            .collect();
+        let weights: Vec<f64> = (min..=max).map(|k| (k as f64).powf(-exponent)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         let cdf = weights

@@ -49,8 +49,7 @@ impl RmatParams {
 /// Panics if probabilities are invalid.
 pub fn rmat<R: Rng + ?Sized>(params: &RmatParams, rng: &mut R) -> CsrGraph {
     let n = 1usize << params.scale;
-    let mut builder =
-        GraphBuilder::new(n).with_edge_capacity(n.saturating_mul(params.edge_factor));
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(n.saturating_mul(params.edge_factor));
     rmat_edges_into(params, &mut builder, rng);
     builder.build()
 }

@@ -64,8 +64,9 @@ pub fn wiki_like(params: &WikiLikeParams) -> WikiLikeBenchmark {
     assert!(params.community_size.0 >= 2 && params.community_size.0 <= params.community_size.1);
     let mut rng = StdRng::seed_from_u64(params.seed);
     let n = 1usize << params.scale;
-    let mut builder = GraphBuilder::new(n)
-        .with_edge_capacity(n * params.edge_factor + (n as f64 * params.community_fraction) as usize * 20);
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(
+        n * params.edge_factor + (n as f64 * params.community_fraction) as usize * 20,
+    );
     rmat_edges_into(
         &RmatParams {
             a: 0.57,

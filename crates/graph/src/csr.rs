@@ -29,7 +29,11 @@ impl CsrGraph {
     /// Debug builds verify with [`CsrGraph::validate`].
     pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
         let g = CsrGraph { offsets, neighbors };
-        debug_assert!(g.validate().is_ok(), "invalid CSR parts: {:?}", g.validate());
+        debug_assert!(
+            g.validate().is_ok(),
+            "invalid CSR parts: {:?}",
+            g.validate()
+        );
         g
     }
 

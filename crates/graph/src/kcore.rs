@@ -210,11 +210,7 @@ mod tests {
             let members = d.k_core_members(k);
             let inside: std::collections::HashSet<_> = members.iter().copied().collect();
             for &v in &members {
-                let deg_in = g
-                    .neighbors(v)
-                    .iter()
-                    .filter(|u| inside.contains(u))
-                    .count();
+                let deg_in = g.neighbors(v).iter().filter(|u| inside.contains(u)).count();
                 assert!(
                     deg_in as u32 >= k,
                     "node {v:?} has {deg_in} < {k} neighbors in the {k}-core"

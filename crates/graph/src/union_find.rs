@@ -17,7 +17,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        assert!(len <= u32::MAX as usize, "UnionFind supports up to 2^32 - 1 elements");
+        assert!(
+            len <= u32::MAX as usize,
+            "UnionFind supports up to 2^32 - 1 elements"
+        );
         UnionFind {
             parent: (0..len as u32).collect(),
             size: vec![1; len],
@@ -158,10 +161,7 @@ mod tests {
         uf.union(1, 2);
         uf.union(5, 6);
         for i in 0..8 {
-            assert_eq!(uf.find_immutable(i), {
-                
-                uf.find(i)
-            });
+            assert_eq!(uf.find_immutable(i), { uf.find(i) });
         }
     }
 

@@ -57,11 +57,7 @@ impl CommunityGraph {
                 }
             }
         }
-        let sizes = cover
-            .communities()
-            .iter()
-            .map(|c| c.len() as u32)
-            .collect();
+        let sizes = cover.communities().iter().map(|c| c.len() as u32).collect();
         CommunityGraph {
             community_count: k,
             overlap,
@@ -151,7 +147,16 @@ mod tests {
     fn setup() -> (CsrGraph, Cover) {
         let g = from_edges(
             7,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (5, 6), (4, 5)],
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (5, 6),
+                (4, 5),
+            ],
         );
         let cover = Cover::new(
             7,

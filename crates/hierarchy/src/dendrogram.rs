@@ -248,10 +248,9 @@ mod tests {
         let d = Dendrogram::build(&g, &cover, Linkage::Overlap);
         let cut = d.cut(0.3);
         assert_eq!(cut.len(), 3, "A∪B, C, D");
-        assert!(cut
-            .communities()
-            .iter()
-            .any(|c| c.len() == 6 && c.contains(oca_graph::NodeId(0)) && c.contains(oca_graph::NodeId(5))));
+        assert!(cut.communities().iter().any(|c| c.len() == 6
+            && c.contains(oca_graph::NodeId(0))
+            && c.contains(oca_graph::NodeId(5))));
     }
 
     #[test]

@@ -258,7 +258,10 @@ mod tests {
         let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
         let cover = Cover::new(
             5,
-            vec![Community::from_raw([0, 1, 2]), Community::from_raw([2, 3, 4])],
+            vec![
+                Community::from_raw([0, 1, 2]),
+                Community::from_raw([2, 3, 4]),
+            ],
         );
         let s = Summary::build(&g, &cover);
         assert_eq!(s.len(), 2);

@@ -79,7 +79,10 @@ mod tests {
     fn partition() -> Cover {
         Cover::new(
             6,
-            vec![Community::from_raw([0, 1, 2]), Community::from_raw([3, 4, 5])],
+            vec![
+                Community::from_raw([0, 1, 2]),
+                Community::from_raw([3, 4, 5]),
+            ],
         )
     }
 
@@ -137,7 +140,11 @@ mod tests {
         let g = two_triangles();
         let bad = Cover::new(
             6,
-            vec![Community::from_raw([0, 3]), Community::from_raw([1, 4]), Community::from_raw([2, 5])],
+            vec![
+                Community::from_raw([0, 3]),
+                Community::from_raw([1, 4]),
+                Community::from_raw([2, 5]),
+            ],
         );
         assert!(modularity(&g, &bad) < 0.05);
     }

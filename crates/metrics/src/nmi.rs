@@ -133,8 +133,24 @@ mod tests {
     #[test]
     fn independent_covers_score_low() {
         // Orthogonal slicings of a 4x4 grid of nodes.
-        let rows = cover(16, &[&[0, 1, 2, 3], &[4, 5, 6, 7], &[8, 9, 10, 11], &[12, 13, 14, 15]]);
-        let cols = cover(16, &[&[0, 4, 8, 12], &[1, 5, 9, 13], &[2, 6, 10, 14], &[3, 7, 11, 15]]);
+        let rows = cover(
+            16,
+            &[
+                &[0, 1, 2, 3],
+                &[4, 5, 6, 7],
+                &[8, 9, 10, 11],
+                &[12, 13, 14, 15],
+            ],
+        );
+        let cols = cover(
+            16,
+            &[
+                &[0, 4, 8, 12],
+                &[1, 5, 9, 13],
+                &[2, 6, 10, 14],
+                &[3, 7, 11, 15],
+            ],
+        );
         let nmi = overlapping_nmi(&rows, &cols);
         assert!(nmi < 0.3, "independent structures scored {nmi}");
     }

@@ -46,7 +46,11 @@ fn histogram(counts: &HashMap<(u32, u32), u32>, total_pairs: u64) -> Vec<u64> {
 /// # Panics
 /// Panics if the covers disagree on node count or have fewer than 2 nodes.
 pub fn omega_index(a: &Cover, b: &Cover) -> f64 {
-    assert_eq!(a.node_count(), b.node_count(), "covers over different node sets");
+    assert_eq!(
+        a.node_count(),
+        b.node_count(),
+        "covers over different node sets"
+    );
     let n = a.node_count() as u64;
     assert!(n >= 2, "omega needs at least two nodes");
     let total_pairs = n * (n - 1) / 2;
@@ -81,7 +85,11 @@ pub fn omega_index(a: &Cover, b: &Cover) -> f64 {
 
     if (1.0 - expected).abs() < 1e-15 {
         // Degenerate: both covers have a constant multiplicity everywhere.
-        return if (observed - 1.0).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return if (observed - 1.0).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (observed - expected) / (1.0 - expected)
 }

@@ -1,0 +1,284 @@
+//! Offline stand-in for `criterion` (0.5 API subset) — DESIGN.md §6.
+//!
+//! Provides the structural API the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], [`BatchSize`], and the
+//! `criterion_group!` / `criterion_main!` macros — with a deliberately
+//! simple measurement model: each benchmark is warmed up once and then
+//! timed over a short fixed budget, reporting the median iteration time to
+//! stdout. No statistics, plots, or baselines; the point is that `cargo
+//! bench` runs and gives order-of-magnitude numbers, and that bench targets
+//! keep compiling under `--all-targets`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing budget for one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iteration cap per benchmark (keeps nanosecond kernels bounded).
+const MAX_ITERS: usize = 10_000;
+
+/// The benchmark manager (vastly simplified).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its timing.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API parity; the shim's
+    /// time-budget model ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API parity; ignored).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as `group/id`.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Runs `f` as `group/id` with `input` passed through by reference.
+    pub fn bench_with_input<S, I, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        S: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id: BenchmarkId = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.render()), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with an attached parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id for `function` at `parameter`.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; ignored by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < MEASURE_BUDGET && self.samples.len() < MAX_ITERS {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warm-up
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < MEASURE_BUDGET && self.samples.len() < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// True when the bench binary is being driven by `cargo test` (which passes
+/// `--test` to `harness = false` targets): run everything once, measure
+/// nothing.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        test_mode: test_mode(),
+    };
+    f(&mut b);
+    if b.test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{id:<50} median {:>12?} ({} iterations)",
+        median,
+        b.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point (generated by `criterion_group!`).
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from its group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let id = BenchmarkId::new("matvec", 1000);
+        assert_eq!(id.render(), "matvec/1000");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 2), &3, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.bench_function(format!("{}-by-string", "named"), |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            test_mode: true,
+        };
+        let mut calls = 0;
+        b.iter_batched(
+            || vec![1, 2, 3],
+            |v| calls += v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(calls, 3);
+    }
+}

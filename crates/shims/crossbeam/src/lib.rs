@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam` (0.8 API subset), backed by
+//! `std::thread::scope` (DESIGN.md §6).
+//!
+//! Covers scoped spawning as the workspace uses it:
+//! `crossbeam::scope(|s| { s.spawn(move |_| …); }).expect(…)`. The closure
+//! passed to [`Scope::spawn`] receives the scope again (crossbeam's
+//! signature, enabling nested spawns), and [`scope`] returns `Err` with the
+//! panic payload if any unjoined child panicked — same contract as
+//! crossbeam's.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope, so children
+    /// can spawn further children.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Creates a scope, runs `f` inside it, and joins all spawned threads before
+/// returning. Returns `Err` with the panic payload if a child panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        scope(|s| {
+            for &x in &data {
+                let counter = &counter;
+                s.spawn(move |_| counter.fetch_add(x, Ordering::Relaxed));
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = AtomicUsize::new(0);
+        scope(|s| {
+            let flag = &flag;
+            s.spawn(move |inner| {
+                inner.spawn(move |_| flag.store(7, Ordering::Relaxed));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(flag.load(Ordering::Relaxed), 7);
+    }
+}

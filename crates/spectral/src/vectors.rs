@@ -93,11 +93,7 @@ impl VectorRepresentation {
                 l[i][j] = if diag > TOL { acc / diag } else { 0.0 };
             }
         }
-        Ok(VectorRepresentation {
-            n,
-            vectors: l,
-            c,
-        })
+        Ok(VectorRepresentation { n, vectors: l, c })
     }
 
     /// The interaction strength used.
@@ -221,7 +217,10 @@ mod tests {
         for (n, edges) in [
             (4usize, vec![(0u32, 1u32), (1, 2), (2, 3), (3, 0)]),
             (5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
-            (6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]),
+            (
+                6,
+                vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+            ),
         ] {
             let g = from_edges(n, edges);
             let s = interaction_strength(&g, &PowerConfig::default());

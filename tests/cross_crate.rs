@@ -35,7 +35,11 @@ fn ground_truth_covers_are_consistent_with_graphs() {
     // Planted communities should have noticeably better-than-random
     // internal structure.
     let q = cover_quality(&bench.graph, &bench.ground_truth);
-    assert!(q.mean_conductance < 0.6, "conductance {}", q.mean_conductance);
+    assert!(
+        q.mean_conductance < 0.6,
+        "conductance {}",
+        q.mean_conductance
+    );
     assert!((q.coverage - 1.0).abs() < 1e-12);
 }
 
@@ -91,7 +95,11 @@ fn lpa_partition_conductance_beats_random_split() {
     let q = cover_quality(&bench.graph, &cover);
     // A random half-half split has conductance ≈ mu-ish ≈ 0.8; LPA should
     // do far better on a structured graph.
-    assert!(q.mean_conductance < 0.5, "conductance {}", q.mean_conductance);
+    assert!(
+        q.mean_conductance < 0.5,
+        "conductance {}",
+        q.mean_conductance
+    );
 }
 
 #[test]

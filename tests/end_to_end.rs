@@ -63,7 +63,10 @@ fn oca_beats_baselines_on_overlapping_daisy() {
         &bench.ground_truth,
         &Oca::new(quality_config(n)).run(&bench.graph).cover,
     );
-    let lfk_theta = theta(&bench.ground_truth, &lfk(&bench.graph, &LfkConfig::default()));
+    let lfk_theta = theta(
+        &bench.ground_truth,
+        &lfk(&bench.graph, &LfkConfig::default()),
+    );
     let cf_theta = theta(
         &bench.ground_truth,
         &cfinder(&bench.graph, &CFinderConfig::default()).cover,

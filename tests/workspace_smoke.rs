@@ -1,0 +1,66 @@
+//! Workspace wiring smoke test: proves the facade crate's re-exports and
+//! prelude resolve, and that the default pipeline produces a cover — the
+//! minimal "the nine-crate DAG is assembled correctly" check.
+
+use oca_repro::prelude::{
+    rho, theta, Community, Cover, CsrGraph, GraphBuilder, NodeId, Oca, OcaConfig,
+};
+
+/// Two 4-cliques sharing node 3 — the smallest interesting overlap.
+fn two_cliques() -> CsrGraph {
+    let mut b = GraphBuilder::new(7);
+    for base in [0u32, 3] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(base + i, base + j);
+            }
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn prelude_types_resolve_and_interoperate() {
+    let g = two_cliques();
+    assert_eq!(g.node_count(), 7);
+    assert_eq!(g.edge_count(), 12);
+    assert!(g.has_edge(NodeId::new(3), NodeId::new(6)));
+
+    let a = Community::from_raw([0, 1, 2, 3]);
+    let b = Community::from_raw([3, 4, 5, 6]);
+    assert!((rho(&a, &a) - 1.0).abs() < 1e-12);
+
+    let cover = Cover::new(7, vec![a, b]);
+    assert_eq!(theta(&cover, &cover), 1.0);
+    assert!(cover.orphans().is_empty());
+}
+
+#[test]
+fn run_default_finds_a_nonempty_cover_on_a_clique_graph() {
+    let g = two_cliques();
+    let result = oca_repro::core_alg::run_default(&g);
+    assert!(
+        !result.cover.is_empty(),
+        "default OCA run found no communities on two overlapping cliques"
+    );
+    assert!(result.c > 0.0, "interaction strength must be positive");
+    assert!(result.seeds_tried > 0);
+
+    // Every reported community must be internally connected enough to be a
+    // community at all: at least one internal edge per member pair subset.
+    for community in result.cover.communities() {
+        assert!(community.len() >= 2);
+        assert!(community.internal_edges(&g) >= community.len() - 1);
+    }
+}
+
+#[test]
+fn configured_oca_agrees_with_facade_paths() {
+    let g = two_cliques();
+    let via_facade = Oca::new(OcaConfig::default()).run(&g);
+    let via_crate = oca::Oca::new(oca::OcaConfig::default()).run(&g);
+    assert_eq!(
+        via_facade.cover, via_crate.cover,
+        "facade must re-export the same types"
+    );
+}

@@ -1,0 +1,131 @@
+//! String-keyed detector options.
+//!
+//! Registry constructors are driven by whatever front end parsed the
+//! options — CLI flags, config files, HTTP query strings — so the common
+//! currency is string key–value pairs with typed, fallible accessors.
+
+use oca_graph::DetectError;
+use std::str::FromStr;
+
+/// An ordered `key → value` option set (last occurrence of a key wins,
+/// matching CLI semantics).
+#[derive(Debug, Clone, Default)]
+pub struct DetectorOptions {
+    pairs: Vec<(String, String)>,
+}
+
+impl DetectorOptions {
+    /// An empty option set.
+    pub fn new() -> Self {
+        DetectorOptions::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Inserts one option (later values shadow earlier ones for the same
+    /// key).
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.pairs.push((key.to_string(), value.to_string()));
+    }
+
+    /// True when no option was set.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// All keys, in insertion order (duplicates included).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.pairs.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// All `(key, value)` pairs, in insertion order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The raw value for `key` (last occurrence), if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the value for `key` as `T`; absent keys yield `Ok(None)`,
+    /// malformed values a typed [`DetectError::InvalidOption`].
+    pub fn get_parsed<T: FromStr>(&self, key: &str) -> Result<Option<T>, DetectError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| DetectError::InvalidOption {
+                    key: key.to_string(),
+                    value: raw.to_string(),
+                    message: format!("expected a {}", std::any::type_name::<T>()),
+                }),
+        }
+    }
+
+    /// Like [`DetectorOptions::get_parsed`] with a default for absent keys.
+    pub fn get_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, DetectError> {
+        Ok(self.get_parsed(key)?.unwrap_or(default))
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for DetectorOptions {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetectorOptions {
+            pairs: iter
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_occurrence_wins() {
+        let opts = DetectorOptions::new().with("k", "3").with("k", "4");
+        assert_eq!(opts.get("k"), Some("4"));
+        assert_eq!(opts.get_parsed::<usize>("k").unwrap(), Some(4));
+    }
+
+    #[test]
+    fn absent_keys_yield_defaults() {
+        let opts = DetectorOptions::new();
+        assert!(opts.is_empty());
+        assert_eq!(opts.get("k"), None);
+        assert_eq!(opts.get_parsed::<usize>("k").unwrap(), None);
+        assert_eq!(opts.get_or("k", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn malformed_values_are_typed_errors() {
+        let opts = DetectorOptions::new().with("threads", "eight");
+        let err = opts.get_parsed::<usize>("threads").unwrap_err();
+        match err {
+            DetectError::InvalidOption { key, value, .. } => {
+                assert_eq!(key, "threads");
+                assert_eq!(value, "eight");
+            }
+            other => panic!("expected InvalidOption, got {other}"),
+        }
+    }
+
+    #[test]
+    fn collects_from_pairs() {
+        let opts: DetectorOptions = [("alpha", "1.5"), ("min-size", "2")].into_iter().collect();
+        assert_eq!(opts.get_or("alpha", 0.0f64).unwrap(), 1.5);
+        assert_eq!(opts.keys().count(), 2);
+    }
+}

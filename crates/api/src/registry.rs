@@ -1,0 +1,548 @@
+//! The string-keyed detector registry.
+//!
+//! One [`DetectorSpec`] per algorithm variant: a stable name, a summary,
+//! the option keys its constructor accepts, a constructor from
+//! [`DetectorOptions`], and the experiment-grade preset used by the
+//! benchmark harness so every algorithm runs under the paper's protocol
+//! without per-algorithm dispatch at the call sites.
+
+use crate::options::DetectorOptions;
+use oca::{HaltingConfig, OcaConfig, OcaDetector};
+use oca_baselines::{
+    CFinderConfig, CFinderDetector, CFinderFaithfulDetector, LfkConfig, LfkDetector, LpaConfig,
+    LpaDetector,
+};
+use oca_graph::{CommunityDetector, CsrGraph, DetectError};
+
+/// A boxed detector constructor result.
+pub type BoxedDetector = Box<dyn CommunityDetector>;
+
+/// One registry entry: how to name, describe and construct a detector.
+#[derive(Debug, Clone)]
+pub struct DetectorSpec {
+    name: &'static str,
+    display_name: &'static str,
+    summary: &'static str,
+    options: &'static [(&'static str, &'static str)],
+    build: fn(&DetectorOptions) -> Result<BoxedDetector, DetectError>,
+    tuned: fn(&CsrGraph) -> DetectorOptions,
+    experiment: fn(&CsrGraph) -> BoxedDetector,
+}
+
+impl DetectorSpec {
+    /// Creates a spec for registering a custom backend.
+    ///
+    /// `display_name` must match what the constructed detector reports
+    /// via [`CommunityDetector::name`] and be unique across the registry.
+    /// `tuned` supplies graph-scaled default options for interactive use
+    /// (return an empty set when nothing needs scaling); `experiment` is
+    /// the preset of the paper's evaluation protocol.
+    pub fn new(
+        name: &'static str,
+        display_name: &'static str,
+        summary: &'static str,
+        options: &'static [(&'static str, &'static str)],
+        build: fn(&DetectorOptions) -> Result<BoxedDetector, DetectError>,
+        tuned: fn(&CsrGraph) -> DetectorOptions,
+        experiment: fn(&CsrGraph) -> BoxedDetector,
+    ) -> Self {
+        DetectorSpec {
+            name,
+            display_name,
+            summary,
+            options,
+            build,
+            tuned,
+            experiment,
+        }
+    }
+
+    /// The registry key (lowercase, stable; e.g. `"cfinder-faithful"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The display name the constructed detector reports (e.g.
+    /// `"CFinder-faithful"`); unique across the registry, usable as a
+    /// table-row label without constructing anything.
+    pub fn display_name(&self) -> &'static str {
+        self.display_name
+    }
+
+    /// One-line description for listings.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// The option keys the constructor accepts, with help text.
+    pub fn options(&self) -> &'static [(&'static str, &'static str)] {
+        self.options
+    }
+
+    /// The accepted option keys alone.
+    pub fn option_keys(&self) -> Vec<&'static str> {
+        self.options.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// Rejects option keys the constructor does not accept.
+    fn check_keys(&self, opts: &DetectorOptions) -> Result<(), DetectError> {
+        for key in opts.keys() {
+            if !self.options.iter().any(|(k, _)| *k == key) {
+                return Err(DetectError::UnknownOption {
+                    algorithm: self.name,
+                    key: key.to_string(),
+                    accepted: self.option_keys(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Constructs the detector from parsed options. Unknown keys are
+    /// rejected with [`DetectError::UnknownOption`] listing the accepted
+    /// set; malformed values surface as [`DetectError::InvalidOption`].
+    pub fn build(&self, opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+        self.check_keys(opts)?;
+        (self.build)(opts)
+    }
+
+    /// Like [`DetectorSpec::build`], but starts from the graph-scaled
+    /// tuned defaults (e.g. OCA's seed budget proportional to the node
+    /// count) and lets `opts` override them key by key — the right
+    /// constructor for interactive use on a concrete graph.
+    pub fn build_tuned(
+        &self,
+        graph: &CsrGraph,
+        opts: &DetectorOptions,
+    ) -> Result<BoxedDetector, DetectError> {
+        self.check_keys(opts)?;
+        let mut merged = (self.tuned)(graph);
+        for (key, value) in opts.pairs() {
+            merged.set(key, value); // later values win over tuned defaults
+        }
+        (self.build)(&merged)
+    }
+
+    /// Constructs the experiment-grade preset for `graph` — the settings
+    /// the paper's evaluation protocol uses, scaled to the graph size.
+    pub fn experiment(&self, graph: &CsrGraph) -> BoxedDetector {
+        (self.experiment)(graph)
+    }
+}
+
+/// The set of registered detectors, keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorRegistry {
+    specs: Vec<DetectorSpec>,
+}
+
+impl DetectorRegistry {
+    /// An empty registry (use [`registry`] for the built-in set).
+    pub fn new() -> Self {
+        DetectorRegistry::default()
+    }
+
+    /// Registers a spec; a spec with the same name is replaced, so
+    /// downstream crates can override built-ins.
+    pub fn register(&mut self, spec: DetectorSpec) {
+        match self.specs.iter_mut().find(|s| s.name == spec.name) {
+            Some(existing) => *existing = spec,
+            None => self.specs.push(spec),
+        }
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+
+    /// Iterates over the registered specs.
+    pub fn iter(&self) -> impl Iterator<Item = &DetectorSpec> {
+        self.specs.iter()
+    }
+
+    /// Number of registered detectors.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Looks a spec up by name; unknown names get a typed error listing
+    /// what is registered.
+    pub fn get(&self, name: &str) -> Result<&DetectorSpec, DetectError> {
+        self.specs
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| DetectError::UnknownAlgorithm {
+                name: name.to_string(),
+                known: self.names(),
+            })
+    }
+
+    /// Shorthand for `get(name)?.build(opts)`.
+    pub fn build(&self, name: &str, opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+        self.get(name)?.build(opts)
+    }
+}
+
+/// The built-in registry: OCA and every baseline of the paper's Section V
+/// (plus LPA), under stable lowercase names.
+pub fn registry() -> DetectorRegistry {
+    let mut reg = DetectorRegistry::new();
+    reg.register(DetectorSpec::new(
+        "oca",
+        "OCA",
+        "the paper's algorithm: greedy fitness ascents from random seeds (Sections II-IV)",
+        &[
+            (
+                "threads",
+                "worker threads; 1 = sequential deterministic mode",
+            ),
+            ("max-seeds", "hard cap on seeds tried"),
+            ("target-coverage", "stop at this covered-node fraction"),
+            ("stagnation", "stop after this many fruitless seeds"),
+            (
+                "merge-threshold",
+                "merge communities with rho >= this, or 'none'",
+            ),
+            ("min-size", "discard communities smaller than this"),
+            ("orphans", "true = assign every uncovered node afterwards"),
+            (
+                "fixed-c",
+                "bypass the spectral c = -1/lambda_min with a fixed value",
+            ),
+        ],
+        build_oca,
+        tuned_oca,
+        experiment_oca,
+    ));
+    reg.register(DetectorSpec::new(
+        "lfk",
+        "LFK",
+        "local fitness maximization of Lancichinetti, Fortunato & Kertesz (ref [8])",
+        &[
+            ("alpha", "resolution exponent (the paper uses 1)"),
+            ("min-size", "discard natural communities smaller than this"),
+        ],
+        build_lfk,
+        no_tuning,
+        experiment_lfk,
+    ));
+    reg.register(DetectorSpec::new(
+        "cfinder",
+        "CFinder",
+        "k-clique percolation of Palla et al. (ref [12]) with the k = 3 triangle shortcut",
+        CFINDER_OPTIONS,
+        build_cfinder,
+        no_tuning,
+        experiment_cfinder,
+    ));
+    reg.register(DetectorSpec::new(
+        "cfinder-faithful",
+        "CFinder-faithful",
+        "CFinder via maximal-clique enumeration, the original tool's cost profile (Figs. 5-6)",
+        CFINDER_OPTIONS,
+        build_cfinder_faithful,
+        no_tuning,
+        experiment_cfinder_faithful,
+    ));
+    reg.register(DetectorSpec::new(
+        "lpa",
+        "LPA",
+        "label propagation of Raghavan et al., a fast non-overlapping yardstick",
+        &[("max-sweeps", "maximum sweeps over all nodes")],
+        build_lpa,
+        no_tuning,
+        experiment_lpa,
+    ));
+    reg
+}
+
+/// Tuned defaults for algorithms that need no graph-dependent scaling.
+fn no_tuning(_graph: &CsrGraph) -> DetectorOptions {
+    DetectorOptions::new()
+}
+
+/// OCA's interactive defaults scale the halting criteria to the graph
+/// (the library defaults target mid-sized graphs; a fixed 10k seed budget
+/// would silently truncate runs on large ones).
+fn tuned_oca(graph: &CsrGraph) -> DetectorOptions {
+    DetectorOptions::new()
+        .with("max-seeds", &(4 * graph.node_count()).max(100).to_string())
+        .with("target-coverage", "0.99")
+        .with("stagnation", "200")
+}
+
+const CFINDER_OPTIONS: &[(&str, &str)] = &[
+    ("k", "clique size (the paper uses 3)"),
+    ("max-cliques", "cap on enumerated cliques, or 'none'"),
+];
+
+fn build_oca(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+    let defaults = OcaConfig::default();
+    let merge_threshold = match opts.get("merge-threshold") {
+        None => defaults.merge_threshold,
+        Some("none") => None,
+        Some(_) => Some(opts.get_or("merge-threshold", 0.5)?),
+    };
+    let mut config = OcaConfig {
+        threads: opts.get_or("threads", defaults.threads)?,
+        halting: HaltingConfig {
+            max_seeds: opts.get_or("max-seeds", defaults.halting.max_seeds)?,
+            target_coverage: opts.get_or("target-coverage", defaults.halting.target_coverage)?,
+            stagnation_limit: opts.get_or("stagnation", defaults.halting.stagnation_limit)?,
+        },
+        merge_threshold,
+        min_community_size: opts.get_or("min-size", defaults.min_community_size)?,
+        assign_orphans: opts.get_or("orphans", defaults.assign_orphans)?,
+        ..defaults
+    };
+    if let Some(c) = opts.get_parsed::<f64>("fixed-c")? {
+        config.c = oca::CStrategy::Fixed(c);
+    }
+    Ok(Box::new(OcaDetector::new(config)?))
+}
+
+/// Experiment-grade OCA: seed budget scaled to the graph, merging left to
+/// the shared postprocessing step (the paper applies it to all algorithms).
+fn experiment_oca(graph: &CsrGraph) -> BoxedDetector {
+    let config = OcaConfig {
+        halting: HaltingConfig {
+            max_seeds: (4 * graph.node_count()).max(100),
+            target_coverage: 0.99,
+            stagnation_limit: 200,
+        },
+        merge_threshold: None, // shared postprocessing applies it
+        ..Default::default()
+    };
+    Box::new(OcaDetector::new(config).expect("experiment preset is valid"))
+}
+
+fn build_lfk(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+    let defaults = LfkConfig::default();
+    let config = LfkConfig {
+        alpha: opts.get_or("alpha", defaults.alpha)?,
+        min_community_size: opts.get_or("min-size", defaults.min_community_size)?,
+        ..defaults
+    };
+    Ok(Box::new(LfkDetector::new(config)?))
+}
+
+fn experiment_lfk(_graph: &CsrGraph) -> BoxedDetector {
+    let config = LfkConfig {
+        min_community_size: 2,
+        ..Default::default()
+    };
+    Box::new(LfkDetector::new(config).expect("experiment preset is valid"))
+}
+
+fn cfinder_config(opts: &DetectorOptions) -> Result<CFinderConfig, DetectError> {
+    let defaults = CFinderConfig::default();
+    let max_cliques = match opts.get("max-cliques") {
+        None => defaults.max_cliques,
+        Some("none") => None,
+        Some(_) => Some(opts.get_or("max-cliques", 2_000_000)?),
+    };
+    Ok(CFinderConfig {
+        k: opts.get_or("k", defaults.k)?,
+        max_cliques,
+        ..defaults
+    })
+}
+
+fn build_cfinder(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+    Ok(Box::new(CFinderDetector::new(cfinder_config(opts)?)?))
+}
+
+fn experiment_cfinder(_graph: &CsrGraph) -> BoxedDetector {
+    Box::new(CFinderDetector::default())
+}
+
+fn build_cfinder_faithful(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+    Ok(Box::new(CFinderFaithfulDetector::new(cfinder_config(
+        opts,
+    )?)?))
+}
+
+fn experiment_cfinder_faithful(_graph: &CsrGraph) -> BoxedDetector {
+    Box::new(CFinderFaithfulDetector::default())
+}
+
+fn build_lpa(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+    let defaults = LpaConfig::default();
+    let config = LpaConfig {
+        max_sweeps: opts.get_or("max-sweeps", defaults.max_sweeps)?,
+        ..defaults
+    };
+    Ok(Box::new(LpaDetector::new(config)?))
+}
+
+fn experiment_lpa(_graph: &CsrGraph) -> BoxedDetector {
+    Box::new(LpaDetector::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::{from_edges, DetectContext};
+
+    fn toy() -> CsrGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((4, 5));
+        from_edges(10, edges)
+    }
+
+    #[test]
+    fn builtin_registry_has_all_five_variants() {
+        let reg = registry();
+        assert_eq!(
+            reg.names(),
+            vec!["oca", "lfk", "cfinder", "cfinder-faithful", "lpa"]
+        );
+        assert_eq!(reg.len(), 5);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn display_names_are_unique_and_match_the_detectors() {
+        let g = toy();
+        let reg = registry();
+        let mut names: Vec<&str> = Vec::new();
+        for spec in reg.iter() {
+            assert_eq!(
+                spec.experiment(&g).name(),
+                spec.display_name(),
+                "{}: spec display name out of sync with the detector",
+                spec.name()
+            );
+            names.push(spec.display_name());
+        }
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "ambiguous display names");
+    }
+
+    #[test]
+    fn build_tuned_scales_oca_to_the_graph_and_honours_overrides() {
+        let g = toy();
+        let spec = registry();
+        let spec = spec.get("oca").unwrap();
+        // Tuned defaults alone build fine and run deterministically.
+        let det = spec.build_tuned(&g, &DetectorOptions::new()).unwrap();
+        assert!(!det
+            .detect(&g, &mut DetectContext::new(2))
+            .unwrap()
+            .cover
+            .is_empty());
+        // User options still override the tuned defaults and are validated.
+        assert!(spec
+            .build_tuned(&g, &DetectorOptions::new().with("max-seeds", "1"))
+            .is_ok());
+        assert!(matches!(
+            spec.build_tuned(&g, &DetectorOptions::new().with("max-seed", "1")),
+            Err(DetectError::UnknownOption { .. })
+        ));
+    }
+
+    #[test]
+    fn every_entry_builds_and_detects_with_defaults() {
+        let g = toy();
+        let reg = registry();
+        for spec in reg.iter() {
+            let det = spec.build(&DetectorOptions::new()).unwrap();
+            let d = det.detect(&g, &mut DetectContext::new(3)).unwrap();
+            assert!(!d.cover.is_empty(), "{} found nothing", spec.name());
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_lists_known_names() {
+        let err = registry().get("nope").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nope") && msg.contains("cfinder-faithful"));
+    }
+
+    #[test]
+    fn unknown_option_lists_accepted_keys() {
+        let err = registry()
+            .build("lpa", &DetectorOptions::new().with("thread", "4"))
+            .unwrap_err();
+        match &err {
+            DetectError::UnknownOption { key, accepted, .. } => {
+                assert_eq!(key, "thread");
+                assert_eq!(accepted, &vec!["max-sweeps"]);
+            }
+            other => panic!("expected UnknownOption, got {other}"),
+        }
+    }
+
+    #[test]
+    fn options_flow_into_the_config() {
+        let g = toy();
+        let det = registry()
+            .build("cfinder", &DetectorOptions::new().with("k", "2"))
+            .unwrap();
+        let d = det.detect(&g, &mut DetectContext::new(0)).unwrap();
+        // k = 2 percolation = connected components: the toy graph has one.
+        assert_eq!(d.cover.len(), 1);
+    }
+
+    #[test]
+    fn malformed_and_invalid_option_values_are_typed() {
+        let reg = registry();
+        assert!(matches!(
+            reg.build("oca", &DetectorOptions::new().with("threads", "many")),
+            Err(DetectError::InvalidOption { .. })
+        ));
+        assert!(matches!(
+            reg.build("oca", &DetectorOptions::new().with("fixed-c", "1.5")),
+            Err(DetectError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            reg.build("cfinder", &DetectorOptions::new().with("k", "1")),
+            Err(DetectError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_threshold_none_is_accepted() {
+        let det = registry()
+            .build(
+                "oca",
+                &DetectorOptions::new()
+                    .with("merge-threshold", "none")
+                    .with("max-seeds", "50"),
+            )
+            .unwrap();
+        assert_eq!(det.name(), "OCA");
+    }
+
+    #[test]
+    fn registration_replaces_same_name() {
+        let mut reg = registry();
+        let before = reg.len();
+        reg.register(DetectorSpec::new(
+            "lpa",
+            "LPA",
+            "override",
+            &[],
+            build_lpa,
+            no_tuning,
+            experiment_lpa,
+        ));
+        assert_eq!(reg.len(), before);
+        assert_eq!(reg.get("lpa").unwrap().summary(), "override");
+    }
+}

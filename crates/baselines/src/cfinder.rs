@@ -8,9 +8,12 @@
 //! plus pairwise overlap percolation — faithfully reproducing CFinder's
 //! exponential worst case (which Figures 5 and 6 exhibit).
 
-use crate::bron_kerbosch::collect_maximal_cliques;
-use oca_graph::{Community, Cover, CsrGraph, NodeId, UnionFind};
+use crate::bron_kerbosch::maximal_cliques;
+use oca_graph::{
+    Community, Cover, CsrGraph, DetectContext, DetectError, Detection, NodeId, UnionFind,
+};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// CFinder configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,9 +51,44 @@ pub struct CFinderResult {
 }
 
 /// Runs k-clique percolation.
-pub fn cfinder(graph: &CsrGraph, config: &CFinderConfig) -> CFinderResult {
-    assert!(config.k >= 2, "k-clique percolation needs k ≥ 2");
-    if config.k == 2 {
+///
+/// `k < 2` is reported as [`DetectError::InvalidConfig`]; other errors
+/// cannot occur without a cancellable context (see [`cfinder_detect`]).
+pub fn cfinder(graph: &CsrGraph, config: &CFinderConfig) -> Result<CFinderResult, DetectError> {
+    let detection = cfinder_detect(graph, config, &DetectContext::default())?;
+    Ok(CFinderResult {
+        cover: detection.cover,
+        complete: detection.complete,
+    })
+}
+
+/// [`cfinder`] under a [`DetectContext`]: cancellation is polled during
+/// triangle/clique enumeration and during percolation, with `"triangles"`,
+/// `"cliques"` and `"percolate"` progress ticks. On cancellation the
+/// groups enumerated so far are percolated and returned as the partial
+/// result — the same degradation path as hitting the clique cap.
+pub fn cfinder_detect(
+    graph: &CsrGraph,
+    config: &CFinderConfig,
+    ctx: &DetectContext,
+) -> Result<Detection, DetectError> {
+    let start = Instant::now();
+    if config.k < 2 {
+        return Err(DetectError::InvalidConfig {
+            algorithm: "CFinder",
+            message: format!("k-clique percolation needs k >= 2, got {}", config.k),
+        });
+    }
+    if ctx.is_cancelled() {
+        return Err(DetectError::cancelled(Detection {
+            cover: Cover::empty(graph.node_count()),
+            elapsed: start.elapsed(),
+            complete: false,
+            iterations: 0,
+            stats: Vec::new(),
+        }));
+    }
+    let run = if config.k == 2 {
         // 2-clique communities are just connected components with ≥ 1 edge.
         let comps = oca_graph::Components::compute(graph);
         let comms: Vec<Community> = comps
@@ -59,23 +97,60 @@ pub fn cfinder(graph: &CsrGraph, config: &CFinderConfig) -> CFinderResult {
             .filter(|m| m.len() >= 2)
             .map(Community::new)
             .collect();
-        return CFinderResult {
+        let groups = comms.len();
+        PercolationRun {
             cover: Cover::new(graph.node_count(), comms),
             complete: true,
-        };
-    }
-    if config.k == 3 && config.triangle_fast_path {
-        triangle_percolation(graph)
+            cancelled: false,
+            groups,
+        }
+    } else if config.k == 3 && config.triangle_fast_path {
+        triangle_percolation(graph, ctx)
     } else {
-        clique_percolation(graph, config)
+        clique_percolation(graph, config, ctx)
+    };
+    let detection = Detection {
+        cover: run.cover,
+        elapsed: start.elapsed(),
+        complete: run.complete,
+        iterations: run.groups,
+        stats: vec![("k", config.k.to_string())],
+    };
+    if run.cancelled {
+        Err(DetectError::cancelled(detection))
+    } else {
+        Ok(detection)
     }
 }
 
+/// Internal outcome of one percolation pass.
+struct PercolationRun {
+    cover: Cover,
+    /// False when the clique cap or a cancellation truncated enumeration.
+    complete: bool,
+    /// True when the truncation was a cancellation.
+    cancelled: bool,
+    /// Groups (triangles/cliques/components) enumerated.
+    groups: usize,
+}
+
+/// How many enumeration steps pass between cancellation/progress checks.
+const TICK_INTERVAL: usize = 1024;
+
 /// Fast path for k = 3: percolate triangles over shared edges.
-fn triangle_percolation(graph: &CsrGraph) -> CFinderResult {
+fn triangle_percolation(graph: &CsrGraph, ctx: &DetectContext) -> PercolationRun {
     // Enumerate triangles (u < v < w) via neighbor-list intersection.
     let mut triangles: Vec<[NodeId; 3]> = Vec::new();
+    let mut cancelled = false;
+    let n = graph.node_count();
     for u in graph.nodes() {
+        if u.index() % TICK_INTERVAL == 0 {
+            ctx.tick("triangles", u.index(), Some(n));
+            if ctx.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+        }
         for &v in graph.neighbors(u) {
             if v <= u {
                 continue;
@@ -122,17 +197,38 @@ fn triangle_percolation(graph: &CsrGraph) -> CFinderResult {
         |ti| triangles[ti].to_vec(),
         &mut uf,
     );
-    CFinderResult {
+    PercolationRun {
         cover,
-        complete: true,
+        complete: !cancelled,
+        cancelled,
+        groups: triangles.len(),
     }
 }
 
 /// Generic path: maximal cliques of size ≥ k percolate when they share at
 /// least k − 1 nodes.
-fn clique_percolation(graph: &CsrGraph, config: &CFinderConfig) -> CFinderResult {
+fn clique_percolation(
+    graph: &CsrGraph,
+    config: &CFinderConfig,
+    ctx: &DetectContext,
+) -> PercolationRun {
     let k = config.k;
-    let (all, complete) = collect_maximal_cliques(graph, config.max_cliques);
+    let mut all: Vec<Vec<NodeId>> = Vec::new();
+    let mut cancelled = false;
+    let complete = maximal_cliques(graph, |clique| {
+        let mut c = clique.to_vec();
+        c.sort_unstable();
+        all.push(c);
+        if all.len() % TICK_INTERVAL == 0 {
+            ctx.tick("cliques", all.len(), None);
+            if ctx.is_cancelled() {
+                cancelled = true;
+                return false;
+            }
+        }
+        config.max_cliques.is_none_or(|cap| all.len() < cap)
+    });
+    let enumerated = all.len();
     let cliques: Vec<Vec<NodeId>> = all.into_iter().filter(|c| c.len() >= k).collect();
     let mut uf = UnionFind::new(cliques.len());
     // Pairwise overlap test, pruned by a node→cliques index.
@@ -142,7 +238,20 @@ fn clique_percolation(graph: &CsrGraph, config: &CFinderConfig) -> CFinderResult
             node_index.entry(v).or_default().push(ci);
         }
     }
+    // When the cancellation arrived during enumeration, the truncated
+    // clique set is still percolated in full (bounded work, same
+    // degradation path as the clique cap) so the partial result is made
+    // of real communities, not raw cliques; a fresh cancellation during
+    // percolation stops the pairwise loop itself.
+    let enumeration_cancelled = cancelled;
     for (ci, c) in cliques.iter().enumerate() {
+        if ci % TICK_INTERVAL == 0 {
+            ctx.tick("percolate", ci, Some(cliques.len()));
+            if !enumeration_cancelled && ctx.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+        }
         let mut candidates: Vec<usize> = c
             .iter()
             .flat_map(|v| node_index[v].iter().copied())
@@ -162,7 +271,12 @@ fn clique_percolation(graph: &CsrGraph, config: &CFinderConfig) -> CFinderResult
         |ci| cliques[ci].clone(),
         &mut uf,
     );
-    CFinderResult { cover, complete }
+    PercolationRun {
+        cover,
+        complete: complete && !cancelled,
+        cancelled,
+        groups: enumerated,
+    }
 }
 
 fn sorted_overlap(a: &[NodeId], b: &[NodeId]) -> usize {
@@ -227,7 +341,7 @@ mod tests {
     #[test]
     fn k3_finds_triangle_chains() {
         let g = butterfly();
-        let r = cfinder(&g, &CFinderConfig::default());
+        let r = cfinder(&g, &CFinderConfig::default()).unwrap();
         assert!(r.complete);
         // Triangles (0,1,2)-(2,3,4) share edge? (0,1,2) and (2,3,4) share
         // only node 2 → NOT adjacent. Each triangle is isolated from the
@@ -240,7 +354,7 @@ mod tests {
     fn k3_percolates_through_shared_edges() {
         // Two triangles sharing edge 1-2: one community of 4 nodes.
         let g = from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
-        let r = cfinder(&g, &CFinderConfig::default());
+        let r = cfinder(&g, &CFinderConfig::default()).unwrap();
         assert_eq!(r.cover.len(), 1);
         assert_eq!(r.cover.communities()[0].len(), 4);
     }
@@ -262,7 +376,7 @@ mod tests {
                 (5, 6),
             ],
         );
-        let r = cfinder(&g, &CFinderConfig::default());
+        let r = cfinder(&g, &CFinderConfig::default()).unwrap();
         assert_eq!(r.cover.len(), 2);
         let idx = r.cover.membership_index();
         assert_eq!(idx[4].len(), 2, "node 4 overlaps both communities");
@@ -289,7 +403,7 @@ mod tests {
             k: 4,
             ..Default::default()
         };
-        let r = cfinder(&g, &cfg);
+        let r = cfinder(&g, &cfg).unwrap();
         assert_eq!(r.cover.len(), 1);
         assert_eq!(r.cover.communities()[0].len(), 5);
     }
@@ -301,7 +415,7 @@ mod tests {
             k: 4,
             ..Default::default()
         };
-        let r = cfinder(&g, &cfg);
+        let r = cfinder(&g, &cfg).unwrap();
         assert!(r.cover.is_empty());
     }
 
@@ -312,14 +426,14 @@ mod tests {
             k: 2,
             ..Default::default()
         };
-        let r = cfinder(&g, &cfg);
+        let r = cfinder(&g, &cfg).unwrap();
         assert_eq!(r.cover.len(), 2);
     }
 
     #[test]
     fn generic_path_agrees_with_triangle_path_on_k3() {
         let g = butterfly();
-        let fast = cfinder(&g, &CFinderConfig::default());
+        let fast = cfinder(&g, &CFinderConfig::default()).unwrap();
         let slow = clique_percolation(
             &g,
             &CFinderConfig {
@@ -327,6 +441,7 @@ mod tests {
                 max_cliques: None,
                 triangle_fast_path: false,
             },
+            &DetectContext::default(),
         );
         let mut a: Vec<_> = fast.cover.communities().to_vec();
         let mut b: Vec<_> = slow.cover.communities().to_vec();
@@ -336,9 +451,53 @@ mod tests {
     }
 
     #[test]
+    fn cancel_during_enumeration_still_percolates_the_partial() {
+        use oca_graph::CancelToken;
+        // A triangle strip: 1500 edge-sharing triangles that percolate
+        // into few long communities. Cancelling at the first "cliques"
+        // tick (1024 enumerated) must still union the collected cliques,
+        // not return one raw community per clique.
+        let n = 1502u32;
+        let mut edges = Vec::new();
+        for i in 0..n - 1 {
+            edges.push((i, i + 1));
+        }
+        for i in 0..n - 2 {
+            edges.push((i, i + 2));
+        }
+        let g = from_edges(n as usize, edges);
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let ctx = DetectContext::new(0)
+            .with_cancel(token)
+            .with_progress(move |p| {
+                if p.stage == "cliques" {
+                    trigger.cancel();
+                }
+            });
+        let config = CFinderConfig {
+            triangle_fast_path: false,
+            ..Default::default()
+        };
+        match cfinder_detect(&g, &config, &ctx) {
+            Err(DetectError::Cancelled { partial }) => {
+                assert!(!partial.complete);
+                assert!(!partial.cover.is_empty(), "partial lost all work");
+                assert!(
+                    partial.cover.len() < partial.iterations / 2,
+                    "{} communities from {} cliques: percolation did not run",
+                    partial.cover.len(),
+                    partial.iterations
+                );
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn nodes_outside_triangles_are_orphans() {
         let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
-        let r = cfinder(&g, &CFinderConfig::default());
+        let r = cfinder(&g, &CFinderConfig::default()).unwrap();
         let orphans = r.cover.orphans();
         assert!(orphans.contains(&NodeId(3)));
         assert!(orphans.contains(&NodeId(4)));

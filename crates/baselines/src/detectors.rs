@@ -1,0 +1,283 @@
+//! [`CommunityDetector`] implementations for the baseline algorithms.
+//!
+//! Thin config newtypes plugging LFK, CFinder (both paths) and LPA into
+//! the workspace-wide detection API of [`oca_graph::detect`]. The
+//! `oca-api` crate registers them under the names `"lfk"`, `"cfinder"`,
+//! `"cfinder-faithful"` and `"lpa"`.
+//!
+//! The triangle-shortcut and faithful maximal-clique CFinder variants are
+//! distinct detectors with distinct display names (`"CFinder"` vs
+//! `"CFinder-faithful"`) so experiment tables and CSV rows stay
+//! unambiguous.
+
+use crate::cfinder::{cfinder_detect, CFinderConfig};
+use crate::label_prop::{label_propagation_detect, LpaConfig};
+use crate::lfk::{lfk_detect, LfkConfig};
+use oca_graph::{CommunityDetector, CsrGraph, DetectContext, DetectError, Detection};
+
+/// LFK behind the common [`CommunityDetector`] interface.
+///
+/// The context seed overrides [`LfkConfig::rng_seed`].
+#[derive(Debug, Clone, Default)]
+pub struct LfkDetector {
+    config: LfkConfig,
+}
+
+impl LfkDetector {
+    /// Wraps a validated configuration.
+    pub fn new(config: LfkConfig) -> Result<Self, DetectError> {
+        if !(config.alpha.is_finite() && config.alpha > 0.0) {
+            return Err(DetectError::InvalidConfig {
+                algorithm: "LFK",
+                message: format!("alpha must be finite and positive, got {}", config.alpha),
+            });
+        }
+        Ok(LfkDetector { config })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &LfkConfig {
+        &self.config
+    }
+}
+
+impl CommunityDetector for LfkDetector {
+    fn name(&self) -> &'static str {
+        "LFK"
+    }
+
+    fn detect(&self, graph: &CsrGraph, ctx: &mut DetectContext) -> Result<Detection, DetectError> {
+        let mut config = self.config;
+        config.rng_seed = ctx.seed();
+        lfk_detect(graph, &config, ctx)
+    }
+}
+
+/// CFinder (k-clique percolation) behind the common interface, using the
+/// configured clique path — by default the fast triangle shortcut for
+/// `k = 3`.
+///
+/// CFinder is deterministic, so the context seed is unused.
+#[derive(Debug, Clone, Default)]
+pub struct CFinderDetector {
+    config: CFinderConfig,
+}
+
+impl CFinderDetector {
+    /// Wraps a validated configuration (`k >= 2`).
+    pub fn new(config: CFinderConfig) -> Result<Self, DetectError> {
+        validate_cfinder(&config)?;
+        Ok(CFinderDetector { config })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &CFinderConfig {
+        &self.config
+    }
+}
+
+impl CommunityDetector for CFinderDetector {
+    fn name(&self) -> &'static str {
+        "CFinder"
+    }
+
+    fn detect(&self, graph: &CsrGraph, ctx: &mut DetectContext) -> Result<Detection, DetectError> {
+        cfinder_detect(graph, &self.config, ctx)
+    }
+}
+
+/// CFinder in its faithful mode: maximal-clique enumeration first, like
+/// the original tool — the prohibitive cost profile the paper's timing
+/// experiments (Figures 5–6) measure. Distinct display name so timing
+/// tables cannot be confused with the triangle-shortcut rows.
+#[derive(Debug, Clone, Default)]
+pub struct CFinderFaithfulDetector {
+    config: CFinderConfig,
+}
+
+impl CFinderFaithfulDetector {
+    /// Wraps a validated configuration (`k >= 2`); the triangle fast path
+    /// is disabled regardless of the flag in `config`.
+    pub fn new(config: CFinderConfig) -> Result<Self, DetectError> {
+        validate_cfinder(&config)?;
+        Ok(CFinderFaithfulDetector { config })
+    }
+
+    /// The wrapped configuration (fast path forced off at detection time).
+    pub fn config(&self) -> &CFinderConfig {
+        &self.config
+    }
+}
+
+impl CommunityDetector for CFinderFaithfulDetector {
+    fn name(&self) -> &'static str {
+        "CFinder-faithful"
+    }
+
+    fn detect(&self, graph: &CsrGraph, ctx: &mut DetectContext) -> Result<Detection, DetectError> {
+        let config = CFinderConfig {
+            triangle_fast_path: false,
+            ..self.config
+        };
+        cfinder_detect(graph, &config, ctx)
+    }
+}
+
+fn validate_cfinder(config: &CFinderConfig) -> Result<(), DetectError> {
+    if config.k < 2 {
+        return Err(DetectError::InvalidConfig {
+            algorithm: "CFinder",
+            message: format!("k-clique percolation needs k >= 2, got {}", config.k),
+        });
+    }
+    Ok(())
+}
+
+/// Label propagation behind the common interface.
+///
+/// The context seed overrides [`LpaConfig::rng_seed`].
+#[derive(Debug, Clone, Default)]
+pub struct LpaDetector {
+    config: LpaConfig,
+}
+
+impl LpaDetector {
+    /// Wraps a validated configuration.
+    pub fn new(config: LpaConfig) -> Result<Self, DetectError> {
+        if config.max_sweeps == 0 {
+            return Err(DetectError::InvalidConfig {
+                algorithm: "LPA",
+                message: "need at least one sweep".to_string(),
+            });
+        }
+        Ok(LpaDetector { config })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &LpaConfig {
+        &self.config
+    }
+}
+
+impl CommunityDetector for LpaDetector {
+    fn name(&self) -> &'static str {
+        "LPA"
+    }
+
+    fn detect(&self, graph: &CsrGraph, ctx: &mut DetectContext) -> Result<Detection, DetectError> {
+        let mut config = self.config;
+        config.rng_seed = ctx.seed();
+        label_propagation_detect(graph, &config, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::{from_edges, CancelToken};
+
+    fn toy() -> CsrGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((3, 4));
+        from_edges(8, edges)
+    }
+
+    fn detectors() -> Vec<Box<dyn CommunityDetector>> {
+        vec![
+            Box::new(LfkDetector::default()),
+            Box::new(CFinderDetector::default()),
+            Box::new(CFinderFaithfulDetector::default()),
+            Box::new(LpaDetector::default()),
+        ]
+    }
+
+    #[test]
+    fn all_baselines_detect_on_toy_graph() {
+        let g = toy();
+        for det in detectors() {
+            let d = det.detect(&g, &mut DetectContext::new(5)).unwrap();
+            assert!(d.complete, "{} did not complete", det.name());
+            assert!(!d.cover.is_empty(), "{} found nothing", det.name());
+        }
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let names: Vec<&str> = detectors().iter().map(|d| d.name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names in {names:?}");
+    }
+
+    #[test]
+    fn cfinder_variants_agree_on_k3() {
+        let g = toy();
+        let fast = CFinderDetector::default()
+            .detect(&g, &mut DetectContext::new(1))
+            .unwrap();
+        let slow = CFinderFaithfulDetector::default()
+            .detect(&g, &mut DetectContext::new(1))
+            .unwrap();
+        assert_eq!(fast.cover, slow.cover);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let bad_k = CFinderConfig {
+            k: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            CFinderDetector::new(bad_k),
+            Err(DetectError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            CFinderFaithfulDetector::new(bad_k),
+            Err(DetectError::InvalidConfig { .. })
+        ));
+        let bad_alpha = LfkConfig {
+            alpha: f64::NAN,
+            ..Default::default()
+        };
+        assert!(LfkDetector::new(bad_alpha).is_err());
+        let bad_sweeps = LpaConfig {
+            max_sweeps: 0,
+            ..Default::default()
+        };
+        assert!(LpaDetector::new(bad_sweeps).is_err());
+    }
+
+    #[test]
+    fn pre_cancelled_contexts_fail_promptly_with_partial() {
+        let g = toy();
+        for det in detectors() {
+            let token = CancelToken::new();
+            token.cancel();
+            let mut ctx = DetectContext::new(5).with_cancel(token);
+            match det.detect(&g, &mut ctx) {
+                Err(DetectError::Cancelled { partial }) => {
+                    assert!(!partial.complete, "{} partial marked complete", det.name())
+                }
+                other => panic!("{}: expected Cancelled, got {other:?}", det.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn context_seed_makes_runs_deterministic() {
+        let g = toy();
+        for det in detectors() {
+            let a = det.detect(&g, &mut DetectContext::new(9)).unwrap();
+            let b = det.detect(&g, &mut DetectContext::new(9)).unwrap();
+            assert_eq!(a.cover, b.cover, "{} not deterministic", det.name());
+        }
+    }
+}

@@ -5,11 +5,12 @@
 //! paper's comparison set, but useful as a speed yardstick and as a sanity
 //! check in tests (it is near-linear and parameter-free).
 
-use oca_graph::{Community, Cover, CsrGraph};
+use oca_graph::{Community, Cover, CsrGraph, DetectContext, DetectError, Detection};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Label propagation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,12 +33,36 @@ impl Default for LpaConfig {
 /// Runs asynchronous LPA; returns the final label partition as a cover
 /// (singleton communities included, so coverage is always 1).
 pub fn label_propagation(graph: &CsrGraph, config: &LpaConfig) -> Cover {
+    match label_propagation_detect(graph, config, &DetectContext::new(config.rng_seed)) {
+        Ok(detection) => detection.cover,
+        // The default context can never be cancelled — the only failure mode.
+        Err(e) => unreachable!("uncancellable LPA run failed: {e}"),
+    }
+}
+
+/// [`label_propagation`] under a [`DetectContext`]: the cancellation token
+/// is polled once per sweep and a `"sweep"` progress tick fires after each
+/// one. On cancellation the current label partition is returned as the
+/// partial result. Randomness still derives from [`LpaConfig::rng_seed`];
+/// detector wrappers copy the context seed into the config first.
+pub fn label_propagation_detect(
+    graph: &CsrGraph,
+    config: &LpaConfig,
+    ctx: &DetectContext,
+) -> Result<Detection, DetectError> {
+    let start = Instant::now();
     let n = graph.node_count();
     let mut labels: Vec<u32> = (0..n as u32).collect();
     let mut rng = StdRng::seed_from_u64(config.rng_seed);
     let mut order: Vec<u32> = (0..n as u32).collect();
     let mut counts: HashMap<u32, usize> = HashMap::new();
+    let mut sweeps = 0usize;
     for _ in 0..config.max_sweeps {
+        if ctx.is_cancelled() {
+            return Err(DetectError::cancelled(partition_detection(
+                n, &labels, start, sweeps, false,
+            )));
+        }
         order.shuffle(&mut rng);
         let mut changed = false;
         for &v in &order {
@@ -68,17 +93,37 @@ pub fn label_propagation(graph: &CsrGraph, config: &LpaConfig) -> Cover {
                 changed = true;
             }
         }
+        sweeps += 1;
+        ctx.tick("sweep", sweeps, Some(config.max_sweeps));
         if !changed {
             break;
         }
     }
+    Ok(partition_detection(n, &labels, start, sweeps, true))
+}
+
+/// Folds the label array into a [`Detection`] (used by both the normal
+/// return and the partial result inside a cancellation error).
+fn partition_detection(
+    n: usize,
+    labels: &[u32],
+    start: Instant,
+    sweeps: usize,
+    complete: bool,
+) -> Detection {
     let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
     for (v, &l) in labels.iter().enumerate() {
         groups.entry(l).or_default().push(v as u32);
     }
     let mut communities: Vec<Community> = groups.into_values().map(Community::from_raw).collect();
     communities.sort_unstable_by(|a, b| a.members().cmp(b.members()));
-    Cover::new(n, communities)
+    Detection {
+        cover: Cover::new(n, communities),
+        elapsed: start.elapsed(),
+        complete,
+        iterations: sweeps,
+        stats: vec![("sweeps", sweeps.to_string())],
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,10 @@
 //! The paper's experiments use the standard `α = 1`.
 
 use crate::set_state::SetState;
-use oca_graph::{Community, Cover, CsrGraph, NodeId};
+use oca_graph::{Community, Cover, CsrGraph, DetectContext, DetectError, Detection, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// LFK configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,13 +124,46 @@ pub fn natural_community(
 /// Runs LFK over the whole graph: natural communities from random uncovered
 /// seeds until every node is covered.
 pub fn lfk(graph: &CsrGraph, config: &LfkConfig) -> Cover {
+    match lfk_detect(graph, config, &DetectContext::new(config.rng_seed)) {
+        Ok(detection) => detection.cover,
+        // The default context can never be cancelled — the only failure mode.
+        Err(e) => unreachable!("uncancellable LFK run failed: {e}"),
+    }
+}
+
+/// [`lfk`] under a [`DetectContext`]: the cancellation token is polled once
+/// per grown community and a `"natural-community"` progress tick reports
+/// covered nodes. Randomness still derives from [`LfkConfig::rng_seed`];
+/// detector wrappers copy the context seed into the config first.
+pub fn lfk_detect(
+    graph: &CsrGraph,
+    config: &LfkConfig,
+    ctx: &DetectContext,
+) -> Result<Detection, DetectError> {
+    let start = Instant::now();
     let n = graph.node_count();
     let mut rng = StdRng::seed_from_u64(config.rng_seed);
     let mut covered = vec![false; n];
+    let mut covered_count = 0usize;
     let mut uncovered: Vec<u32> = (0..n as u32).collect();
     let mut state = SetState::new(graph);
     let mut communities = Vec::new();
+    let mut seeds_tried = 0usize;
+    let detection = |communities: Vec<Community>, seeds: usize, complete: bool| Detection {
+        cover: Cover::new(n, communities),
+        elapsed: start.elapsed(),
+        complete,
+        iterations: seeds,
+        stats: vec![("alpha", format!("{}", config.alpha))],
+    };
     while !uncovered.is_empty() {
+        if ctx.is_cancelled() {
+            return Err(DetectError::cancelled(detection(
+                communities,
+                seeds_tried,
+                false,
+            )));
+        }
         // Pick a random uncovered node (swap-remove compaction).
         let idx = rng.random_range(0..uncovered.len());
         let seed = uncovered.swap_remove(idx);
@@ -137,14 +171,19 @@ pub fn lfk(graph: &CsrGraph, config: &LfkConfig) -> Cover {
             continue;
         }
         let community = natural_community(graph, &mut state, NodeId(seed), config);
+        seeds_tried += 1;
         for &v in community.members() {
-            covered[v.index()] = true;
+            if !covered[v.index()] {
+                covered[v.index()] = true;
+                covered_count += 1;
+            }
         }
+        ctx.tick("natural-community", covered_count, Some(n));
         if community.len() >= config.min_community_size {
             communities.push(community);
         }
     }
-    Cover::new(n, communities)
+    Ok(detection(communities, seeds_tried, true))
 }
 
 #[cfg(test)]

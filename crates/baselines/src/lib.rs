@@ -20,12 +20,14 @@
 
 pub mod bron_kerbosch;
 pub mod cfinder;
+pub mod detectors;
 pub mod label_prop;
 pub mod lfk;
 pub mod set_state;
 
 pub use bron_kerbosch::{collect_maximal_cliques, maximal_cliques};
-pub use cfinder::{cfinder, CFinderConfig, CFinderResult};
-pub use label_prop::{label_propagation, LpaConfig};
-pub use lfk::{lfk, natural_community, LfkConfig};
+pub use cfinder::{cfinder, cfinder_detect, CFinderConfig, CFinderResult};
+pub use detectors::{CFinderDetector, CFinderFaithfulDetector, LfkDetector, LpaDetector};
+pub use label_prop::{label_propagation, label_propagation_detect, LpaConfig};
+pub use lfk::{lfk, lfk_detect, natural_community, LfkConfig};
 pub use set_state::SetState;

@@ -2,7 +2,7 @@
 //! companion to the Fig. 5/6 wall-clock binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use oca_bench::{run_algorithm, AlgorithmKind};
+use oca_bench::run_algorithm;
 use oca_gen::{daisy_tree, lfr, DaisyParams, LfrParams};
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -11,24 +11,19 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("algorithms");
     group.sample_size(10);
-    for kind in [
-        AlgorithmKind::Oca,
-        AlgorithmKind::Lfk,
-        AlgorithmKind::CFinder,
-        AlgorithmKind::Lpa,
-    ] {
-        group.bench_function(format!("lfr1000/{}", kind.name().to_lowercase()), |b| {
-            b.iter(|| run_algorithm(kind, &lfr_bench.graph, 5).cover.len())
+    for name in ["oca", "lfk", "cfinder", "lpa"] {
+        group.bench_function(format!("lfr1000/{name}"), |b| {
+            b.iter(|| run_algorithm(name, &lfr_bench.graph, 5).cover.len())
         });
-        group.bench_function(format!("daisy1000/{}", kind.name().to_lowercase()), |b| {
-            b.iter(|| run_algorithm(kind, &daisy_bench.graph, 5).cover.len())
+        group.bench_function(format!("daisy1000/{name}"), |b| {
+            b.iter(|| run_algorithm(name, &daisy_bench.graph, 5).cover.len())
         });
     }
     // The faithful CFinder (maximal-clique pipeline) on the LFR instance —
     // the configuration whose blow-up Figure 5 documents.
     group.bench_function("lfr1000/cfinder_faithful", |b| {
         b.iter(|| {
-            run_algorithm(AlgorithmKind::CFinderFaithful, &lfr_bench.graph, 5)
+            run_algorithm("cfinder-faithful", &lfr_bench.graph, 5)
                 .cover
                 .len()
         })

@@ -9,7 +9,7 @@
 //! cargo run -p oca-bench --release --bin fig2_theta_vs_mu -- --nodes 1000
 //! ```
 
-use oca_bench::{run_algorithm, shared_postprocess, AlgorithmKind, Args, Table};
+use oca_bench::{run_algorithm, shared_postprocess, Args, Table, QUALITY_ALGORITHMS};
 use oca_gen::{lfr, LfrParams};
 use oca_metrics::{overlapping_nmi, theta};
 
@@ -17,25 +17,20 @@ fn main() {
     let args = Args::parse();
     let nodes: usize = args.get("nodes", 1000);
     let seed: u64 = args.get("seed", 42);
-    let algorithms = [
-        AlgorithmKind::Oca,
-        AlgorithmKind::Lfk,
-        AlgorithmKind::CFinder,
-    ];
 
     let mut table = Table::new(["mu", "algorithm", "theta", "nmi", "communities", "secs"]);
     println!("Figure 2 reproduction: Theta vs mixing parameter (LFR, n = {nodes})");
     for step in 0..=6 {
         let mu = 0.2 + 0.1 * step as f64;
         let bench = lfr(&LfrParams::small(nodes, mu, seed + step));
-        for &alg in &algorithms {
+        for alg in QUALITY_ALGORITHMS {
             let out = run_algorithm(alg, &bench.graph, seed);
             let cover = shared_postprocess(&out.cover);
             let th = theta(&bench.ground_truth, &cover);
             let nmi = overlapping_nmi(&bench.ground_truth, &cover);
             table.row([
                 format!("{mu:.1}"),
-                alg.name().to_string(),
+                out.algorithm.to_string(),
                 format!("{th:.3}"),
                 format!("{nmi:.3}"),
                 cover.len().to_string(),

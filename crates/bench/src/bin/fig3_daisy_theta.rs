@@ -9,7 +9,7 @@
 //! cargo run -p oca-bench --release --bin fig3_daisy_theta -- --max-size 100000
 //! ```
 
-use oca_bench::{run_algorithm, shared_postprocess, AlgorithmKind, Args, Table};
+use oca_bench::{run_algorithm, shared_postprocess, Args, Table, QUALITY_ALGORITHMS};
 use oca_gen::{daisy_tree, DaisyParams};
 use oca_metrics::{overlapping_nmi, theta};
 
@@ -24,11 +24,6 @@ fn main() {
         alpha: 0.9,
         beta: 0.9,
     };
-    let algorithms = [
-        AlgorithmKind::Oca,
-        AlgorithmKind::Lfk,
-        AlgorithmKind::CFinder,
-    ];
 
     let mut table = Table::new(["size", "algorithm", "theta", "nmi", "communities", "secs"]);
     println!(
@@ -39,12 +34,12 @@ fn main() {
     while size <= max_size {
         let flowers = (size / flower.n).max(1);
         let bench = daisy_tree(&flower, flowers - 1, 0.05, seed + size as u64);
-        for &alg in &algorithms {
+        for alg in QUALITY_ALGORITHMS {
             let out = run_algorithm(alg, &bench.graph, seed);
             let cover = shared_postprocess(&out.cover);
             table.row([
                 bench.graph.node_count().to_string(),
-                alg.name().to_string(),
+                out.algorithm.to_string(),
                 format!("{:.3}", theta(&bench.ground_truth, &cover)),
                 format!("{:.3}", overlapping_nmi(&bench.ground_truth, &cover)),
                 cover.len().to_string(),

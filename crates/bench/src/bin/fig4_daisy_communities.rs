@@ -9,7 +9,7 @@
 //! cargo run -p oca-bench --release --bin fig4_daisy_communities
 //! ```
 
-use oca_bench::{run_algorithm, shared_postprocess, AlgorithmKind, Args, Table};
+use oca_bench::{run_algorithm, shared_postprocess, Args, Table, QUALITY_ALGORITHMS};
 use oca_gen::{daisy, DaisyParams};
 use oca_graph::{Community, Cover};
 use oca_metrics::rho;
@@ -54,17 +54,13 @@ fn main() {
     );
 
     let mut table = Table::new(["algorithm", "community", "size", "shape", "best rho"]);
-    for alg in [
-        AlgorithmKind::Oca,
-        AlgorithmKind::Lfk,
-        AlgorithmKind::CFinder,
-    ] {
+    for alg in QUALITY_ALGORITHMS {
         let out = run_algorithm(alg, &bench.graph, seed);
         let cover = shared_postprocess(&out.cover);
         for (i, c) in cover.communities().iter().enumerate() {
             let (shape, r) = classify(c, &bench.ground_truth);
             table.row([
-                alg.name().to_string(),
+                out.algorithm.to_string(),
                 format!("#{i}"),
                 c.len().to_string(),
                 shape.to_string(),

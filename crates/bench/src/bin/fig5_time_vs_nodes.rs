@@ -11,7 +11,7 @@
 //! cargo run -p oca-bench --release --bin fig5_time_vs_nodes -- --max-nodes 25000
 //! ```
 
-use oca_bench::{run_algorithm, AlgorithmKind, Args, Table};
+use oca_bench::{display_name, run_algorithm, Args, Table};
 use oca_gen::{lfr, LfrParams};
 
 fn main() {
@@ -29,15 +29,11 @@ fn main() {
     while n <= max_nodes {
         let params = LfrParams::timing(n, 500.min(n / 2), 700.min(n - 1), seed + n as u64);
         let bench = lfr(&params);
-        for alg in [
-            AlgorithmKind::Oca,
-            AlgorithmKind::Lfk,
-            AlgorithmKind::CFinderFaithful,
-        ] {
-            if alg == AlgorithmKind::CFinderFaithful && n > cfinder_cap {
+        for alg in ["oca", "lfk", "cfinder-faithful"] {
+            if alg == "cfinder-faithful" && n > cfinder_cap {
                 table.row([
                     n.to_string(),
-                    alg.name().to_string(),
+                    display_name(alg).to_string(),
                     "skipped (prohibitive)".to_string(),
                     "-".to_string(),
                     "-".to_string(),
@@ -47,7 +43,7 @@ fn main() {
             let out = run_algorithm(alg, &bench.graph, seed);
             table.row([
                 n.to_string(),
-                alg.name().to_string(),
+                out.algorithm.to_string(),
                 oca_bench::secs(out.elapsed),
                 out.cover.len().to_string(),
                 out.complete.to_string(),

@@ -8,7 +8,7 @@
 //! cargo run -p oca-bench --release --bin fig6_time_vs_comsize -- --nodes 5000
 //! ```
 
-use oca_bench::{run_algorithm, AlgorithmKind, Args, Table};
+use oca_bench::{run_algorithm, Args, Table};
 use oca_gen::{lfr, LfrParams};
 
 fn main() {
@@ -25,11 +25,11 @@ fn main() {
     while k <= max_k {
         let params = LfrParams::timing(nodes, k, (k + 50).min(nodes - 1), seed + k as u64);
         let bench = lfr(&params);
-        for alg in [AlgorithmKind::Oca, AlgorithmKind::Lfk] {
+        for alg in ["oca", "lfk"] {
             let out = run_algorithm(alg, &bench.graph, seed);
             table.row([
                 k.to_string(),
-                alg.name().to_string(),
+                out.algorithm.to_string(),
                 oca_bench::secs(out.elapsed),
                 out.cover.len().to_string(),
             ]);

@@ -1,120 +1,88 @@
 //! Shared experiment harness: uniform algorithm runner, timers, table and
 //! CSV output.
 //!
-//! Every figure/table binary goes through [`run_algorithm`] so all three
+//! Every figure/table binary goes through [`run_algorithm`] so all
 //! algorithms see identical graphs and identical postprocessing — matching
 //! the paper's protocol ("as our postprocessing techniques also improve the
 //! quality of the other algorithms, we applied them to all the results").
+//! Dispatch is fully generic: the harness asks the [`oca_api`] registry
+//! for the experiment-grade preset of a named algorithm and drives it
+//! through `Box<dyn CommunityDetector>` — no per-algorithm `match`, so a
+//! newly registered backend is immediately comparable.
 
-use oca::{merge_similar, Oca, OcaConfig};
-use oca_baselines::{cfinder, label_propagation, lfk, CFinderConfig, LfkConfig, LpaConfig};
+use oca::merge_similar;
+use oca_api::{registry, CommunityDetector, DetectContext};
 use oca_graph::{Cover, CsrGraph};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// The algorithms under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AlgorithmKind {
-    /// The paper's contribution (Sections II–IV).
-    Oca,
-    /// Local fitness maximization, ref \[8\].
-    Lfk,
-    /// k-clique percolation (k = 3), ref \[12\].
-    CFinder,
-    /// CFinder without the triangle shortcut: enumerates maximal cliques
-    /// like the original tool; used in the timing experiments.
-    CFinderFaithful,
-    /// Label propagation (extra, not in the paper).
-    Lpa,
-}
+/// Registry names of the algorithms the paper's quality experiments
+/// compare (Figures 2–4): OCA against both baselines.
+pub const QUALITY_ALGORITHMS: [&str; 3] = ["oca", "lfk", "cfinder"];
 
-impl AlgorithmKind {
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            AlgorithmKind::Oca => "OCA",
-            AlgorithmKind::Lfk => "LFK",
-            AlgorithmKind::CFinder => "CFinder",
-            AlgorithmKind::CFinderFaithful => "CFinder",
-            AlgorithmKind::Lpa => "LPA",
-        }
-    }
-}
-
-/// One algorithm execution: the raw cover and its wall-clock time.
+/// One algorithm execution: the raw cover plus the detector's uniform
+/// telemetry.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
+    /// Display name of the algorithm that ran (unique per variant — the
+    /// faithful CFinder path reports `"CFinder-faithful"`).
+    pub algorithm: &'static str,
     /// The cover produced (before shared postprocessing).
     pub cover: Cover,
     /// Wall-clock duration of the algorithm proper.
     pub elapsed: Duration,
     /// True if the algorithm completed (CFinder may hit its clique cap).
     pub complete: bool,
+    /// Outer-loop iterations (seeds, sweeps, cliques — see
+    /// [`oca_graph::detect::Detection::iterations`]).
+    pub iterations: usize,
+    /// Algorithm-specific telemetry key–value pairs.
+    pub stats: Vec<(&'static str, String)>,
 }
 
-/// Runs one algorithm with experiment-grade settings.
-pub fn run_algorithm(kind: AlgorithmKind, graph: &CsrGraph, seed: u64) -> RunOutput {
-    let start = Instant::now();
-    match kind {
-        AlgorithmKind::Oca => {
-            let config = OcaConfig {
-                halting: oca::HaltingConfig {
-                    max_seeds: (4 * graph.node_count()).max(100),
-                    target_coverage: 0.99,
-                    stagnation_limit: 200,
-                },
-                merge_threshold: None, // shared postprocessing applies it
-                rng_seed: seed,
-                ..Default::default()
-            };
-            let r = Oca::new(config).run(graph);
-            RunOutput {
-                cover: r.cover,
-                elapsed: start.elapsed(),
-                complete: true,
-            }
-        }
-        AlgorithmKind::Lfk => {
-            let config = LfkConfig {
-                rng_seed: seed,
-                min_community_size: 2,
-                ..Default::default()
-            };
-            let cover = lfk(graph, &config);
-            RunOutput {
-                cover,
-                elapsed: start.elapsed(),
-                complete: true,
-            }
-        }
-        AlgorithmKind::CFinder | AlgorithmKind::CFinderFaithful => {
-            let config = CFinderConfig {
-                triangle_fast_path: kind == AlgorithmKind::CFinder,
-                ..Default::default()
-            };
-            let r = cfinder(graph, &config);
-            RunOutput {
-                cover: r.cover,
-                elapsed: start.elapsed(),
-                complete: r.complete,
-            }
-        }
-        AlgorithmKind::Lpa => {
-            let cover = label_propagation(
-                graph,
-                &LpaConfig {
-                    rng_seed: seed,
-                    ..Default::default()
-                },
-            );
-            RunOutput {
-                cover,
-                elapsed: start.elapsed(),
-                complete: true,
-            }
-        }
+/// Drives one detector under the harness's uniform context.
+///
+/// # Panics
+/// Panics if the detector fails; experiment presets are pre-validated and
+/// the harness context is never cancelled, so a failure is a driver bug.
+pub fn run_detector(detector: &dyn CommunityDetector, graph: &CsrGraph, seed: u64) -> RunOutput {
+    let mut ctx = DetectContext::new(seed);
+    let detection = detector
+        .detect(graph, &mut ctx)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", detector.name()));
+    RunOutput {
+        algorithm: detector.name(),
+        cover: detection.cover,
+        elapsed: detection.elapsed,
+        complete: detection.complete,
+        iterations: detection.iterations,
+        stats: detection.stats,
     }
+}
+
+/// Runs the named algorithm (a registry key such as `"oca"` or
+/// `"cfinder-faithful"`) with its experiment-grade settings.
+///
+/// # Panics
+/// Panics on an unregistered name; the figure binaries pass compile-time
+/// constants.
+pub fn run_algorithm(name: &str, graph: &CsrGraph, seed: u64) -> RunOutput {
+    let reg = registry();
+    let spec = reg.get(name).unwrap_or_else(|e| panic!("{e}"));
+    run_detector(spec.experiment(graph).as_ref(), graph, seed)
+}
+
+/// The display name a registered algorithm reports in table rows (e.g.
+/// for labelling skipped runs without executing anything).
+///
+/// # Panics
+/// Panics on an unregistered name.
+pub fn display_name(name: &str) -> &'static str {
+    let reg = registry();
+    reg.get(name)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .display_name()
 }
 
 /// The shared postprocessing of Section IV, applied to every algorithm's
@@ -287,27 +255,47 @@ mod tests {
     }
 
     #[test]
-    fn all_algorithms_run_on_toy_graph() {
+    fn all_registered_algorithms_run_on_toy_graph() {
         let g = toy();
-        for kind in [
-            AlgorithmKind::Oca,
-            AlgorithmKind::Lfk,
-            AlgorithmKind::CFinder,
-            AlgorithmKind::CFinderFaithful,
-            AlgorithmKind::Lpa,
-        ] {
-            let out = run_algorithm(kind, &g, 7);
-            assert!(out.complete, "{:?} did not complete", kind);
-            assert!(!out.cover.is_empty(), "{:?} found nothing", kind);
+        for name in registry().names() {
+            let out = run_algorithm(name, &g, 7);
+            assert!(out.complete, "{name} did not complete");
+            assert!(!out.cover.is_empty(), "{name} found nothing");
         }
+    }
+
+    #[test]
+    fn table_row_labels_are_unambiguous() {
+        // Regression: the triangle and faithful CFinder paths used to both
+        // label their rows "CFinder".
+        let labels: Vec<&str> = registry().names().iter().map(|n| display_name(n)).collect();
+        let mut unique = labels.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "ambiguous labels: {labels:?}");
+        assert_eq!(display_name("cfinder"), "CFinder");
+        assert_eq!(display_name("cfinder-faithful"), "CFinder-faithful");
     }
 
     #[test]
     fn cfinder_variants_agree() {
         let g = toy();
-        let fast = run_algorithm(AlgorithmKind::CFinder, &g, 1);
-        let slow = run_algorithm(AlgorithmKind::CFinderFaithful, &g, 1);
+        let fast = run_algorithm("cfinder", &g, 1);
+        let slow = run_algorithm("cfinder-faithful", &g, 1);
         assert_eq!(fast.cover, slow.cover);
+        assert_ne!(fast.algorithm, slow.algorithm);
+    }
+
+    #[test]
+    fn run_detector_accepts_any_boxed_implementation() {
+        let g = toy();
+        let reg = registry();
+        let detectors: Vec<Box<dyn CommunityDetector>> =
+            reg.iter().map(|spec| spec.experiment(&g)).collect();
+        for det in &detectors {
+            let out = run_detector(det.as_ref(), &g, 3);
+            assert_eq!(out.algorithm, det.name());
+        }
     }
 
     #[test]

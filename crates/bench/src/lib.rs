@@ -1,9 +1,11 @@
 //! # oca-bench — experiment harness for the OCA reproduction
 //!
 //! One runnable binary per table/figure of the paper's Section V (see
-//! DESIGN.md §4 for the index), built on a shared harness that runs OCA,
-//! LFK and CFinder under identical conditions, and criterion micro-benches
-//! for the hot kernels.
+//! DESIGN.md §4 for the index), built on a shared harness that drives
+//! every algorithm through the `oca-api` registry as a
+//! `Box<dyn CommunityDetector>` — identical graphs, identical
+//! postprocessing, no per-algorithm dispatch — plus criterion
+//! micro-benches for the hot kernels.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -11,5 +13,6 @@
 pub mod harness;
 
 pub use harness::{
-    results_dir, run_algorithm, secs, shared_postprocess, AlgorithmKind, Args, RunOutput, Table,
+    display_name, results_dir, run_algorithm, run_detector, secs, shared_postprocess, Args,
+    RunOutput, Table, QUALITY_ALGORITHMS,
 };

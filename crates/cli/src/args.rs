@@ -74,6 +74,48 @@ impl Cli {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// All `--key value` option keys that were given.
+    pub fn option_keys(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(|k| k.as_str())
+    }
+
+    /// The value of every given option, by key.
+    pub fn option_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.options.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Rejects options and flags the subcommand does not declare, so a
+    /// typo like `--thread 4` is an error listing the valid set instead of
+    /// being silently ignored.
+    pub fn ensure_known(&self, options: &[&str], flags: &[&str]) -> Result<(), String> {
+        let list = |keys: &[&str]| {
+            keys.iter()
+                .map(|k| format!("--{k}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut unknown_options: Vec<&str> = self
+            .option_keys()
+            .filter(|k| !options.contains(k))
+            .collect();
+        unknown_options.sort_unstable();
+        if let Some(key) = unknown_options.first() {
+            return Err(format!(
+                "unknown option --{key}; valid options: {}",
+                list(options)
+            ));
+        }
+        let unknown_flag = self.flags.iter().find(|f| !flags.contains(&f.as_str()));
+        if let Some(flag) = unknown_flag {
+            return Err(if flags.is_empty() {
+                format!("unknown flag --{flag}; this command takes no flags")
+            } else {
+                format!("unknown flag --{flag}; valid flags: {}", list(flags))
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +182,32 @@ mod tests {
     fn empty_args() {
         let cli = parse("");
         assert!(cli.command.is_none());
+    }
+
+    #[test]
+    fn ensure_known_accepts_declared_sets() {
+        let cli = parse("detect --input g.edges --seed 7 --quiet");
+        cli.ensure_known(&["input", "seed"], &["quiet"]).unwrap();
+    }
+
+    #[test]
+    fn ensure_known_rejects_typo_options_listing_valid_ones() {
+        let cli = parse("detect --input g.edges --thread 4");
+        let err = cli.ensure_known(&["input", "threads"], &[]).unwrap_err();
+        assert!(err.contains("--thread"), "{err}");
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("--input"), "{err}");
+    }
+
+    #[test]
+    fn ensure_known_rejects_unknown_flags() {
+        let cli = parse("stats --input g.edges --verbos");
+        let err = cli.ensure_known(&["input"], &["verbose"]).unwrap_err();
+        assert!(
+            err.contains("--verbos") && err.contains("--verbose"),
+            "{err}"
+        );
+        let err = cli.ensure_known(&["input"], &[]).unwrap_err();
+        assert!(err.contains("no flags"), "{err}");
     }
 }

@@ -1,8 +1,12 @@
 //! CLI subcommand implementations.
+//!
+//! Community detection dispatches through the `oca-api` registry: the CLI
+//! itself contains no per-algorithm `match`. Each subcommand declares its
+//! accepted option/flag set, so unknown keys (typos like `--thread 4`)
+//! are errors listing the valid options rather than silently ignored.
 
 use crate::args::Cli;
-use oca::{HaltingConfig, Oca, OcaConfig};
-use oca_baselines::{cfinder, label_propagation, lfk, CFinderConfig, LfkConfig, LpaConfig};
+use oca_api::{registry, DetectContext, DetectorOptions, Progress};
 use oca_gen::{
     barabasi_albert, daisy_tree, gnp, lfr, rmat, wiki_like, DaisyParams, LfrParams, RmatParams,
     WikiLikeParams,
@@ -16,9 +20,13 @@ use rand::SeedableRng;
 
 /// Top-level dispatch; returns an error message on failure.
 pub fn run(cli: &Cli) -> Result<(), String> {
+    if cli.command.is_none() && cli.has_flag("list-algorithms") {
+        print!("{}", algorithm_listing());
+        return Ok(());
+    }
     match cli.command.as_deref() {
         Some("generate") => generate(cli),
-        Some("detect") => detect(cli),
+        Some("detect") | Some("run") => detect(cli),
         Some("eval") => eval(cli),
         Some("stats") => stats(cli),
         Some("summarize") => summarize(cli),
@@ -40,14 +48,31 @@ USAGE: oca <command> [--key value]...
 COMMANDS:
   generate   --family lfr|daisy|gnp|ba|rmat|wiki --output G.edges
              [--nodes N] [--mu F] [--seed S] [--truth T.cover]
-  detect     --input G.edges --algorithm oca|lfk|cfinder|lpa
-             [--output C.cover] [--seed S] [--threads T] [--orphans]
+  detect     --input G.edges [--algorithm NAME] [--output C.cover]
+  (or: run)  [--seed S] [--progress] [--orphans]
+             plus the algorithm's own options; see --list-algorithms
   eval       --input G.edges --truth T.cover --found C.cover
   stats      --input G.edges
   summarize  --input G.edges --cover C.cover
   help
+
+`detect --list-algorithms` lists every registered algorithm with its
+options.
 "
     .to_string()
+}
+
+/// Renders the registry as a listing for `--list-algorithms`.
+fn algorithm_listing() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("registered algorithms:\n");
+    for spec in registry().iter() {
+        let _ = writeln!(out, "\n  {:<18} {}", spec.name(), spec.summary());
+        for (key, help) in spec.options() {
+            let _ = writeln!(out, "      --{key:<16} {help}");
+        }
+    }
+    out
 }
 
 fn load_graph(cli: &Cli) -> Result<CsrGraph, String> {
@@ -56,6 +81,10 @@ fn load_graph(cli: &Cli) -> Result<CsrGraph, String> {
 }
 
 fn generate(cli: &Cli) -> Result<(), String> {
+    cli.ensure_known(
+        &["family", "output", "nodes", "mu", "seed", "truth", "p", "m"],
+        &[],
+    )?;
     let family = cli.require("family")?.to_string();
     let output = cli.require("output")?.to_string();
     let nodes: usize = cli.get_strict("nodes", 1000)?;
@@ -112,71 +141,68 @@ fn generate(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Options the `detect` subcommand owns itself; everything else must be
+/// declared by the selected algorithm's registry entry.
+const DETECT_OPTIONS: [&str; 4] = ["input", "algorithm", "output", "seed"];
+const DETECT_FLAGS: [&str; 3] = ["list-algorithms", "orphans", "progress"];
+
 fn detect(cli: &Cli) -> Result<(), String> {
-    let graph = load_graph(cli)?;
-    let algorithm = cli.get_str("algorithm").unwrap_or("oca").to_string();
-    let seed: u64 = cli.get_strict("seed", 42)?;
-    let threads: usize = cli.get_strict("threads", 1)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".to_string());
+    let reg = registry();
+    if cli.has_flag("list-algorithms") {
+        print!("{}", algorithm_listing());
+        return Ok(());
     }
-    let start = std::time::Instant::now();
-    let cover = match algorithm.as_str() {
-        "oca" => {
-            let config = OcaConfig {
-                halting: HaltingConfig {
-                    max_seeds: 4 * graph.node_count().max(25),
-                    target_coverage: 0.99,
-                    stagnation_limit: 200,
-                },
-                threads,
-                rng_seed: seed,
-                assign_orphans: cli.has_flag("orphans"),
-                ..Default::default()
-            };
-            let r = Oca::new(config).run(&graph);
-            println!(
-                "c = {:.4} (lambda_min = {:.3}), {} seeds",
-                r.c, r.lambda_min, r.seeds_tried
-            );
-            r.cover
+    let algorithm = cli.get_str("algorithm").unwrap_or("oca").to_string();
+    let spec = reg.get(&algorithm).map_err(|e| e.to_string())?;
+    let mut valid: Vec<&str> = DETECT_OPTIONS.to_vec();
+    valid.extend(spec.option_keys());
+    cli.ensure_known(&valid, &DETECT_FLAGS)?;
+
+    let graph = load_graph(cli)?;
+    let seed: u64 = cli.get_strict("seed", 42)?;
+    let mut opts = DetectorOptions::new();
+    for (key, value) in cli.option_pairs() {
+        if !DETECT_OPTIONS.contains(&key) {
+            opts.set(key, value);
         }
-        "lfk" => lfk(
-            &graph,
-            &LfkConfig {
-                rng_seed: seed,
-                ..Default::default()
-            },
-        ),
-        "cfinder" => {
-            let r = cfinder(
-                &graph,
-                &CFinderConfig {
-                    k: cli.get_strict("k", 3)?,
-                    ..Default::default()
-                },
-            );
-            if !r.complete {
-                eprintln!("warning: clique cap hit; cover is partial");
-            }
-            r.cover
-        }
-        "lpa" => label_propagation(
-            &graph,
-            &LpaConfig {
-                rng_seed: seed,
-                ..Default::default()
-            },
-        ),
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
+    }
+    if cli.has_flag("orphans") {
+        // Forwarded as an option so algorithms without an orphan rule
+        // reject it with a typed UnknownOption error.
+        opts.set("orphans", "true");
+    }
+    // Graph-scaled tuned defaults (e.g. OCA's seed budget proportional to
+    // the node count), overridden key by key by the user's options.
+    let detector = spec.build_tuned(&graph, &opts).map_err(|e| e.to_string())?;
+
+    let mut ctx = DetectContext::new(seed);
+    if cli.has_flag("progress") {
+        ctx = ctx.with_progress(|p: Progress| match p.total {
+            Some(total) => eprint!("\r[{}] {}/{total}    ", p.stage, p.done),
+            None => eprint!("\r[{}] {}    ", p.stage, p.done),
+        });
+    }
+    let detection = detector
+        .detect(&graph, &mut ctx)
+        .map_err(|e| e.to_string())?;
+    if cli.has_flag("progress") {
+        eprintln!();
+    }
+    if !detection.complete {
+        eprintln!("warning: run incomplete (internal cap hit); cover is partial");
+    }
+    for (key, value) in &detection.stats {
+        println!("{key} = {value}");
+    }
+    let cover = detection.cover;
     println!(
-        "{}: {} communities, coverage {:.3}, {} overlap nodes, {:.3}s",
-        algorithm,
+        "{}: {} communities, coverage {:.3}, {} overlap nodes, {} iterations, {:.3}s",
+        detector.name(),
         cover.len(),
         cover.coverage(),
         cover.overlap_node_count(),
-        start.elapsed().as_secs_f64()
+        detection.iterations,
+        detection.elapsed.as_secs_f64()
     );
     if let Some(path) = cli.get_str("output") {
         write_cover_path(&cover, path).map_err(|e| format!("writing {path}: {e}"))?;
@@ -186,6 +212,7 @@ fn detect(cli: &Cli) -> Result<(), String> {
 }
 
 fn eval(cli: &Cli) -> Result<(), String> {
+    cli.ensure_known(&["input", "truth", "found"], &[])?;
     let graph = load_graph(cli)?;
     let truth_path = cli.require("truth")?;
     let found_path = cli.require("found")?;
@@ -207,6 +234,7 @@ fn eval(cli: &Cli) -> Result<(), String> {
 }
 
 fn stats(cli: &Cli) -> Result<(), String> {
+    cli.ensure_known(&["input"], &[])?;
     let graph = load_graph(cli)?;
     let s = GraphStats::compute(&graph);
     println!("nodes        {}", s.nodes);
@@ -222,6 +250,7 @@ fn stats(cli: &Cli) -> Result<(), String> {
 }
 
 fn summarize(cli: &Cli) -> Result<(), String> {
+    cli.ensure_known(&["input", "cover"], &[])?;
     let graph = load_graph(cli)?;
     let cover_path = cli.require("cover")?;
     let cover = read_cover_path(graph.node_count(), cover_path)
@@ -289,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn all_algorithms_run_via_cli() {
+    fn all_registered_algorithms_run_via_cli() {
         let dir = tmpdir();
         let g = dir.join("g2.edges");
         run(&cli(&format!(
@@ -297,13 +326,50 @@ mod tests {
             g.display()
         )))
         .unwrap();
-        for alg in ["oca", "lfk", "cfinder", "lpa"] {
+        for alg in registry().names() {
             run(&cli(&format!(
                 "detect --input {} --algorithm {alg}",
                 g.display()
             )))
             .unwrap();
         }
+        // `run` is an alias for `detect`, with algorithm options forwarded.
+        run(&cli(&format!(
+            "run --input {} --algorithm lfk --alpha 1.2",
+            g.display()
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn list_algorithms_flag_works() {
+        run(&cli("detect --list-algorithms")).unwrap();
+        run(&cli("--list-algorithms")).unwrap();
+        assert!(algorithm_listing().contains("cfinder-faithful"));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_with_the_valid_set() {
+        let err = run(&cli("detect --input g.edges --thread 4")).unwrap_err();
+        assert!(err.contains("--thread"), "{err}");
+        assert!(err.contains("--threads"), "{err}");
+
+        // Algorithm-specific keys are validated against the registry entry.
+        let err = run(&cli("detect --input g.edges --algorithm lfk --threads 4")).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("--alpha"), "{err}");
+
+        let err = run(&cli("generate --family lfr --nodez 10 --output /tmp/x")).unwrap_err();
+        assert!(err.contains("--nodez") && err.contains("--nodes"), "{err}");
+
+        let err = run(&cli("stats --input g.edges --verbose")).unwrap_err();
+        assert!(err.contains("--verbose"), "{err}");
+    }
+
+    #[test]
+    fn unknown_algorithm_lists_registered_names() {
+        let err = run(&cli("detect --input g.edges --algorithm nope")).unwrap_err();
+        assert!(err.contains("nope") && err.contains("lpa"), "{err}");
     }
 
     #[test]

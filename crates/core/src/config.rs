@@ -3,6 +3,7 @@
 use crate::halting::HaltingConfig;
 use crate::search::SearchConfig;
 use crate::seed::SeedStrategy;
+use oca_graph::DetectError;
 use oca_spectral::PowerConfig;
 
 /// Where the interaction strength `c` comes from.
@@ -63,19 +64,32 @@ impl Default for OcaConfig {
 }
 
 impl OcaConfig {
-    /// Validates parameter ranges.
-    ///
-    /// # Panics
-    /// Panics on out-of-range values; call before a long run.
-    pub fn validate(&self) {
+    /// Validates parameter ranges, reporting violations as typed errors
+    /// (call before a long run).
+    pub fn validate(&self) -> Result<(), DetectError> {
+        let invalid = |message: String| DetectError::InvalidConfig {
+            algorithm: "OCA",
+            message,
+        };
         if let CStrategy::Fixed(c) = self.c {
-            assert!(c > 0.0 && c < 1.0, "fixed c must lie in (0, 1), got {c}");
+            if !(c > 0.0 && c < 1.0) {
+                return Err(invalid(format!("fixed c must lie in (0, 1), got {c}")));
+            }
         }
         if let Some(t) = self.merge_threshold {
-            assert!((0.0..=1.0).contains(&t), "merge threshold in [0,1]");
+            if !(0.0..=1.0).contains(&t) {
+                return Err(invalid(format!(
+                    "merge threshold must lie in [0, 1], got {t}"
+                )));
+            }
         }
-        assert!(self.threads >= 1, "need at least one thread");
-        assert!(self.halting.max_seeds >= 1, "need at least one seed");
+        if self.threads < 1 {
+            return Err(invalid("need at least one thread".to_string()));
+        }
+        if self.halting.max_seeds < 1 {
+            return Err(invalid("need at least one seed".to_string()));
+        }
+        Ok(())
     }
 }
 
@@ -85,26 +99,26 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        OcaConfig::default().validate();
+        OcaConfig::default().validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "fixed c")]
     fn rejects_bad_fixed_c() {
         let cfg = OcaConfig {
             c: CStrategy::Fixed(1.5),
             ..Default::default()
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("fixed c"));
     }
 
     #[test]
-    #[should_panic(expected = "thread")]
     fn rejects_zero_threads() {
         let cfg = OcaConfig {
             threads: 0,
             ..Default::default()
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("thread"));
     }
 }

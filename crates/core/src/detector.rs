@@ -1,0 +1,131 @@
+//! [`CommunityDetector`] implementation for OCA.
+//!
+//! The workspace-wide detection API lives in [`oca_graph::detect`]; this
+//! module provides the thin config newtype that plugs OCA into it. The
+//! `oca-api` crate registers it under the name `"oca"`.
+
+use crate::config::OcaConfig;
+use crate::runner::Oca;
+use oca_graph::{CommunityDetector, CsrGraph, DetectContext, DetectError, Detection};
+
+/// OCA behind the common [`CommunityDetector`] interface.
+///
+/// The context seed overrides [`OcaConfig::rng_seed`], so drivers control
+/// determinism uniformly across algorithms.
+///
+/// ```
+/// use oca::{OcaConfig, OcaDetector};
+/// use oca_graph::{from_edges, CommunityDetector, DetectContext};
+///
+/// let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+/// let detector = OcaDetector::new(OcaConfig::default()).unwrap();
+/// let detection = detector.detect(&g, &mut DetectContext::new(7)).unwrap();
+/// assert!(!detection.cover.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OcaDetector {
+    config: OcaConfig,
+}
+
+impl OcaDetector {
+    /// Wraps a validated configuration.
+    pub fn new(config: OcaConfig) -> Result<Self, DetectError> {
+        config.validate()?;
+        Ok(OcaDetector { config })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &OcaConfig {
+        &self.config
+    }
+}
+
+impl CommunityDetector for OcaDetector {
+    fn name(&self) -> &'static str {
+        "OCA"
+    }
+
+    fn detect(&self, graph: &CsrGraph, ctx: &mut DetectContext) -> Result<Detection, DetectError> {
+        let mut config = self.config.clone();
+        config.rng_seed = ctx.seed();
+        let result = Oca::try_new(config)?.run_ctx(graph, ctx)?;
+        Ok(Detection {
+            cover: result.cover,
+            elapsed: result.elapsed,
+            complete: true,
+            iterations: result.seeds_tried,
+            stats: vec![
+                ("c", format!("{:.6}", result.c)),
+                ("lambda_min", format!("{:.6}", result.lambda_min)),
+                ("raw_communities", result.raw_community_count.to_string()),
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CStrategy;
+    use oca_graph::{from_edges, CancelToken};
+
+    fn two_triangles() -> CsrGraph {
+        from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let err = OcaDetector::new(OcaConfig {
+            c: CStrategy::Fixed(2.0),
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, DetectError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn context_seed_drives_the_run() {
+        let g = two_triangles();
+        let detector = OcaDetector::default();
+        let a = detector.detect(&g, &mut DetectContext::new(3)).unwrap();
+        let b = detector.detect(&g, &mut DetectContext::new(3)).unwrap();
+        assert_eq!(a.cover, b.cover);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn reports_spectral_stats() {
+        let g = two_triangles();
+        let d = OcaDetector::default()
+            .detect(&g, &mut DetectContext::new(1))
+            .unwrap();
+        assert!(d.complete);
+        assert!(d.stats.iter().any(|(k, _)| *k == "c"));
+        assert!(d.stats.iter().any(|(k, _)| *k == "lambda_min"));
+    }
+
+    #[test]
+    fn pre_cancelled_context_returns_partial_error() {
+        let g = two_triangles();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ctx = DetectContext::new(1).with_cancel(token);
+        let err = OcaDetector::default().detect(&g, &mut ctx).unwrap_err();
+        match err {
+            DetectError::Cancelled { partial } => assert!(!partial.complete),
+            other => panic!("expected Cancelled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cancel_from_progress_callback_stops_the_run() {
+        let g = two_triangles();
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let mut ctx = DetectContext::new(1)
+            .with_cancel(token)
+            .with_progress(move |_| trigger.cancel());
+        let err = OcaDetector::default().detect(&g, &mut ctx).unwrap_err();
+        assert!(matches!(err, DetectError::Cancelled { .. }));
+    }
+}

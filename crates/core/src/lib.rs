@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod detector;
 pub mod fitness;
 pub mod halting;
 pub mod postprocess;
@@ -40,6 +41,7 @@ pub mod seed;
 pub mod state;
 
 pub use config::{CStrategy, OcaConfig};
+pub use detector::OcaDetector;
 pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi};
 pub use halting::{HaltingConfig, HaltingState};
 pub use postprocess::{assign_orphans, merge_similar};

@@ -11,7 +11,7 @@ use crate::postprocess::{assign_orphans, merge_similar};
 use crate::search::{local_search, SearchConfig};
 use crate::seed::{initial_set, SeedStrategy};
 use crate::state::CommunityState;
-use oca_graph::{Community, Cover, CsrGraph, NodeId};
+use oca_graph::{Community, Cover, CsrGraph, DetectContext, DetectError, Detection, NodeId};
 use oca_spectral::interaction_strength;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -63,21 +63,23 @@ impl Shared {
     }
 
     /// Records the previous ascent's outcome (if any) and, unless halting,
-    /// picks the next seed — one critical section per ascent.
+    /// picks the next seed — one critical section per ascent. The second
+    /// element of the pair is the seeds-tried count, captured here so the
+    /// progress tick outside the lock reports a consistent value.
     fn record_and_pick<R: Rng + ?Sized>(
         &mut self,
         finished: Option<Community>,
         min_size: usize,
         n: usize,
         rng: &mut R,
-    ) -> Option<NodeId> {
+    ) -> Option<(NodeId, usize)> {
         if let Some(community) = finished {
             self.record(community, min_size);
         }
         if self.halting.should_halt() {
             None
         } else {
-            Some(self.pick_seed(n, rng))
+            Some((self.pick_seed(n, rng), self.halting.seeds_tried()))
         }
     }
 
@@ -106,9 +108,22 @@ impl Shared {
 
 impl Oca {
     /// Creates a runner with the given configuration.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use [`Oca::try_new`] for a
+    /// typed error instead.
     pub fn new(config: OcaConfig) -> Self {
-        config.validate();
-        Oca { config }
+        match Oca::try_new(config) {
+            Ok(oca) => oca,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Oca::new`]: configuration problems are
+    /// reported as [`DetectError::InvalidConfig`].
+    pub fn try_new(config: OcaConfig) -> Result<Self, DetectError> {
+        config.validate()?;
+        Ok(Oca { config })
     }
 
     /// The active configuration.
@@ -129,18 +144,50 @@ impl Oca {
 
     /// Runs OCA on `graph` and returns the overlapping cover.
     pub fn run(&self, graph: &CsrGraph) -> OcaResult {
+        match self.run_ctx(graph, &DetectContext::new(self.config.rng_seed)) {
+            Ok(result) => result,
+            // The default context can never be cancelled, and the config
+            // was validated at construction.
+            Err(e) => unreachable!("uncancellable run failed: {e}"),
+        }
+    }
+
+    /// Runs OCA under a [`DetectContext`]: the context's cancellation
+    /// token is polled once per ascent and a progress tick (`"ascent"`) is
+    /// emitted per seed processed. On cancellation the accepted (raw,
+    /// un-postprocessed) communities are returned inside
+    /// [`DetectError::Cancelled`].
+    ///
+    /// Randomness still derives from [`OcaConfig::rng_seed`]; detector
+    /// wrappers copy the context seed into the config first.
+    pub fn run_ctx(&self, graph: &CsrGraph, ctx: &DetectContext) -> Result<OcaResult, DetectError> {
         let start = Instant::now();
         let n = graph.node_count();
+        let cancelled = |cover: Cover, seeds: usize, c: f64, lambda_min: f64| {
+            DetectError::cancelled(Detection {
+                cover,
+                elapsed: start.elapsed(),
+                complete: false,
+                iterations: seeds,
+                stats: vec![
+                    ("c", format!("{c:.6}")),
+                    ("lambda_min", format!("{lambda_min:.6}")),
+                ],
+            })
+        };
+        if ctx.is_cancelled() {
+            return Err(cancelled(Cover::empty(n), 0, 0.0, 0.0));
+        }
         let (c, lambda_min) = self.resolve_c(graph);
         if n == 0 {
-            return OcaResult {
+            return Ok(OcaResult {
                 cover: Cover::empty(0),
                 c,
                 lambda_min,
                 seeds_tried: 0,
                 raw_community_count: 0,
                 elapsed: start.elapsed(),
-            };
+            });
         }
         let shared = Mutex::new(Shared {
             halting: HaltingState::new(self.config.halting, n),
@@ -152,7 +199,7 @@ impl Oca {
         if self.config.threads <= 1 {
             let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
             let mut state = CommunityState::new(graph, c);
-            ascent_loop(&shared, graph, &self.config, n, &mut state, &mut rng);
+            ascent_loop(&shared, graph, &self.config, n, &mut state, &mut rng, ctx);
         } else {
             crossbeam::scope(|scope| {
                 for tid in 0..self.config.threads {
@@ -162,7 +209,7 @@ impl Oca {
                         let mut rng =
                             StdRng::seed_from_u64(config.rng_seed ^ (0x9E37 + tid as u64));
                         let mut state = CommunityState::new(graph, c);
-                        ascent_loop(shared, graph, config, n, &mut state, &mut rng);
+                        ascent_loop(shared, graph, config, n, &mut state, &mut rng, ctx);
                     });
                 }
             })
@@ -170,6 +217,10 @@ impl Oca {
         }
 
         let sh = shared.into_inner();
+        if ctx.is_cancelled() {
+            let seeds = sh.halting.seeds_tried();
+            return Err(cancelled(Cover::new(n, sh.accepted), seeds, c, lambda_min));
+        }
         let raw_count = sh.accepted.len();
         let mut cover = Cover::new(n, sh.accepted);
         if let Some(threshold) = self.config.merge_threshold {
@@ -178,21 +229,23 @@ impl Oca {
         if self.config.assign_orphans {
             cover = assign_orphans(graph, &cover, 16);
         }
-        OcaResult {
+        Ok(OcaResult {
             cover,
             c,
             lambda_min,
             seeds_tried: sh.halting.seeds_tried(),
             raw_community_count: raw_count,
             elapsed: start.elapsed(),
-        }
+        })
     }
 }
 
-/// Runs seeded ascents until the shared halting state says stop. Each
-/// iteration takes the driver lock exactly once, recording the previous
-/// community and drawing the next seed in the same critical section; the
-/// ascent itself runs lock-free on thread-local state.
+/// Runs seeded ascents until the shared halting state says stop or the
+/// context is cancelled. Each iteration takes the driver lock exactly
+/// once, recording the previous community and drawing the next seed in the
+/// same critical section; the ascent itself runs lock-free on thread-local
+/// state, and the per-ascent progress tick fires outside the lock.
+#[allow(clippy::too_many_arguments)]
 fn ascent_loop<R: Rng + ?Sized>(
     shared: &Mutex<Shared>,
     graph: &CsrGraph,
@@ -200,17 +253,21 @@ fn ascent_loop<R: Rng + ?Sized>(
     n: usize,
     state: &mut CommunityState<'_>,
     rng: &mut R,
+    ctx: &DetectContext,
 ) {
     let mut finished: Option<Community> = None;
     loop {
-        let seed =
-            match shared
+        let picked =
+            shared
                 .lock()
-                .record_and_pick(finished.take(), config.min_community_size, n, rng)
-            {
-                Some(seed) => seed,
-                None => break,
-            };
+                .record_and_pick(finished.take(), config.min_community_size, n, rng);
+        let Some((seed, tried)) = picked else {
+            break;
+        };
+        ctx.tick("ascent", tried, Some(config.halting.max_seeds));
+        if ctx.is_cancelled() {
+            break;
+        }
         finished = Some(ascend(
             graph,
             state,

@@ -19,15 +19,29 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// A builder for a graph with `node_count` nodes (ids `0..node_count`).
+    ///
+    /// # Panics
+    /// Panics when `node_count` exceeds the `u32` id space; use
+    /// [`GraphBuilder::try_new`] for a typed error instead.
     pub fn new(node_count: usize) -> Self {
-        assert!(
-            node_count <= u32::MAX as usize,
-            "graphs are limited to 2^32 - 1 nodes"
-        );
-        GraphBuilder {
+        match GraphBuilder::try_new(node_count) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`GraphBuilder::new`]: rejects node counts
+    /// beyond the `u32` id space with [`GraphError::TooManyNodes`].
+    pub fn try_new(node_count: usize) -> Result<Self> {
+        if node_count > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes {
+                requested: node_count,
+            });
+        }
+        Ok(GraphBuilder {
             node_count,
             edges: Vec::new(),
-        }
+        })
     }
 
     /// A builder that will grow its node count to fit the edges it sees.
@@ -187,6 +201,13 @@ mod tests {
         assert!(b.try_add_edge(0, 2).is_ok());
         let err = b.try_add_edge(0, 3).unwrap_err();
         assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_graphs() {
+        assert!(GraphBuilder::try_new(u32::MAX as usize).is_ok());
+        let err = GraphBuilder::try_new(u32::MAX as usize + 1).unwrap_err();
+        assert!(err.to_string().contains("2^32"));
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum GraphError {
     Io(std::io::Error),
     /// The operation needs a non-empty graph.
     EmptyGraph,
+    /// A graph was requested with more nodes than the `u32` id space holds.
+    TooManyNodes {
+        /// The requested node count.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -37,6 +42,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::TooManyNodes { requested } => {
+                write!(f, "graphs are limited to 2^32 - 1 nodes, got {requested}")
+            }
         }
     }
 }

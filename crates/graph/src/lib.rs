@@ -36,6 +36,7 @@ pub mod community;
 pub mod components;
 pub mod cover_io;
 pub mod csr;
+pub mod detect;
 pub mod distances;
 pub mod error;
 pub mod io;
@@ -51,6 +52,7 @@ pub use community::{Community, Cover};
 pub use components::{is_connected, Components};
 pub use cover_io::{read_cover, read_cover_path, write_cover, write_cover_path};
 pub use csr::CsrGraph;
+pub use detect::{CancelToken, CommunityDetector, DetectContext, DetectError, Detection, Progress};
 pub use distances::{bfs_distances, double_sweep_diameter, eccentricity};
 pub use error::{GraphError, Result};
 pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};

@@ -7,7 +7,7 @@
 //! cargo run --release --example compare_algorithms
 //! ```
 
-use oca_bench::{run_algorithm, shared_postprocess, AlgorithmKind};
+use oca_bench::{run_algorithm, shared_postprocess};
 use oca_gen::{lfr, LfrParams};
 use oca_metrics::{average_f1, overlapping_nmi, theta};
 
@@ -24,17 +24,12 @@ fn main() {
         "{:<10} {:>8} {:>8} {:>8} {:>12} {:>10}",
         "algorithm", "theta", "nmi", "f1", "communities", "secs"
     );
-    for kind in [
-        AlgorithmKind::Oca,
-        AlgorithmKind::Lfk,
-        AlgorithmKind::CFinder,
-        AlgorithmKind::Lpa,
-    ] {
-        let out = run_algorithm(kind, &bench.graph, 7);
+    for name in ["oca", "lfk", "cfinder", "lpa"] {
+        let out = run_algorithm(name, &bench.graph, 7);
         let cover = shared_postprocess(&out.cover);
         println!(
             "{:<10} {:>8.3} {:>8.3} {:>8.3} {:>12} {:>10.3}",
-            kind.name(),
+            out.algorithm,
             theta(&bench.ground_truth, &cover),
             overlapping_nmi(&bench.ground_truth, &cover),
             average_f1(&bench.ground_truth, &cover),

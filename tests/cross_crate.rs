@@ -76,7 +76,7 @@ fn spectral_bounds_hold_on_generated_graphs() {
 #[test]
 fn cfinder_communities_are_triangle_connected() {
     let bench = lfr(&LfrParams::small(200, 0.2, 8));
-    let r = cfinder(&bench.graph, &CFinderConfig::default());
+    let r = cfinder(&bench.graph, &CFinderConfig::default()).unwrap();
     // Every k=3 community must be connected in the underlying graph.
     for c in r.cover.communities() {
         let sub = oca_graph::Subgraph::induced(&bench.graph, c.members());

@@ -1,0 +1,195 @@
+//! Detector conformance suite: one shared set of contracts, asserted
+//! against **every** entry of the `oca-api` registry. A newly registered
+//! backend gets the full battery for free:
+//!
+//! * determinism under a fixed [`DetectContext`] seed;
+//! * valid covers (member ids in range, no empty communities, matching
+//!   node count) on edge-case graphs — empty, singleton, disconnected,
+//!   star;
+//! * prompt cooperative cancellation with a partial-result error.
+
+use oca_repro::gen::{lfr, LfrParams};
+use oca_repro::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Builds every registered detector in its experiment-grade preset.
+fn all_detectors(graph: &CsrGraph) -> Vec<(&'static str, Box<dyn CommunityDetector>)> {
+    registry()
+        .iter()
+        .map(|spec| (spec.name(), spec.experiment(graph)))
+        .collect()
+}
+
+fn edge_case_graphs() -> Vec<(&'static str, CsrGraph)> {
+    let empty = CsrGraph::empty(0);
+    let singleton = CsrGraph::empty(1);
+    // Two 4-cliques with no connection between them.
+    let mut edges = Vec::new();
+    for base in [0u32, 4] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    let disconnected = oca_repro::graph::from_edges(8, edges);
+    // A star: hub 0 with 12 leaves (no triangles at all).
+    let star = oca_repro::graph::from_edges(13, (1..13u32).map(|leaf| (0, leaf)));
+    vec![
+        ("empty", empty),
+        ("singleton", singleton),
+        ("disconnected", disconnected),
+        ("star", star),
+    ]
+}
+
+/// A cover is valid for a graph when its node count matches, every member
+/// id is in range, and no community is empty.
+fn assert_valid_cover(name: &str, graph_name: &str, graph: &CsrGraph, cover: &Cover) {
+    assert_eq!(
+        cover.node_count(),
+        graph.node_count(),
+        "{name} on {graph_name}: cover node count mismatch"
+    );
+    for (i, community) in cover.communities().iter().enumerate() {
+        assert!(
+            !community.is_empty(),
+            "{name} on {graph_name}: community #{i} is empty"
+        );
+        for &v in community.members() {
+            assert!(
+                v.index() < graph.node_count(),
+                "{name} on {graph_name}: member {v:?} out of range"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_detector_is_deterministic_under_a_fixed_seed() {
+    let bench = lfr(&LfrParams::small(300, 0.3, 11));
+    for (name, detector) in all_detectors(&bench.graph) {
+        let a = detector
+            .detect(&bench.graph, &mut DetectContext::new(17))
+            .unwrap();
+        let b = detector
+            .detect(&bench.graph, &mut DetectContext::new(17))
+            .unwrap();
+        assert_eq!(a.cover, b.cover, "{name}: covers differ across runs");
+        assert_eq!(
+            a.iterations, b.iterations,
+            "{name}: iteration counts differ across runs"
+        );
+    }
+}
+
+#[test]
+fn every_detector_produces_valid_covers_on_edge_case_graphs() {
+    for (graph_name, graph) in edge_case_graphs() {
+        for (name, detector) in all_detectors(&graph) {
+            let detection = detector
+                .detect(&graph, &mut DetectContext::new(5))
+                .unwrap_or_else(|e| panic!("{name} failed on {graph_name}: {e}"));
+            assert!(
+                detection.complete,
+                "{name} incomplete on {graph_name} without a cap or cancellation"
+            );
+            assert_valid_cover(name, graph_name, &graph, &detection.cover);
+        }
+    }
+}
+
+#[test]
+fn disconnected_cliques_are_found_separately() {
+    let (_, disconnected) = edge_case_graphs().remove(2);
+    for (name, detector) in all_detectors(&disconnected) {
+        let detection = detector
+            .detect(&disconnected, &mut DetectContext::new(1))
+            .unwrap();
+        assert!(
+            detection.cover.len() >= 2,
+            "{name}: two disjoint cliques should yield at least two communities, got {}",
+            detection.cover.len()
+        );
+        assert_eq!(detection.cover.overlap_node_count(), 0, "{name}");
+    }
+}
+
+#[test]
+fn pre_cancelled_contexts_fail_promptly_with_a_partial_result() {
+    let bench = lfr(&LfrParams::small(2000, 0.3, 23));
+    for (name, detector) in all_detectors(&bench.graph) {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ctx = DetectContext::new(7).with_cancel(token);
+        let start = Instant::now();
+        let result = detector.detect(&bench.graph, &mut ctx);
+        let waited = start.elapsed();
+        match result {
+            Err(DetectError::Cancelled { partial }) => {
+                assert!(!partial.complete, "{name}: partial flagged complete");
+                assert_valid_cover(name, "lfr", &bench.graph, &partial.cover);
+            }
+            other => panic!("{name}: expected Cancelled, got {other:?}"),
+        }
+        assert!(
+            waited < Duration::from_secs(5),
+            "{name}: cancellation took {waited:?}"
+        );
+    }
+}
+
+#[test]
+fn cancellation_from_a_progress_callback_is_honoured() {
+    let bench = lfr(&LfrParams::small(1000, 0.3, 29));
+    for (name, detector) in all_detectors(&bench.graph) {
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let mut ctx = DetectContext::new(7)
+            .with_cancel(token)
+            .with_progress(move |_: Progress| trigger.cancel());
+        match detector.detect(&bench.graph, &mut ctx) {
+            Err(DetectError::Cancelled { .. }) => {}
+            Ok(detection) => panic!(
+                "{name}: completed ({} communities) despite cancellation at first tick",
+                detection.cover.len()
+            ),
+            Err(other) => panic!("{name}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn detection_telemetry_is_uniform() {
+    let bench = lfr(&LfrParams::small(300, 0.3, 31));
+    for (name, detector) in all_detectors(&bench.graph) {
+        let detection = detector
+            .detect(&bench.graph, &mut DetectContext::new(3))
+            .unwrap();
+        assert!(detection.complete, "{name}");
+        assert!(
+            detection.iterations > 0,
+            "{name}: no outer iterations reported"
+        );
+        assert!(
+            detection.elapsed > Duration::ZERO,
+            "{name}: elapsed not measured"
+        );
+    }
+}
+
+#[test]
+fn registry_and_display_names_stay_in_sync() {
+    let g = CsrGraph::empty(0);
+    let reg = registry();
+    let mut display: Vec<&str> = Vec::new();
+    for spec in reg.iter() {
+        let detector = spec.experiment(&g);
+        display.push(detector.name());
+    }
+    let total = display.len();
+    display.sort_unstable();
+    display.dedup();
+    assert_eq!(display.len(), total, "display names must be unique");
+    assert_eq!(total, reg.names().len());
+}

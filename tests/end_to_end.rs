@@ -69,7 +69,9 @@ fn oca_beats_baselines_on_overlapping_daisy() {
     );
     let cf_theta = theta(
         &bench.ground_truth,
-        &cfinder(&bench.graph, &CFinderConfig::default()).cover,
+        &cfinder(&bench.graph, &CFinderConfig::default())
+            .unwrap()
+            .cover,
     );
     assert!(
         oca_theta >= lfk_theta && oca_theta > cf_theta,

@@ -200,7 +200,11 @@ pub fn registry() -> DetectorRegistry {
         &[
             (
                 "threads",
-                "worker threads; 1 = sequential deterministic mode",
+                "worker threads; never changes the cover, only wall-clock time",
+            ),
+            (
+                "batch",
+                "tickets per scheduling round; part of the deterministic schedule",
             ),
             ("max-seeds", "hard cap on seeds tried"),
             ("target-coverage", "stop at this covered-node fraction"),
@@ -269,9 +273,13 @@ fn no_tuning(_graph: &CsrGraph) -> DetectorOptions {
 
 /// OCA's interactive defaults scale the halting criteria to the graph
 /// (the library defaults target mid-sized graphs; a fixed 10k seed budget
-/// would silently truncate runs on large ones).
+/// would silently truncate runs on large ones) and use the machine's
+/// cores: the ticket-ordered driver produces the same cover at any thread
+/// count, so parallelism is a safe default.
 fn tuned_oca(graph: &CsrGraph) -> DetectorOptions {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
     DetectorOptions::new()
+        .with("threads", &threads.to_string())
         .with("max-seeds", &(4 * graph.node_count()).max(100).to_string())
         .with("target-coverage", "0.99")
         .with("stagnation", "200")
@@ -291,6 +299,7 @@ fn build_oca(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
     };
     let mut config = OcaConfig {
         threads: opts.get_or("threads", defaults.threads)?,
+        batch: opts.get_or("batch", defaults.batch)?,
         halting: HaltingConfig {
             max_seeds: opts.get_or("max-seeds", defaults.halting.max_seeds)?,
             target_coverage: opts.get_or("target-coverage", defaults.halting.target_coverage)?,
@@ -497,6 +506,34 @@ mod tests {
         let d = det.detect(&g, &mut DetectContext::new(0)).unwrap();
         // k = 2 percolation = connected components: the toy graph has one.
         assert_eq!(d.cover.len(), 1);
+    }
+
+    #[test]
+    fn oca_thread_option_never_changes_the_cover() {
+        let g = toy();
+        let reg = registry();
+        let opts = |threads: &str| {
+            DetectorOptions::new()
+                .with("batch", "16")
+                .with("threads", threads)
+        };
+        let a = reg
+            .build("oca", &opts("1"))
+            .unwrap()
+            .detect(&g, &mut DetectContext::new(5))
+            .unwrap();
+        let b = reg
+            .build("oca", &opts("4"))
+            .unwrap()
+            .detect(&g, &mut DetectContext::new(5))
+            .unwrap();
+        assert_eq!(a.cover, b.cover);
+        assert_eq!(a.iterations, b.iterations);
+        // `batch` is part of the schedule, so zero is a typed config error.
+        assert!(matches!(
+            reg.build("oca", &DetectorOptions::new().with("batch", "0")),
+            Err(DetectError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -192,12 +192,18 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments.
     pub fn parse() -> Self {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Args::from_argv(std::env::args().skip(1).collect())
+    }
+
+    /// Parses `--key value` pairs. A `--key` followed by another
+    /// `--option` (or by nothing) is a valueless flag and produces no
+    /// pair, so flags like `--smoke` never swallow the next option.
+    fn from_argv(argv: Vec<String>) -> Self {
         let mut pairs = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             if let Some(key) = argv[i].strip_prefix("--") {
-                if i + 1 < argv.len() {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
                     pairs.push((key.to_string(), argv[i + 1].clone()));
                     i += 2;
                     continue;
@@ -313,6 +319,20 @@ mod tests {
     fn table_rejects_bad_rows() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn flags_do_not_swallow_the_next_option() {
+        // Regression: `--smoke --seed 7` used to pair ("smoke", "--seed")
+        // and silently drop the seed.
+        let args = Args::from_argv(
+            ["--smoke", "--seed", "7", "--nodes", "300"]
+                .map(String::from)
+                .to_vec(),
+        );
+        assert_eq!(args.get("seed", 0u64), 7);
+        assert_eq!(args.get("nodes", 0usize), 300);
+        assert_eq!(args.get("smoke", 1usize), 1, "flag has no value");
     }
 
     #[test]

@@ -342,6 +342,26 @@ mod tests {
     }
 
     #[test]
+    fn oca_parallel_options_flow_through_detect() {
+        let dir = tmpdir();
+        let g = dir.join("g3.edges");
+        run(&cli(&format!(
+            "generate --family lfr --nodes 150 --mu 0.2 --output {}",
+            g.display()
+        )))
+        .unwrap();
+        // The ticket-ordered driver accepts threads/batch from the CLI;
+        // thread count never changes the cover, so this is safe to vary.
+        run(&cli(&format!(
+            "detect --input {} --threads 2 --batch 16",
+            g.display()
+        )))
+        .unwrap();
+        let err = run(&cli(&format!("detect --input {} --batch 0", g.display()))).unwrap_err();
+        assert!(err.contains("round"), "{err}");
+    }
+
+    #[test]
     fn list_algorithms_flag_works() {
         run(&cli("detect --list-algorithms")).unwrap();
         run(&cli("--list-algorithms")).unwrap();

@@ -41,10 +41,18 @@ pub struct OcaConfig {
     pub assign_orphans: bool,
     /// Discard local maxima smaller than this (noise communities).
     pub min_community_size: usize,
-    /// Master RNG seed (sequential runs are fully deterministic).
+    /// Master RNG seed. Runs are fully deterministic: for a fixed seed
+    /// (and fixed [`OcaConfig::batch`]) the cover is identical at any
+    /// [`OcaConfig::threads`] count.
     pub rng_seed: u64,
-    /// Worker threads; 1 = sequential deterministic mode.
+    /// Worker threads. Never affects the output, only wall-clock time.
     pub threads: usize,
+    /// Tickets (seeded ascents) per scheduling round. All seeds of a round
+    /// are drawn against the same coverage snapshot, so `batch` is part of
+    /// the deterministic schedule: changing it changes the cover, changing
+    /// `threads` does not. Larger rounds synchronize less often but may
+    /// discard up to `batch − 1` ascents past the halting cutoff.
+    pub batch: usize,
 }
 
 impl Default for OcaConfig {
@@ -59,6 +67,7 @@ impl Default for OcaConfig {
             min_community_size: 3,
             rng_seed: 0x0CA,
             threads: 1,
+            batch: 64,
         }
     }
 }
@@ -85,6 +94,9 @@ impl OcaConfig {
         }
         if self.threads < 1 {
             return Err(invalid("need at least one thread".to_string()));
+        }
+        if self.batch < 1 {
+            return Err(invalid("need at least one ticket per round".to_string()));
         }
         if self.halting.max_seeds < 1 {
             return Err(invalid("need at least one seed".to_string()));
@@ -120,5 +132,15 @@ mod tests {
         };
         let err = cfg.validate().unwrap_err();
         assert!(err.to_string().contains("thread"));
+    }
+
+    #[test]
+    fn rejects_zero_batch() {
+        let cfg = OcaConfig {
+            batch: 0,
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("round"));
     }
 }

@@ -11,7 +11,10 @@ use oca_graph::{CommunityDetector, CsrGraph, DetectContext, DetectError, Detecti
 /// OCA behind the common [`CommunityDetector`] interface.
 ///
 /// The context seed overrides [`OcaConfig::rng_seed`], so drivers control
-/// determinism uniformly across algorithms.
+/// determinism uniformly across algorithms. The driver's ticket schedule
+/// makes the seed the *whole* contract: for a fixed seed the detection is
+/// identical at any [`OcaConfig::threads`] count, so parallel runs are as
+/// reproducible as sequential ones.
 ///
 /// ```
 /// use oca::{OcaConfig, OcaDetector};
@@ -58,6 +61,10 @@ impl CommunityDetector for OcaDetector {
                 ("c", format!("{:.6}", result.c)),
                 ("lambda_min", format!("{:.6}", result.lambda_min)),
                 ("raw_communities", result.raw_community_count.to_string()),
+                (
+                    "halt_reason",
+                    result.halt_reason.map_or("none", |r| r.label()).to_string(),
+                ),
             ],
         })
     }
@@ -91,6 +98,24 @@ mod tests {
         let b = detector.detect(&g, &mut DetectContext::new(3)).unwrap();
         assert_eq!(a.cover, b.cover);
         assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_detection() {
+        let g = two_triangles();
+        let reference = OcaDetector::default()
+            .detect(&g, &mut DetectContext::new(9))
+            .unwrap();
+        for threads in [2, 4] {
+            let detector = OcaDetector::new(OcaConfig {
+                threads,
+                ..Default::default()
+            })
+            .unwrap();
+            let d = detector.detect(&g, &mut DetectContext::new(9)).unwrap();
+            assert_eq!(d.cover, reference.cover, "threads = {threads}");
+            assert_eq!(d.iterations, reference.iterations, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -28,7 +28,35 @@ impl Default for HaltingConfig {
     }
 }
 
+/// Which halting criterion fired, for telemetry (the scaling bench records
+/// it per run; the decision itself is [`HaltingState::should_halt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The hard seed budget (`max_seeds`) was exhausted.
+    SeedBudget,
+    /// The target coverage fraction was reached.
+    Coverage,
+    /// Too many consecutive seeds discovered nothing new.
+    Stagnation,
+}
+
+impl HaltReason {
+    /// Stable lowercase label (used in `BENCH_parallel.json`).
+    pub fn label(self) -> &'static str {
+        match self {
+            HaltReason::SeedBudget => "seed-budget",
+            HaltReason::Coverage => "coverage",
+            HaltReason::Stagnation => "stagnation",
+        }
+    }
+}
+
 /// Mutable halting state, updated once per processed seed.
+///
+/// In the parallel driver this state is only ever advanced by the ordered
+/// reduction (tickets recorded in ascending order), so the point where
+/// [`HaltingState::should_halt`] first fires — the *cutoff ticket* — is a
+/// deterministic function of the run, not of thread scheduling.
 #[derive(Debug, Clone)]
 pub struct HaltingState {
     config: HaltingConfig,
@@ -83,9 +111,21 @@ impl HaltingState {
 
     /// True if any criterion says stop.
     pub fn should_halt(&self) -> bool {
-        self.seeds_tried >= self.config.max_seeds
-            || self.coverage() >= self.config.target_coverage
-            || self.stagnant >= self.config.stagnation_limit
+        self.reason().is_some()
+    }
+
+    /// The first criterion that currently says stop (budget before
+    /// coverage before stagnation), or `None` while the run should go on.
+    pub fn reason(&self) -> Option<HaltReason> {
+        if self.seeds_tried >= self.config.max_seeds {
+            Some(HaltReason::SeedBudget)
+        } else if self.coverage() >= self.config.target_coverage {
+            Some(HaltReason::Coverage)
+        } else if self.stagnant >= self.config.stagnation_limit {
+            Some(HaltReason::Stagnation)
+        } else {
+            None
+        }
     }
 }
 
@@ -140,5 +180,23 @@ mod tests {
     fn empty_graph_is_instantly_covered() {
         let st = HaltingState::new(HaltingConfig::default(), 0);
         assert!(st.should_halt());
+        assert_eq!(st.reason(), Some(HaltReason::Coverage));
+    }
+
+    #[test]
+    fn reasons_name_the_fired_criterion() {
+        let mut st = HaltingState::new(cfg(2, 2.0, 100), 10);
+        assert_eq!(st.reason(), None);
+        st.record(1, true);
+        st.record(1, true);
+        assert_eq!(st.reason(), Some(HaltReason::SeedBudget));
+        assert_eq!(st.reason().unwrap().label(), "seed-budget");
+
+        let mut st = HaltingState::new(cfg(100, 2.0, 2), 10);
+        st.record(0, false);
+        st.record(0, false);
+        assert_eq!(st.reason(), Some(HaltReason::Stagnation));
+        assert_eq!(st.reason().unwrap().label(), "stagnation");
+        assert_eq!(HaltReason::Coverage.label(), "coverage");
     }
 }

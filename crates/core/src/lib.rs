@@ -43,9 +43,9 @@ pub mod state;
 pub use config::{CStrategy, OcaConfig};
 pub use detector::OcaDetector;
 pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi};
-pub use halting::{HaltingConfig, HaltingState};
+pub use halting::{HaltReason, HaltingConfig, HaltingState};
 pub use postprocess::{assign_orphans, merge_similar};
-pub use runner::{run_default, Oca, OcaResult};
+pub use runner::{run_default, CoverageBitmap, Oca, OcaResult};
 pub use search::{local_search, SearchConfig, SearchOutcome};
-pub use seed::{initial_set, SeedStrategy};
+pub use seed::{initial_set, ticket_seed, SeedStrategy};
 pub use state::CommunityState;

@@ -1,22 +1,31 @@
 //! The OCA driver: repeated seeded ascents, dedup, halting, postprocessing.
 //!
-//! This is Section IV end-to-end: communities are found independently from
-//! randomly distributed seeds, so the driver also ships a parallel mode
-//! (work-stealing over a shared halting state) — each ascent touches only
-//! its own `CommunityState`, making the algorithm embarrassingly parallel.
+//! This is Section IV end-to-end, built around a **deterministic
+//! ticket-ordered schedule**: ascent number `i` (its *ticket*) draws its
+//! seed node and its initial set from an RNG stream derived only from
+//! `(rng_seed, i)`, tickets are processed in rounds of [`OcaConfig::batch`]
+//! whose seeds all see the same coverage snapshot, and an ordered reduction
+//! applies dedup / min-size filtering / coverage / halting in ticket order.
+//! Halting is therefore a monotone *cutoff ticket*: results past it are
+//! discarded identically no matter how threads interleaved, so for a fixed
+//! seed the cover is bit-identical across `threads ∈ {1, 2, …}`.
+//!
+//! The only cross-thread state during a round is read-only (the snapshot,
+//! the [`CoverageBitmap`]) plus one atomic ticket cursor workers lease
+//! small ticket batches from — no mutex anywhere on the hot path.
 
 use crate::config::{CStrategy, OcaConfig};
-use crate::halting::HaltingState;
+use crate::halting::{HaltReason, HaltingState};
 use crate::postprocess::{assign_orphans, merge_similar};
-use crate::search::{local_search, SearchConfig};
-use crate::seed::{initial_set, SeedStrategy};
+use crate::search::local_search;
+use crate::seed::{initial_set, ticket_seed};
 use crate::state::CommunityState;
 use oca_graph::{Community, Cover, CsrGraph, DetectContext, DetectError, Detection, NodeId};
 use oca_spectral::interaction_strength;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Result of an OCA run.
@@ -28,10 +37,14 @@ pub struct OcaResult {
     pub c: f64,
     /// The `λ_min` estimate behind it (0 when `c` was fixed).
     pub lambda_min: f64,
-    /// Seeds processed before halting.
+    /// Seeds processed before the halting cutoff (deterministic for a
+    /// fixed seed, independent of the thread count).
     pub seeds_tried: usize,
     /// Communities accepted before merge postprocessing.
     pub raw_community_count: usize,
+    /// Which halting criterion ended the run (`None` only for empty
+    /// graphs, which never start).
+    pub halt_reason: Option<HaltReason>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -42,67 +55,171 @@ pub struct Oca {
     config: OcaConfig,
 }
 
-/// Shared driver state behind the mutex in parallel mode.
-struct Shared {
-    halting: HaltingState,
-    covered: Vec<bool>,
-    seen: HashSet<Vec<NodeId>>,
-    accepted: Vec<Community>,
+/// Node-coverage bitmap over `AtomicU64` words.
+///
+/// Inside the driver the ordered reduction is the only writer (seed picks
+/// deliberately use the round snapshot, not this bitmap — see
+/// [`Round::pick_seed`]), but updates go through `&self` atomics so the
+/// bitmap can be read lock-free from any thread at any time (progress
+/// callbacks, external monitors) and shared across the worker scope
+/// without borrow gymnastics. `Relaxed` suffices: bits only ever turn on,
+/// and cross-round visibility is given by the scope join.
+#[derive(Debug)]
+pub struct CoverageBitmap {
+    words: Vec<AtomicU64>,
 }
 
-impl Shared {
-    /// Picks a seed node, preferring uncovered nodes (rejection sampling).
-    fn pick_seed<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> NodeId {
-        for _ in 0..20 {
-            let v = rng.random_range(0..n as u32);
-            if !self.covered[v as usize] {
-                return NodeId(v);
-            }
+impl CoverageBitmap {
+    /// An all-uncovered bitmap for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CoverageBitmap {
+            words: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
         }
-        NodeId(rng.random_range(0..n as u32))
     }
 
-    /// Records the previous ascent's outcome (if any) and, unless halting,
-    /// picks the next seed — one critical section per ascent. The second
-    /// element of the pair is the seeds-tried count, captured here so the
-    /// progress tick outside the lock reports a consistent value.
-    fn record_and_pick<R: Rng + ?Sized>(
+    /// True if node `i` is covered. Lock-free.
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
+    }
+
+    /// Marks node `i` covered; returns true if it was newly covered.
+    /// A real atomic RMW, so even concurrent setters could not lose bits.
+    fn set(&self, i: usize) -> bool {
+        let mask = 1 << (i % 64);
+        self.words[i / 64].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+}
+
+/// The uncovered-node list: O(1) unbiased seed picks (no rejection
+/// sampling), updated by swap-removal on cover. Removals are buffered
+/// during a round and applied at its end — the driver lends `nodes` out
+/// as the round's pick snapshot without copying — and their order is the
+/// deterministic reduction order, so the list content *and order* are
+/// identical across thread counts.
+#[derive(Debug)]
+struct UncoveredList {
+    nodes: Vec<NodeId>,
+    /// Position of each node in `nodes`; `u32::MAX` once covered.
+    pos: Vec<u32>,
+}
+
+impl UncoveredList {
+    fn new(n: usize) -> Self {
+        UncoveredList {
+            nodes: (0..n as u32).map(NodeId).collect(),
+            pos: (0..n as u32).collect(),
+        }
+    }
+
+    fn remove(&mut self, v: NodeId) {
+        let p = self.pos[v.index()];
+        debug_assert_ne!(p, u32::MAX, "node removed twice");
+        let last = *self.nodes.last().expect("non-empty when removing");
+        self.nodes.swap_remove(p as usize);
+        self.pos[last.index()] = p;
+        self.pos[v.index()] = u32::MAX;
+    }
+}
+
+/// The ordered deterministic reduction: every accepted ascent flows
+/// through [`Reduction::record`] in ascending ticket order, which is what
+/// makes dedup, coverage accounting and the halting cutoff independent of
+/// thread scheduling. The coverage bitmap lives *outside* (it is updated
+/// through `&self` atomics), so workers can hold a shared reference to it
+/// across rounds while the reduction advances between them.
+struct Reduction {
+    halting: HaltingState,
+    uncovered: UncoveredList,
+    /// Nodes newly covered this round; applied to `uncovered` at round
+    /// end (in this deterministic order) while its `nodes` vec is lent
+    /// out as the round's snapshot.
+    newly_covered: Vec<NodeId>,
+    seen: HashSet<Vec<NodeId>>,
+    accepted: Vec<Community>,
+    min_size: usize,
+    halted: bool,
+}
+
+impl Reduction {
+    fn new(config: &OcaConfig, n: usize) -> Self {
+        let halting = HaltingState::new(config.halting, n);
+        let halted = halting.should_halt();
+        Reduction {
+            halting,
+            uncovered: UncoveredList::new(n),
+            newly_covered: Vec::new(),
+            seen: HashSet::new(),
+            accepted: Vec::new(),
+            min_size: config.min_community_size,
+            halted,
+        }
+    }
+
+    /// Records the next ticket's community (in ticket order) and emits the
+    /// post-record progress tick. Returns true while the run should go on.
+    fn record(
         &mut self,
-        finished: Option<Community>,
-        min_size: usize,
-        n: usize,
-        rng: &mut R,
-    ) -> Option<(NodeId, usize)> {
-        if let Some(community) = finished {
-            self.record(community, min_size);
-        }
-        if self.halting.should_halt() {
-            None
+        community: Community,
+        covered: &CoverageBitmap,
+        ctx: &DetectContext,
+        max_seeds: usize,
+    ) -> bool {
+        debug_assert!(!self.halted, "ticket recorded past the cutoff");
+        // Too-small communities are dropped without entering the dedup set.
+        if community.len() < self.min_size || !self.seen.insert(community.members().to_vec()) {
+            self.halting.record(0, false);
         } else {
-            Some((self.pick_seed(n, rng), self.halting.seeds_tried()))
+            let mut newly = 0usize;
+            for &v in community.members() {
+                if covered.set(v.index()) {
+                    self.newly_covered.push(v);
+                    newly += 1;
+                }
+            }
+            self.accepted.push(community);
+            self.halting.record(newly, true);
         }
+        ctx.tick("ascent", self.halting.seeds_tried(), Some(max_seeds));
+        self.halted = self.halting.should_halt();
+        !self.halted
+    }
+}
+
+/// Read-only per-round context shared with every worker.
+struct Round<'a> {
+    graph: &'a CsrGraph,
+    config: &'a OcaConfig,
+    /// The uncovered nodes as of the round start — the coverage snapshot
+    /// every seed pick of the round is drawn against.
+    snapshot: &'a [NodeId],
+    /// Global ticket number of the round's first ticket.
+    start: u64,
+    /// Tickets in this round.
+    len: usize,
+}
+
+impl Round<'_> {
+    /// Runs the ascent for round-local ticket `t`: a pure function of
+    /// `(rng_seed, start + t)` and the round snapshot.
+    fn run_ticket(&self, state: &mut CommunityState<'_>, t: usize) -> Community {
+        let mut rng =
+            StdRng::seed_from_u64(ticket_seed(self.config.rng_seed, self.start + t as u64));
+        let seed = self.pick_seed(&mut rng);
+        let initial = initial_set(self.config.seed_strategy, self.graph, seed, &mut rng);
+        local_search(state, &initial, &self.config.search).community
     }
 
-    /// Records one ascent outcome; returns nothing.
-    fn record(&mut self, community: Community, min_size: usize) {
-        if community.len() < min_size {
-            self.halting.record(0, false);
-            return;
+    /// O(1) unbiased pick from the uncovered snapshot; when everything is
+    /// covered (possible while the coverage criterion is disabled) any
+    /// node will do. Note the pick is against the *snapshot*, not the live
+    /// bitmap: the sequential path reduces incrementally, so the bitmap
+    /// may run ahead mid-round, and consulting it would reintroduce
+    /// schedule-dependent output.
+    fn pick_seed<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        if self.snapshot.is_empty() {
+            return NodeId(rng.random_range(0..self.graph.node_count() as u32));
         }
-        let key = community.members().to_vec();
-        if !self.seen.insert(key) {
-            self.halting.record(0, false);
-            return;
-        }
-        let mut newly = 0usize;
-        for &v in community.members() {
-            if !self.covered[v.index()] {
-                self.covered[v.index()] = true;
-                newly += 1;
-            }
-        }
-        self.accepted.push(community);
-        self.halting.record(newly, true);
+        self.snapshot[rng.random_range(0..self.snapshot.len())]
     }
 }
 
@@ -154,12 +271,14 @@ impl Oca {
 
     /// Runs OCA under a [`DetectContext`]: the context's cancellation
     /// token is polled once per ascent and a progress tick (`"ascent"`) is
-    /// emitted per seed processed. On cancellation the accepted (raw,
-    /// un-postprocessed) communities are returned inside
-    /// [`DetectError::Cancelled`].
+    /// emitted per ticket as the ordered reduction records it — ticks are
+    /// monotone and the final tick reports the run's last ascent. On
+    /// cancellation the accepted (raw, un-postprocessed) communities are
+    /// returned inside [`DetectError::Cancelled`].
     ///
     /// Randomness still derives from [`OcaConfig::rng_seed`]; detector
-    /// wrappers copy the context seed into the config first.
+    /// wrappers copy the context seed into the config first. For a fixed
+    /// seed the result is identical at any [`OcaConfig::threads`] count.
     pub fn run_ctx(&self, graph: &CsrGraph, ctx: &DetectContext) -> Result<OcaResult, DetectError> {
         let start = Instant::now();
         let n = graph.node_count();
@@ -186,110 +305,147 @@ impl Oca {
                 lambda_min,
                 seeds_tried: 0,
                 raw_community_count: 0,
+                halt_reason: None,
                 elapsed: start.elapsed(),
             });
         }
-        let shared = Mutex::new(Shared {
-            halting: HaltingState::new(self.config.halting, n),
-            covered: vec![false; n],
-            seen: HashSet::new(),
-            accepted: Vec::new(),
-        });
 
-        if self.config.threads <= 1 {
-            let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
-            let mut state = CommunityState::new(graph, c);
-            ascent_loop(&shared, graph, &self.config, n, &mut state, &mut rng, ctx);
-        } else {
-            crossbeam::scope(|scope| {
-                for tid in 0..self.config.threads {
-                    let shared = &shared;
-                    let config = &self.config;
-                    scope.spawn(move |_| {
-                        let mut rng =
-                            StdRng::seed_from_u64(config.rng_seed ^ (0x9E37 + tid as u64));
-                        let mut state = CommunityState::new(graph, c);
-                        ascent_loop(shared, graph, config, n, &mut state, &mut rng, ctx);
-                    });
+        let config = &self.config;
+        let threads = config.threads;
+        let covered = CoverageBitmap::new(n);
+        let mut reduction = Reduction::new(config, n);
+        // One reusable search state per worker; buffers persist across
+        // rounds so reset cost stays proportional to work done.
+        let mut states: Vec<CommunityState<'_>> = (0..threads.max(1))
+            .map(|_| CommunityState::new(graph, c))
+            .collect();
+
+        while !reduction.halted {
+            let done = reduction.halting.seeds_tried();
+            let len = config.batch.min(config.halting.max_seeds - done);
+            debug_assert!(len > 0, "max_seeds exhausted without halting");
+            // The uncovered list is *lent out* (no copy) as the round's
+            // pick snapshot; the reduction buffers this round's removals
+            // in `newly_covered` and applies them once the round is over,
+            // so the sequential path can reduce incrementally (stopping
+            // at the cutoff without wasted ascents) while every pick of
+            // the round still sees the round-start coverage, exactly
+            // like the parallel path.
+            let snapshot = std::mem::take(&mut reduction.uncovered.nodes);
+            let round = Round {
+                graph,
+                config,
+                snapshot: &snapshot,
+                start: done as u64,
+                len,
+            };
+
+            if threads <= 1 || len == 1 {
+                for t in 0..len {
+                    if ctx.is_cancelled() {
+                        break;
+                    }
+                    let community = round.run_ticket(&mut states[0], t);
+                    if !reduction.record(community, &covered, ctx, config.halting.max_seeds) {
+                        break;
+                    }
                 }
-            })
-            .expect("worker thread panicked");
+            } else {
+                let results = run_round_parallel(&round, &mut states, ctx);
+                for slot in results {
+                    // A hole means a worker bailed on cancellation; the
+                    // contiguous prefix before it is still reduced so the
+                    // partial result is well-formed.
+                    let Some(community) = slot else { break };
+                    if !reduction.record(community, &covered, ctx, config.halting.max_seeds)
+                        || ctx.is_cancelled()
+                    {
+                        break;
+                    }
+                }
+            }
+            reduction.uncovered.nodes = snapshot;
+            for v in std::mem::take(&mut reduction.newly_covered) {
+                reduction.uncovered.remove(v);
+            }
+            if ctx.is_cancelled() {
+                let seeds = reduction.halting.seeds_tried();
+                let cover = Cover::new(n, reduction.accepted);
+                return Err(cancelled(cover, seeds, c, lambda_min));
+            }
         }
 
-        let sh = shared.into_inner();
-        if ctx.is_cancelled() {
-            let seeds = sh.halting.seeds_tried();
-            return Err(cancelled(Cover::new(n, sh.accepted), seeds, c, lambda_min));
-        }
-        let raw_count = sh.accepted.len();
-        let mut cover = Cover::new(n, sh.accepted);
-        if let Some(threshold) = self.config.merge_threshold {
+        let raw_count = reduction.accepted.len();
+        let mut cover = Cover::new(n, reduction.accepted);
+        if let Some(threshold) = config.merge_threshold {
             cover = merge_similar(&cover, threshold);
         }
-        if self.config.assign_orphans {
+        if config.assign_orphans {
             cover = assign_orphans(graph, &cover, 16);
         }
         Ok(OcaResult {
             cover,
             c,
             lambda_min,
-            seeds_tried: sh.halting.seeds_tried(),
+            seeds_tried: reduction.halting.seeds_tried(),
             raw_community_count: raw_count,
+            halt_reason: reduction.halting.reason(),
             elapsed: start.elapsed(),
         })
     }
 }
 
-/// Runs seeded ascents until the shared halting state says stop or the
-/// context is cancelled. Each iteration takes the driver lock exactly
-/// once, recording the previous community and drawing the next seed in the
-/// same critical section; the ascent itself runs lock-free on thread-local
-/// state, and the per-ascent progress tick fires outside the lock.
-#[allow(clippy::too_many_arguments)]
-fn ascent_loop<R: Rng + ?Sized>(
-    shared: &Mutex<Shared>,
-    graph: &CsrGraph,
-    config: &OcaConfig,
-    n: usize,
-    state: &mut CommunityState<'_>,
-    rng: &mut R,
+/// Executes one round's tickets across scoped worker threads. Workers
+/// lease ticket chunks from an atomic cursor (one `fetch_add` per chunk —
+/// the entire cross-thread synchronization of the round) and return their
+/// results, which are assembled into ticket-indexed slots for the ordered
+/// reduction. `None` slots only occur after cancellation.
+fn run_round_parallel(
+    round: &Round<'_>,
+    states: &mut [CommunityState<'_>],
     ctx: &DetectContext,
-) {
-    let mut finished: Option<Community> = None;
-    loop {
-        let picked =
-            shared
-                .lock()
-                .record_and_pick(finished.take(), config.min_community_size, n, rng);
-        let Some((seed, tried)) = picked else {
-            break;
-        };
-        ctx.tick("ascent", tried, Some(config.halting.max_seeds));
-        if ctx.is_cancelled() {
-            break;
-        }
-        finished = Some(ascend(
-            graph,
-            state,
-            seed,
-            config.seed_strategy,
-            &config.search,
-            rng,
-        ));
-    }
-}
+) -> Vec<Option<Community>> {
+    let cursor = AtomicUsize::new(0);
+    // Small leases keep workers balanced near the end of a round while
+    // amortizing the cursor traffic.
+    let lease = (round.len / (states.len() * 4)).clamp(1, 32);
+    let buffers: Vec<Vec<(usize, Community)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = states
+            .iter_mut()
+            .map(|state| {
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let mut out: Vec<(usize, Community)> = Vec::new();
+                    'lease: loop {
+                        let lo = cursor.fetch_add(lease, Ordering::Relaxed);
+                        if lo >= round.len {
+                            break;
+                        }
+                        for t in lo..(lo + lease).min(round.len) {
+                            if ctx.is_cancelled() {
+                                break 'lease;
+                            }
+                            out.push((t, round.run_ticket(state, t)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("worker thread panicked");
 
-/// One seeded greedy ascent.
-fn ascend<R: Rng + ?Sized>(
-    graph: &CsrGraph,
-    state: &mut CommunityState<'_>,
-    seed: NodeId,
-    strategy: SeedStrategy,
-    search: &SearchConfig,
-    rng: &mut R,
-) -> Community {
-    let initial = initial_set(strategy, graph, seed, rng);
-    local_search(state, &initial, search).community
+    let mut slots: Vec<Option<Community>> = Vec::new();
+    slots.resize_with(round.len, || None);
+    for (t, community) in buffers.into_iter().flatten() {
+        debug_assert!(slots[t].is_none(), "ticket executed twice");
+        slots[t] = Some(community);
+    }
+    slots
 }
 
 /// Convenience: run OCA with default configuration.
@@ -302,6 +458,7 @@ mod tests {
     use super::*;
     use crate::config::OcaConfig;
     use oca_graph::from_edges;
+    use std::sync::Mutex;
 
     /// Three 5-cliques connected in a ring by single bridges.
     fn three_cliques() -> CsrGraph {
@@ -337,6 +494,7 @@ mod tests {
         sizes.sort_unstable();
         assert_eq!(sizes, vec![5, 5, 5]);
         assert!((result.cover.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(result.halt_reason, Some(HaltReason::Coverage));
     }
 
     #[test]
@@ -348,15 +506,77 @@ mod tests {
         assert_eq!(a.seeds_tried, b.seeds_tried);
     }
 
+    /// The determinism contract of this module: for a fixed seed the
+    /// cover, the seeds-tried cutoff and the halt reason are bit-identical
+    /// at any thread count — including cutoffs that land mid-round.
     #[test]
-    fn parallel_run_finds_same_structure() {
+    fn parallel_equals_sequential_at_any_thread_count() {
         let g = three_cliques();
-        let cfg = OcaConfig {
-            threads: 4,
-            ..quick_config()
-        };
-        let result = Oca::new(cfg).run(&g);
-        assert_eq!(result.cover.len(), 3);
+        let reference = Oca::new(quick_config()).run(&g);
+        assert_eq!(reference.cover.len(), 3);
+        for threads in [2, 3, 4, 8] {
+            let r = Oca::new(OcaConfig {
+                threads,
+                ..quick_config()
+            })
+            .run(&g);
+            assert_eq!(r.cover, reference.cover, "threads = {threads}");
+            assert_eq!(r.seeds_tried, reference.seeds_tried, "threads = {threads}");
+            assert_eq!(r.halt_reason, reference.halt_reason, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn round_size_is_part_of_the_schedule_but_threads_are_not() {
+        let g = three_cliques();
+        for batch in [1, 7, 64] {
+            let reference = Oca::new(OcaConfig {
+                batch,
+                ..quick_config()
+            })
+            .run(&g);
+            for threads in [2, 4] {
+                let r = Oca::new(OcaConfig {
+                    batch,
+                    threads,
+                    ..quick_config()
+                })
+                .run(&g);
+                assert_eq!(r.cover, reference.cover, "batch = {batch}");
+                assert_eq!(r.seeds_tried, reference.seeds_tried, "batch = {batch}");
+            }
+        }
+    }
+
+    /// Ticks fire after each recorded ascent with the post-record count:
+    /// strictly increasing by one, ending exactly at `seeds_tried`.
+    #[test]
+    fn progress_ticks_are_monotone_and_report_the_last_ascent() {
+        let g = three_cliques();
+        for threads in [1, 4] {
+            let ticks = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let sink = std::sync::Arc::clone(&ticks);
+            let ctx =
+                DetectContext::new(0x0CA).with_progress(move |p| sink.lock().unwrap().push(p.done));
+            let result = Oca::new(OcaConfig {
+                threads,
+                ..quick_config()
+            })
+            .run_ctx(&g, &ctx)
+            .unwrap();
+            let ticks = ticks.lock().unwrap();
+            let expected: Vec<usize> = (1..=result.seeds_tried).collect();
+            assert_eq!(*ticks, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn coverage_bitmap_tracks_sets() {
+        let bm = CoverageBitmap::new(130);
+        assert!(!bm.get(0) && !bm.get(129));
+        assert!(bm.set(129), "first set is new");
+        assert!(!bm.set(129), "second set is not");
+        assert!(bm.get(129) && !bm.get(128));
     }
 
     #[test]
@@ -365,6 +585,7 @@ mod tests {
         let r = run_default(&g);
         assert!(r.cover.is_empty());
         assert_eq!(r.seeds_tried, 0);
+        assert_eq!(r.halt_reason, None);
     }
 
     #[test]
@@ -380,6 +601,7 @@ mod tests {
         };
         let r = Oca::new(cfg).run(&g);
         assert!(r.cover.is_empty(), "singletons are below min size");
+        assert_eq!(r.halt_reason, Some(HaltReason::Stagnation));
     }
 
     #[test]

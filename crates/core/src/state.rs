@@ -34,6 +34,17 @@ pub struct CommunityState<'g> {
     /// Mirror min-queue over *member* internal degrees for best-removal.
     min_buckets: Vec<Vec<NodeId>>,
     min_bucket: usize,
+    /// Indices of `buckets` that may hold entries — pushed when a bucket
+    /// goes from empty to non-empty, so [`CommunityState::reset`] clears
+    /// only touched buckets instead of scanning up to the largest internal
+    /// degree the state has ever seen (O(max_degree) on hub graphs).
+    dirty_buckets: Vec<u32>,
+    /// Same for `min_buckets`.
+    dirty_min_buckets: Vec<u32>,
+    /// How many bucket vecs the last [`CommunityState::reset`] visited;
+    /// the regression test asserts it stays proportional to work done.
+    #[cfg(test)]
+    last_reset_bucket_visits: usize,
 }
 
 impl<'g> CommunityState<'g> {
@@ -53,6 +64,10 @@ impl<'g> CommunityState<'g> {
             max_bucket: 0,
             min_buckets: Vec::new(),
             min_bucket: 0,
+            dirty_buckets: Vec::new(),
+            dirty_min_buckets: Vec::new(),
+            #[cfg(test)]
+            last_reset_bucket_visits: 0,
         }
     }
 
@@ -61,6 +76,9 @@ impl<'g> CommunityState<'g> {
         let d = d as usize;
         if d >= self.buckets.len() {
             self.buckets.resize_with(d + 1, Vec::new);
+        }
+        if self.buckets[d].is_empty() {
+            self.dirty_buckets.push(d as u32);
         }
         self.buckets[d].push(v);
         self.max_bucket = self.max_bucket.max(d);
@@ -71,6 +89,9 @@ impl<'g> CommunityState<'g> {
         let d = d as usize;
         if d >= self.min_buckets.len() {
             self.min_buckets.resize_with(d + 1, Vec::new);
+        }
+        if self.min_buckets[d].is_empty() {
+            self.dirty_min_buckets.push(d as u32);
         }
         self.min_buckets[d].push(v);
         self.min_bucket = self.min_bucket.min(d);
@@ -263,8 +284,11 @@ impl<'g> CommunityState<'g> {
         Community::new(self.members.clone())
     }
 
-    /// Clears the set, zeroing only the touched entries, so the state can be
-    /// reused for the next seed without an `O(n)` sweep.
+    /// Clears the set, zeroing only the touched entries and the dirty
+    /// buckets, so the state can be reused for the next seed at a cost
+    /// proportional to the work done — not O(n), and not O(max_degree)
+    /// even after an earlier ascent through a high-degree hub has grown
+    /// the bucket table.
     pub fn reset(&mut self) {
         for &v in &self.touched {
             self.deg_in[v.index()] = 0;
@@ -274,12 +298,16 @@ impl<'g> CommunityState<'g> {
         self.touched.clear();
         self.members.clear();
         self.ein = 0;
-        for bucket in &mut self.buckets {
-            bucket.clear();
+        #[cfg(test)]
+        {
+            self.last_reset_bucket_visits = self.dirty_buckets.len() + self.dirty_min_buckets.len();
+        }
+        for d in self.dirty_buckets.drain(..) {
+            self.buckets[d as usize].clear();
         }
         self.max_bucket = 0;
-        for bucket in &mut self.min_buckets {
-            bucket.clear();
+        for d in self.dirty_min_buckets.drain(..) {
+            self.min_buckets[d as usize].clear();
         }
         self.min_bucket = 0;
     }
@@ -440,6 +468,41 @@ mod tests {
         // adjacent to {0,1} except 2 itself.
         st.remove(NodeId(2));
         assert_eq!(st.best_addition(), Some(NodeId(2)));
+    }
+
+    /// Regression: `reset` used to clear *every* bucket vec, so after one
+    /// ascent through a high-degree hub every later ascent paid
+    /// O(max_degree) on reset no matter how small its community was.
+    #[test]
+    fn reset_visits_only_dirty_buckets() {
+        // A 10k-leaf star: adding all leaves pushes the hub into buckets
+        // 1..=10_000, growing the bucket table to hub degree.
+        let leaves = 10_000u32;
+        let g = from_edges(leaves as usize + 1, (1..=leaves).map(|leaf| (0, leaf)));
+        let mut st = CommunityState::new(&g, 0.8);
+        for leaf in 1..=leaves {
+            st.add(NodeId(leaf));
+        }
+        st.reset();
+        assert!(
+            st.buckets.len() > leaves as usize / 2,
+            "the expensive ascent should have grown the bucket table"
+        );
+        // A tiny follow-up ascent: one leaf, touching only the hub.
+        st.add(NodeId(1));
+        st.remove(NodeId(1));
+        st.reset();
+        assert!(
+            st.last_reset_bucket_visits <= 8,
+            "tiny ascent reset visited {} buckets (table size {})",
+            st.last_reset_bucket_visits,
+            st.buckets.len()
+        );
+        // Correctness after the cheap reset: the state is genuinely clean.
+        assert!(st.is_empty());
+        assert_eq!(st.best_addition(), None);
+        st.add(NodeId(0));
+        assert_eq!(st.internal_degree(NodeId(1)), 1);
     }
 
     #[test]

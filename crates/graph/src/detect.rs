@@ -359,11 +359,15 @@ pub trait CommunityDetector: fmt::Debug + Send + Sync {
     ///
     /// Contract:
     /// * all randomness derives from [`DetectContext::seed`] — equal seeds
-    ///   on equal graphs give equal covers (in single-threaded mode);
+    ///   on equal graphs give equal covers. Parallel implementations must
+    ///   arrange their scheduling (e.g. OCA's ticket-ordered reduction) so
+    ///   worker counts and thread interleavings never change the result;
     /// * the cancellation token is polled at least once per outer
     ///   iteration and honoured with [`DetectError::Cancelled`] carrying
     ///   the partial result;
-    /// * progress is reported through [`DetectContext::tick`].
+    /// * progress is reported through [`DetectContext::tick`] with `done`
+    ///   values that are monotone non-decreasing per stage (completed
+    ///   work only — never a count captured before the work ran).
     fn detect(&self, graph: &CsrGraph, ctx: &mut DetectContext) -> Result<Detection, DetectError>;
 }
 

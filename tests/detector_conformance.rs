@@ -2,14 +2,18 @@
 //! against **every** entry of the `oca-api` registry. A newly registered
 //! backend gets the full battery for free:
 //!
-//! * determinism under a fixed [`DetectContext`] seed;
+//! * determinism under a fixed [`DetectContext`] seed — including, for
+//!   any detector that exposes a `threads` option, bit-identical results
+//!   at every thread count;
 //! * valid covers (member ids in range, no empty communities, matching
 //!   node count) on edge-case graphs — empty, singleton, disconnected,
 //!   star;
+//! * monotone per-stage progress ticks (completed work only);
 //! * prompt cooperative cancellation with a partial-result error.
 
 use oca_repro::gen::{lfr, LfrParams};
 use oca_repro::prelude::*;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Builds every registered detector in its experiment-grade preset.
@@ -80,6 +84,96 @@ fn every_detector_is_deterministic_under_a_fixed_seed() {
             a.iterations, b.iterations,
             "{name}: iteration counts differ across runs"
         );
+    }
+}
+
+/// Every detector that exposes a `threads` option must produce the same
+/// detection at any thread count: parallelism buys wall-clock time, never
+/// a different answer. Registered via the option key, so a future
+/// threaded backend inherits this contract automatically.
+#[test]
+fn thread_count_never_changes_a_threaded_detectors_output() {
+    let bench = lfr(&LfrParams::small(300, 0.3, 41));
+    let mut checked = 0;
+    for spec in registry().iter() {
+        if !spec.option_keys().contains(&"threads") {
+            continue;
+        }
+        checked += 1;
+        let mut reference = None;
+        for threads in [1usize, 2, 4] {
+            let detector = spec
+                .build(&DetectorOptions::new().with("threads", &threads.to_string()))
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            let detection = detector
+                .detect(&bench.graph, &mut DetectContext::new(17))
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            match &reference {
+                None => reference = Some(detection),
+                Some(r) => {
+                    assert_eq!(
+                        detection.cover,
+                        r.cover,
+                        "{}: cover differs at threads = {threads}",
+                        spec.name()
+                    );
+                    assert_eq!(
+                        detection.iterations,
+                        r.iterations,
+                        "{}: iteration cutoff differs at threads = {threads}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(checked >= 1, "OCA must be covered by this contract");
+}
+
+/// Progress ticks report *completed* work: per stage, `done` must be
+/// monotone non-decreasing, and ticking a count captured before the work
+/// ran (the old OCA driver's bug) is a contract violation.
+#[test]
+fn progress_ticks_are_monotone_per_stage() {
+    let bench = lfr(&LfrParams::small(300, 0.3, 37));
+    for (name, detector) in all_detectors(&bench.graph) {
+        let violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let last_by_stage: Arc<Mutex<Vec<(&'static str, usize)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&violations);
+        let lasts = Arc::clone(&last_by_stage);
+        let mut ctx = DetectContext::new(3).with_progress(move |p: Progress| {
+            let mut lasts = lasts.lock().unwrap();
+            match lasts.iter_mut().find(|(stage, _)| *stage == p.stage) {
+                Some((stage, last)) => {
+                    if p.done < *last {
+                        sink.lock()
+                            .unwrap()
+                            .push(format!("stage {stage}: {} after {last}", p.done));
+                    }
+                    *last = p.done;
+                }
+                None => lasts.push((p.stage, p.done)),
+            }
+        });
+        let detection = detector.detect(&bench.graph, &mut ctx).unwrap();
+        let violations = violations.lock().unwrap();
+        assert!(
+            violations.is_empty(),
+            "{name}: non-monotone ticks: {violations:?}"
+        );
+        // OCA's ascent stage must report every seed, the last one included.
+        if name == "oca" {
+            let lasts = last_by_stage.lock().unwrap();
+            let (_, last) = lasts
+                .iter()
+                .find(|(stage, _)| *stage == "ascent")
+                .expect("oca ticks the ascent stage");
+            assert_eq!(
+                *last, detection.iterations,
+                "oca: final tick must report the last ascent"
+            );
+        }
     }
 }
 

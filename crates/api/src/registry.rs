@@ -219,6 +219,11 @@ pub fn registry() -> DetectorRegistry {
                 "fixed-c",
                 "bypass the spectral c = -1/lambda_min with a fixed value",
             ),
+            (
+                "relabel",
+                "true = ascend on a degree-ordered relabeled copy (cache \
+                 locality); covers are still reported in original ids",
+            ),
         ],
         build_oca,
         tuned_oca,
@@ -308,6 +313,7 @@ fn build_oca(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
         merge_threshold,
         min_community_size: opts.get_or("min-size", defaults.min_community_size)?,
         assign_orphans: opts.get_or("orphans", defaults.assign_orphans)?,
+        relabel: opts.get_or("relabel", defaults.relabel)?,
         ..defaults
     };
     if let Some(c) = opts.get_parsed::<f64>("fixed-c")? {

@@ -1,0 +1,432 @@
+//! Hot-path bench: times the sequential greedy-ascent inner loop in
+//! isolation (`local_search` over a reusable [`oca::CommunityState`]) and
+//! end-to-end single-thread detection, on LFR / BA / daisy graphs.
+//! Results go to `results/BENCH_hotpath.json` (fields documented in
+//! README.md) with ns/move, moves/s, peak RSS, and before/after deltas
+//! against a committed baseline snapshot; a ns/move regression beyond
+//! 25% of the baseline exits non-zero, so CI can gate on it.
+//!
+//! ```text
+//! cargo run -p oca-bench --release --bin hot_path                      # full: n = 10k, 100k, 1M
+//! cargo run -p oca-bench --release --bin hot_path -- --sizes 10000 --families lfr,daisy
+//! cargo run -p oca-bench --release --bin hot_path -- --smoke           # tiny CI gate
+//! cargo run -p oca-bench --release --bin hot_path -- --write-baseline  # refresh the snapshot
+//! ```
+//!
+//! The default 1M point covers LFR and daisy; BA is skipped there because
+//! a structureless BA graph makes every ascent swallow a macroscopic
+//! fraction of the nodes, turning its end-to-end run into a multi-minute
+//! stress test rather than a hot-path measurement (opt in with
+//! `--families ba --sizes 1000000`).
+
+use oca::{
+    initial_set, local_search, ticket_seed, CommunityState, HaltingConfig, Oca, OcaConfig,
+    SearchConfig, SeedStrategy,
+};
+use oca_bench::{results_dir, Args, Table};
+use oca_gen::{barabasi_albert, daisy_tree, lfr, DaisyParams, LfrParams};
+use oca_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Measurements of the isolated ascent loop on one graph.
+struct AscentStats {
+    ascents: usize,
+    moves: usize,
+    total_ns: u128,
+    ns_per_move: f64,
+    moves_per_sec: f64,
+}
+
+/// Measurements of one end-to-end single-thread detection.
+struct EndToEndStats {
+    secs: f64,
+    seeds_tried: usize,
+    communities: usize,
+    coverage: f64,
+    halt: &'static str,
+}
+
+/// One benchmark case: a (family, n) pair with both measurements.
+struct Case {
+    family: &'static str,
+    nodes: usize,
+    edges: usize,
+    ascent: AscentStats,
+    end_to_end: EndToEndStats,
+}
+
+/// Moves after which the isolated-ascent loop stops early: plenty for a
+/// stable ns/move, and it keeps families whose ascents swallow huge sets
+/// (BA has no community structure to stop at) from dominating wall-clock.
+const MOVE_BUDGET: usize = 4_000_000;
+
+/// Times up to `max_ascents` isolated greedy ascents from the
+/// deterministic ticket stream, reusing one `CommunityState` (steady
+/// state: no allocation after warm-up). The move count is the unit of the
+/// ns/move metric; the loop stops early at [`MOVE_BUDGET`] moves.
+fn bench_ascents(graph: &CsrGraph, max_ascents: usize, seed: u64) -> AscentStats {
+    let mut state = CommunityState::new(graph, 0.8);
+    let config = SearchConfig::default();
+    let strategy = SeedStrategy::default();
+    let n = graph.node_count() as u32;
+    let mut moves = 0usize;
+    let mut ascents = 0usize;
+    // Warm-up: touch the buffers once so first-use page faults and
+    // bucket-table growth stay out of the timed region.
+    let mut rng = StdRng::seed_from_u64(ticket_seed(seed, u64::MAX));
+    let warm = initial_set(strategy, graph, NodeId(rng.random_range(0..n)), &mut rng);
+    local_search(&mut state, &warm, &config);
+
+    let start = Instant::now();
+    for ticket in 0..max_ascents as u64 {
+        let mut rng = StdRng::seed_from_u64(ticket_seed(seed, ticket));
+        let v = NodeId(rng.random_range(0..n));
+        let initial = initial_set(strategy, graph, v, &mut rng);
+        let outcome = local_search(&mut state, &initial, &config);
+        moves += outcome.moves;
+        ascents += 1;
+        if moves >= MOVE_BUDGET {
+            break;
+        }
+    }
+    let total_ns = start.elapsed().as_nanos();
+    AscentStats {
+        ascents,
+        moves,
+        total_ns,
+        ns_per_move: total_ns as f64 / (moves as f64).max(1.0),
+        moves_per_sec: moves as f64 / (total_ns as f64 / 1e9).max(1e-12),
+    }
+}
+
+/// Runs the full single-thread OCA pipeline (spectral `c`, seeded ascents,
+/// dedup, halting, merge postprocessing) — the Fig. 5/6 measurement.
+fn bench_end_to_end(graph: &CsrGraph, seed: u64) -> EndToEndStats {
+    let n = graph.node_count();
+    let config = OcaConfig {
+        halting: HaltingConfig {
+            max_seeds: (4 * n).max(100),
+            target_coverage: 0.99,
+            stagnation_limit: 200,
+        },
+        rng_seed: seed,
+        threads: 1,
+        ..Default::default()
+    };
+    let result = Oca::new(config).run(graph);
+    EndToEndStats {
+        secs: result.elapsed.as_secs_f64(),
+        seeds_tried: result.seeds_tried,
+        communities: result.cover.len(),
+        coverage: result.cover.coverage(),
+        halt: result.halt_reason.map_or("none", |r| r.label()),
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` on Linux;
+/// 0 where the proc filesystem is unavailable).
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// The three graph families of the bench. Daisy scales by *flower count*
+/// (200-node flowers in a daisy tree), keeping community size constant as
+/// n grows — the regime of the paper's Fig. 6 flat curve.
+fn make_graph(family: &str, n: usize, seed: u64) -> CsrGraph {
+    match family {
+        "lfr" => lfr(&LfrParams::timing(n, 20, 100, seed)).graph,
+        "ba" => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            barabasi_albert(n, 8, &mut rng)
+        }
+        "daisy" => {
+            let flower = 200.min(n.max(10));
+            let k = (n / flower).saturating_sub(1);
+            daisy_tree(&DaisyParams::default_shape(flower), k, 0.3, seed).graph
+        }
+        other => panic!("unknown family {other:?}"),
+    }
+}
+
+/// A previously recorded case, parsed from the baseline JSON.
+struct BaselineCase {
+    family: String,
+    nodes: usize,
+    ns_per_move: f64,
+    end_to_end_secs: f64,
+}
+
+/// Minimal extraction of the fields the gate needs from a prior run's
+/// JSON (written by this binary, so the shape is known; no JSON crate in
+/// the sanctioned dependency set).
+fn parse_baseline(text: &str) -> Vec<BaselineCase> {
+    let field = |chunk: &str, key: &str| -> Option<f64> {
+        let pat = format!("\"{key}\":");
+        let at = chunk.find(&pat)? + pat.len();
+        let rest = chunk[at..].trim_start();
+        let end = rest
+            .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    let mut out = Vec::new();
+    for chunk in text.split("\"family\":").skip(1) {
+        let name = chunk.split('"').nth(1).unwrap_or("").to_string();
+        if let (Some(nodes), Some(npm), Some(secs)) = (
+            field(chunk, "nodes"),
+            field(chunk, "ns_per_move"),
+            field(chunk, "end_to_end_secs"),
+        ) {
+            out.push(BaselineCase {
+                family: name,
+                nodes: nodes as usize,
+                ns_per_move: npm,
+                end_to_end_secs: secs,
+            });
+        }
+    }
+    out
+}
+
+fn json_case(case: &Case, baseline: Option<&BaselineCase>, last: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    {{\"family\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+         \"ascents\": {}, \"moves\": {}, \"ascent_total_ns\": {}, \
+         \"ns_per_move\": {:.2}, \"moves_per_sec\": {:.0}, \
+         \"end_to_end_secs\": {:.6}, \"seeds_tried\": {}, \"communities\": {}, \
+         \"coverage\": {:.4}, \"halt\": \"{}\"",
+        case.family,
+        case.nodes,
+        case.edges,
+        case.ascent.ascents,
+        case.ascent.moves,
+        case.ascent.total_ns,
+        case.ascent.ns_per_move,
+        case.ascent.moves_per_sec,
+        case.end_to_end.secs,
+        case.end_to_end.seeds_tried,
+        case.end_to_end.communities,
+        case.end_to_end.coverage,
+        case.end_to_end.halt,
+    );
+    if let Some(b) = baseline {
+        let _ = write!(
+            out,
+            ", \"before_ns_per_move\": {:.2}, \"ns_per_move_ratio\": {:.3}, \
+             \"before_end_to_end_secs\": {:.6}, \"end_to_end_speedup\": {:.3}",
+            b.ns_per_move,
+            case.ascent.ns_per_move / b.ns_per_move.max(1e-9),
+            b.end_to_end_secs,
+            b.end_to_end_secs / case.end_to_end.secs.max(1e-9),
+        );
+    }
+    out.push('}');
+    if !last {
+        out.push(',');
+    }
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let seed: u64 = args.get_strict("seed", 42);
+    // Smoke mode only changes the default; an explicit --sizes still wins
+    // (same convention as parallel_scaling's --nodes).
+    let default_sizes = if smoke {
+        "3000"
+    } else {
+        "10000,100000,1000000"
+    };
+    let sizes: Vec<usize> = {
+        let raw: String = args.get("sizes", default_sizes.to_string());
+        raw.split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid value for --sizes: {raw:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let baseline_path: String = args.get(
+        "baseline",
+        results_dir()
+            .join("BENCH_hotpath_baseline.json")
+            .display()
+            .to_string(),
+    );
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map(|text| parse_baseline(&text))
+        .unwrap_or_default();
+
+    println!(
+        "hot path: sequential ascent loop, sizes {sizes:?}, seed {seed}{}",
+        if smoke { " (smoke mode)" } else { "" }
+    );
+
+    let families_raw: String = args.get("families", String::new());
+    let explicit_families: Option<Vec<String>> = if families_raw.is_empty() {
+        None
+    } else {
+        Some(
+            families_raw
+                .split(',')
+                .map(|f| f.trim().to_string())
+                .collect(),
+        )
+    };
+
+    let mut cases: Vec<Case> = Vec::new();
+    for &n in &sizes {
+        for family in ["lfr", "ba", "daisy"] {
+            match &explicit_families {
+                Some(want) if !want.iter().any(|f| f == family) => continue,
+                Some(_) => {}
+                // BA at the million-node point is opt-in (see module docs).
+                None if family == "ba" && n >= 1_000_000 => {
+                    eprintln!("ba/{n}: skipped by default (pass --families ba to include)");
+                    continue;
+                }
+                None => {}
+            }
+            eprint!("{family}/{n}: gen");
+            let graph = make_graph(family, n, seed);
+            // Enough ascents for a stable ns/move without making the 1M
+            // point take minutes: the ascent count is capped, the move
+            // count reported alongside.
+            let ascents = (2 * n).clamp(200, 20_000);
+            eprint!(" ascents");
+            let ascent = bench_ascents(&graph, ascents, seed);
+            eprint!(" e2e");
+            let end_to_end = bench_end_to_end(&graph, seed);
+            eprintln!(" done ({:.1}s)", end_to_end.secs);
+            cases.push(Case {
+                family,
+                nodes: graph.node_count(),
+                edges: graph.edge_count(),
+                ascent,
+                end_to_end,
+            });
+        }
+    }
+    let peak_rss = peak_rss_bytes();
+
+    let find_baseline = |case: &Case| {
+        baseline
+            .iter()
+            .find(|b| b.family == case.family && b.nodes == case.nodes)
+    };
+
+    let mut table = Table::new([
+        "graph",
+        "nodes",
+        "edges",
+        "ns/move",
+        "moves/s",
+        "e2e secs",
+        "communities",
+        "vs before",
+    ]);
+    for case in &cases {
+        table.row([
+            case.family.to_string(),
+            case.nodes.to_string(),
+            case.edges.to_string(),
+            format!("{:.1}", case.ascent.ns_per_move),
+            format!("{:.2e}", case.ascent.moves_per_sec),
+            format!("{:.3}", case.end_to_end.secs),
+            case.end_to_end.communities.to_string(),
+            find_baseline(case).map_or("-".to_string(), |b| {
+                format!("{:.2}x", b.end_to_end_secs / case.end_to_end.secs.max(1e-9))
+            }),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("peak RSS: {:.1} MiB", peak_rss as f64 / (1024.0 * 1024.0));
+
+    let mut json = String::from("{\n  \"bench\": \"hot_path\",\n");
+    let _ = write!(
+        json,
+        "  \"mode\": \"{}\",\n  \"rng_seed\": {seed},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cases\": [\n",
+        if smoke { "smoke" } else { "full" },
+    );
+    for (i, case) in cases.iter().enumerate() {
+        json.push_str(&json_case(case, find_baseline(case), i + 1 == cases.len()));
+    }
+    json.push_str("  ]\n}\n");
+
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let name = if write_baseline {
+        "BENCH_hotpath_baseline.json"
+    } else {
+        "BENCH_hotpath.json"
+    };
+    let path = dir.join(name);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Regression gate: ns/move must stay within 25% of the baseline
+    // snapshot for every case the baseline also measured. The gate never
+    // passes vacuously: zero matches against a non-empty baseline is a
+    // misconfigured snapshot (e.g. a full-mode baseline checked against a
+    // smoke run) and fails in smoke mode rather than silently gating
+    // nothing.
+    let mut regressed = false;
+    let mut matched = 0usize;
+    for case in &cases {
+        if let Some(b) = find_baseline(case) {
+            matched += 1;
+            let ratio = case.ascent.ns_per_move / b.ns_per_move.max(1e-9);
+            if ratio > 1.25 {
+                eprintln!(
+                    "REGRESSION: {}/{} ns/move {:.1} vs baseline {:.1} ({:.2}x > 1.25x)",
+                    case.family, case.nodes, case.ascent.ns_per_move, b.ns_per_move, ratio
+                );
+                regressed = true;
+            }
+        }
+    }
+    if regressed {
+        std::process::exit(1);
+    }
+    if baseline.is_empty() {
+        println!("regression gate: no baseline at {baseline_path} — nothing compared");
+    } else if matched == 0 {
+        eprintln!(
+            "regression gate: baseline {baseline_path} matched none of the {} cases \
+             (regenerate it with the sizes this run used, e.g. --smoke --write-baseline)",
+            cases.len()
+        );
+        if smoke {
+            std::process::exit(1);
+        }
+    } else {
+        println!("regression gate: PASS ({matched} cases within 25% of baseline ns/move)");
+    }
+}

@@ -63,6 +63,87 @@ pub fn gain_add(s: usize, ein: usize, deg_in: usize, c: f64) -> f64 {
     fitness(s + 1, ein + deg_in, c) - fitness(s, ein, c)
 }
 
+/// Memoized `√(s(s−1))` values, the only transcendental in the hot path.
+///
+/// Every gain evaluation of the greedy ascent needs `fitness` at two
+/// adjacent sizes, and each closed-form evaluation pays one `sqrt`. The
+/// square roots depend only on `s`, so [`crate::state::CommunityState`]
+/// keeps one of these tables and grows it to the largest community size it
+/// has seen — steady-state ascents never call `sqrt` again. Table lookups
+/// return the exact same `f64` the direct call would (the table *stores*
+/// `sqrt` results, it does not approximate them), so memoized fitness is
+/// bit-identical to [`fitness`].
+#[derive(Debug, Clone, Default)]
+pub struct SqrtTable {
+    /// `roots[s] = √(s(s−1))`; index 0 and 1 hold 0.0.
+    roots: Vec<f64>,
+}
+
+impl SqrtTable {
+    /// An empty table; grows on [`SqrtTable::ensure`].
+    pub fn new() -> Self {
+        SqrtTable::default()
+    }
+
+    /// Number of sizes covered (lookups are valid for `s < len()`).
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True when no size is covered yet.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Extends the table to cover sizes `0..=s`.
+    pub fn ensure(&mut self, s: usize) {
+        if s < self.roots.len() {
+            return;
+        }
+        self.roots.reserve(s + 1 - self.roots.len());
+        for k in self.roots.len()..=s {
+            let kf = k as f64;
+            self.roots.push((kf * (kf - 1.0)).sqrt());
+        }
+    }
+
+    /// `√(s(s−1))` from the table. Callers must have covered `s` via
+    /// [`SqrtTable::ensure`]; debug builds assert it.
+    #[inline]
+    pub fn root(&self, s: usize) -> f64 {
+        debug_assert!(s < self.roots.len(), "SqrtTable not grown to {s}");
+        self.roots[s]
+    }
+
+    /// [`fitness`] with the square root served from the table. Valid for
+    /// `s < len()`; bit-identical to the direct computation.
+    #[inline]
+    pub fn fitness(&self, s: usize, ein: usize, c: f64) -> f64 {
+        match s {
+            0 => 0.0,
+            1 => 1.0,
+            _ => {
+                let sf = s as f64;
+                let root = self.root(s);
+                sf - root + 2.0 * c * ein as f64 * (1.0 - (sf - 2.0) / root)
+            }
+        }
+    }
+
+    /// [`gain_add`] from the table. Valid for `s + 1 < len()`.
+    #[inline]
+    pub fn gain_add(&self, s: usize, ein: usize, deg_in: usize, c: f64) -> f64 {
+        self.fitness(s + 1, ein + deg_in, c) - self.fitness(s, ein, c)
+    }
+
+    /// [`gain_remove`] from the table. Valid for `s < len()`.
+    #[inline]
+    pub fn gain_remove(&self, s: usize, ein: usize, deg_in: usize, c: f64) -> f64 {
+        debug_assert!(s >= 1 && ein >= deg_in);
+        self.fitness(s - 1, ein - deg_in, c) - self.fitness(s, ein, c)
+    }
+}
+
 /// Fitness gain of removing a member with `deg_in` neighbors inside `S`
 /// (not counting itself).
 #[inline]
@@ -158,6 +239,28 @@ mod tests {
         // Removing a clique member (deg_in 4 in the 5-clique + 0 to pendant)
         // should lower it.
         assert!(gain_remove(6, 11, 4, C) < 0.0);
+    }
+
+    #[test]
+    fn sqrt_table_is_bit_identical_to_direct_evaluation() {
+        let mut table = SqrtTable::new();
+        table.ensure(64);
+        assert_eq!(table.len(), 65);
+        for s in 0..64usize {
+            let ein = s * (s.saturating_sub(1)) / 2;
+            // Exact equality on purpose: the table must not perturb the
+            // ascent's tie-breaking by even one ulp.
+            assert_eq!(table.fitness(s, ein, C), fitness(s, ein, C), "s = {s}");
+            if s >= 1 {
+                assert_eq!(table.gain_add(s, ein, s, C), gain_add(s, ein, s, C));
+                assert_eq!(table.gain_remove(s, ein, 0, C), gain_remove(s, ein, 0, C));
+            }
+        }
+        // Growing twice is idempotent.
+        table.ensure(10);
+        assert_eq!(table.len(), 65);
+        assert_eq!(table.root(0), 0.0);
+        assert_eq!(table.root(1), 0.0);
     }
 
     #[test]

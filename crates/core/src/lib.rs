@@ -42,7 +42,7 @@ pub mod state;
 
 pub use config::{CStrategy, OcaConfig};
 pub use detector::OcaDetector;
-pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi};
+pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi, SqrtTable};
 pub use halting::{HaltReason, HaltingConfig, HaltingState};
 pub use postprocess::{assign_orphans, merge_similar};
 pub use runner::{run_default, CoverageBitmap, Oca, OcaResult};

@@ -20,7 +20,9 @@ use crate::postprocess::{assign_orphans, merge_similar};
 use crate::search::local_search;
 use crate::seed::{initial_set, ticket_seed};
 use crate::state::CommunityState;
-use oca_graph::{Community, Cover, CsrGraph, DetectContext, DetectError, Detection, NodeId};
+use oca_graph::{
+    Community, Cover, CsrGraph, DetectContext, DetectError, Detection, NodeId, Relabeling,
+};
 use oca_spectral::interaction_strength;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,7 +61,7 @@ pub struct Oca {
 ///
 /// Inside the driver the ordered reduction is the only writer (seed picks
 /// deliberately use the round snapshot, not this bitmap — see
-/// [`Round::pick_seed`]), but updates go through `&self` atomics so the
+/// `Round::pick_seed`), but updates go through `&self` atomics so the
 /// bitmap can be read lock-free from any thread at any time (progress
 /// callbacks, external monitors) and shared across the worker scope
 /// without borrow gymnastics. `Relaxed` suffices: bits only ever turn on,
@@ -279,7 +281,36 @@ impl Oca {
     /// Randomness still derives from [`OcaConfig::rng_seed`]; detector
     /// wrappers copy the context seed into the config first. For a fixed
     /// seed the result is identical at any [`OcaConfig::threads`] count.
+    ///
+    /// With [`OcaConfig::relabel`] set, the run happens on a
+    /// degree-ordered copy of the graph and every cover leaving this
+    /// function — the result's and a cancellation's partial — is mapped
+    /// back to original ids.
     pub fn run_ctx(&self, graph: &CsrGraph, ctx: &DetectContext) -> Result<OcaResult, DetectError> {
+        if !self.config.relabel {
+            return self.run_ctx_inner(graph, ctx);
+        }
+        let relabeling = Relabeling::degree_descending(graph);
+        let compact = graph.relabeled(&relabeling);
+        match self.run_ctx_inner(&compact, ctx) {
+            Ok(mut result) => {
+                result.cover = relabeling.cover_to_original(&result.cover);
+                Ok(result)
+            }
+            Err(DetectError::Cancelled { partial }) => Err(DetectError::cancelled(Detection {
+                cover: relabeling.cover_to_original(&partial.cover),
+                ..*partial
+            })),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// [`Oca::run_ctx`] on the graph as given (no relabeling pass).
+    fn run_ctx_inner(
+        &self,
+        graph: &CsrGraph,
+        ctx: &DetectContext,
+    ) -> Result<OcaResult, DetectError> {
         let start = Instant::now();
         let n = graph.node_count();
         let cancelled = |cover: Cover, seeds: usize, c: f64, lambda_min: f64| {

@@ -5,43 +5,135 @@
 //! or applying a move costs `O(deg v)` instead of `O(Σ_{u∈S} deg u)`. This
 //! is the difference between OCA's flat runtime curve (Fig. 6) and a
 //! quadratic blow-up; the ablation bench quantifies it.
+//!
+//! The layout is built for zero steady-state allocation and cache locality
+//! (DESIGN.md "Memory layout"): one packed 16-byte record per node holds
+//! the membership/touched flags, the internal degree, the member-list slot
+//! and the intrusive links of the bucket queues, so every hot-path access
+//! to a node is a single cache line; the best-addition and best-removal
+//! queues are intrusive doubly-linked bucket lists over those records
+//! (true O(1) insert/delete/degree-move, no stale entries, no per-ascent
+//! heap allocation); and the `√(s(s−1))` of every gain evaluation comes
+//! from a memoized [`SqrtTable`].
 
-use crate::fitness::{fitness, gain_add, gain_remove};
+use crate::fitness::SqrtTable;
 use oca_graph::{Community, CsrGraph, NodeId};
+
+/// Sentinel for "no node" in the intrusive links and head arrays.
+const NIL: u32 = u32::MAX;
+
+/// `word` bit for "v ∈ S".
+const IN_SET: u32 = 1 << 31;
+/// `word` bit for "v is on the touched list".
+const TOUCHED: u32 = 1 << 30;
+/// `word` bits holding `deg_S(v)`. 30 bits suffice for any realistic
+/// graph (a 2^30-neighbor row alone costs 8 GiB of symmetric adjacency);
+/// [`CommunityState::new`] asserts the bound once so the per-move
+/// arithmetic can never carry into the flag bits.
+const DEG_MASK: u32 = TOUCHED - 1;
+
+/// Packed per-node record: flags + internal degree in one word, the
+/// intrusive queue links, and the member-list slot. 16 bytes, so the whole
+/// hot-path state of a node is one aligned quarter-cache-line.
+#[derive(Debug, Clone, Copy)]
+struct NodeRec {
+    /// Bit 31 = in set, bit 30 = touched, bits 0..30 = `deg_S(v)`.
+    word: u32,
+    /// Previous node in this node's bucket list, or [`NIL`].
+    prev: u32,
+    /// Next node in this node's bucket list, or [`NIL`].
+    next: u32,
+    /// Index in `members` while in the set (unused otherwise).
+    slot: u32,
+}
+
+impl NodeRec {
+    const EMPTY: NodeRec = NodeRec {
+        word: 0,
+        prev: NIL,
+        next: NIL,
+        slot: 0,
+    };
+}
+
+/// Unlinks a node whose links `(prev, next)` the caller has already read
+/// from bucket `d`. Does not touch the node's own record: callers rewrite
+/// it wholesale right after (relink or retirement), so clearing the links
+/// here would be a wasted store.
+#[inline(always)]
+fn unlink_known(recs: &mut [NodeRec], heads: &mut [u32], prev: u32, next: u32, d: usize) {
+    if prev == NIL {
+        heads[d] = next;
+    } else {
+        recs[prev as usize].next = next;
+    }
+    if next != NIL {
+        recs[next as usize].prev = prev;
+    }
+}
+
+/// Links `v` at the head of bucket `d`, returning the previous head so the
+/// caller can fold it into the single write of `v`'s record (`next`).
+#[inline(always)]
+fn link_at_head(
+    recs: &mut [NodeRec],
+    heads: &mut [u32],
+    dirty: &mut Vec<u32>,
+    v: u32,
+    d: usize,
+) -> u32 {
+    let head = heads[d];
+    if head == NIL {
+        dirty.push(d as u32);
+    } else {
+        recs[head as usize].prev = v;
+    }
+    heads[d] = v;
+    head
+}
 
 /// Mutable state of one community search over a fixed graph.
 ///
-/// Buffers are `O(n)` but reusable across seeds via [`CommunityState::reset`],
-/// which clears only the touched entries.
+/// Buffers are `O(n + max_degree)` but reusable across seeds via
+/// [`CommunityState::reset`], which clears only the touched entries.
 #[derive(Debug)]
 pub struct CommunityState<'g> {
     graph: &'g CsrGraph,
     c: f64,
-    in_set: Vec<bool>,
-    /// Internal degree of every node (valid only for touched nodes).
-    deg_in: Vec<u32>,
-    /// Nodes whose `deg_in` entry may be non-zero (for cheap reset).
+    /// One packed record per node (flags, degree, links, slot).
+    recs: Vec<NodeRec>,
+    /// Nodes whose record may differ from [`NodeRec::EMPTY`] (for cheap
+    /// reset).
     touched: Vec<NodeId>,
-    touched_flag: Vec<bool>,
     members: Vec<NodeId>,
     ein: usize,
-    /// Lazy bucket queue over boundary internal degrees: `buckets[d]` holds
-    /// candidate boundary nodes that had `deg_S = d` when pushed. Entries go
-    /// stale when a node joins `S` or its degree changes; they are discarded
-    /// on pop. Gives O(1) amortized best-addition lookups.
-    buckets: Vec<Vec<NodeId>>,
-    max_bucket: usize,
-    /// Mirror min-queue over *member* internal degrees for best-removal.
-    min_buckets: Vec<Vec<NodeId>>,
-    min_bucket: usize,
-    /// Indices of `buckets` that may hold entries — pushed when a bucket
-    /// goes from empty to non-empty, so [`CommunityState::reset`] clears
+    /// Intrusive bucket heads for the boundary (best-addition) queue:
+    /// `add_heads[d]` starts the list of non-members with `deg_S = d ≥ 1`.
+    add_heads: Vec<u32>,
+    /// Largest possibly-non-empty bucket of `add_heads`; tightened
+    /// incrementally by [`CommunityState::best_addition`], never by a
+    /// full-range scan.
+    add_max: usize,
+    /// Intrusive bucket heads for the member (best-removal) queue.
+    rem_heads: Vec<u32>,
+    /// Smallest possibly-non-empty bucket of `rem_heads` (mirror of
+    /// `add_max`).
+    rem_min: usize,
+    /// Buckets of `add_heads` that may be non-[`NIL`] — pushed on the
+    /// empty→non-empty transition, so [`CommunityState::reset`] clears
     /// only touched buckets instead of scanning up to the largest internal
     /// degree the state has ever seen (O(max_degree) on hub graphs).
-    dirty_buckets: Vec<u32>,
-    /// Same for `min_buckets`.
-    dirty_min_buckets: Vec<u32>,
-    /// How many bucket vecs the last [`CommunityState::reset`] visited;
+    dirty_add: Vec<u32>,
+    /// Same for `rem_heads`.
+    dirty_rem: Vec<u32>,
+    /// Memoized `√(s(s−1))`; grown when the member list grows, so gain
+    /// evaluations never call `sqrt` at steady state.
+    sqrt: SqrtTable,
+    /// Bucket-head inspections performed by the best-candidate queries
+    /// since construction; the drift regression test asserts this stays
+    /// proportional to work done, not to the bucket range.
+    probes: u64,
+    /// How many bucket heads the last [`CommunityState::reset`] visited;
     /// the regression test asserts it stays proportional to work done.
     #[cfg(test)]
     last_reset_bucket_visits: usize,
@@ -49,52 +141,43 @@ pub struct CommunityState<'g> {
 
 impl<'g> CommunityState<'g> {
     /// Creates an empty state for `graph` with interaction strength `c`.
+    ///
+    /// # Panics
+    /// Panics if the graph's maximum degree does not fit the 30-bit packed
+    /// degree field (a single node with ≥ 2^30 neighbors; the builder's
+    /// edge cap admits such a hub in principle, so the boundary is checked
+    /// here once rather than per move).
     pub fn new(graph: &'g CsrGraph, c: f64) -> Self {
         let n = graph.node_count();
+        // Internal degrees never exceed the graph's maximum degree, so the
+        // head arrays are allocated once, here, at their final size — and
+        // the packed records can never overflow their degree bits.
+        let max_degree = graph.max_degree();
+        assert!(
+            max_degree < DEG_MASK as usize,
+            "maximum degree {max_degree} exceeds the packed 30-bit deg_S field"
+        );
+        let buckets = max_degree + 1;
+        let mut sqrt = SqrtTable::new();
+        sqrt.ensure(1);
         CommunityState {
             graph,
             c,
-            in_set: vec![false; n],
-            deg_in: vec![0; n],
+            recs: vec![NodeRec::EMPTY; n],
             touched: Vec::new(),
-            touched_flag: vec![false; n],
             members: Vec::new(),
             ein: 0,
-            buckets: Vec::new(),
-            max_bucket: 0,
-            min_buckets: Vec::new(),
-            min_bucket: 0,
-            dirty_buckets: Vec::new(),
-            dirty_min_buckets: Vec::new(),
+            add_heads: vec![NIL; buckets],
+            add_max: 0,
+            rem_heads: vec![NIL; buckets],
+            rem_min: usize::MAX,
+            dirty_add: Vec::new(),
+            dirty_rem: Vec::new(),
+            sqrt,
+            probes: 0,
             #[cfg(test)]
             last_reset_bucket_visits: 0,
         }
-    }
-
-    #[inline]
-    fn push_bucket(&mut self, v: NodeId, d: u32) {
-        let d = d as usize;
-        if d >= self.buckets.len() {
-            self.buckets.resize_with(d + 1, Vec::new);
-        }
-        if self.buckets[d].is_empty() {
-            self.dirty_buckets.push(d as u32);
-        }
-        self.buckets[d].push(v);
-        self.max_bucket = self.max_bucket.max(d);
-    }
-
-    #[inline]
-    fn push_member_bucket(&mut self, v: NodeId, d: u32) {
-        let d = d as usize;
-        if d >= self.min_buckets.len() {
-            self.min_buckets.resize_with(d + 1, Vec::new);
-        }
-        if self.min_buckets[d].is_empty() {
-            self.dirty_min_buckets.push(d as u32);
-        }
-        self.min_buckets[d].push(v);
-        self.min_bucket = self.min_bucket.min(d);
     }
 
     /// The interaction strength in use.
@@ -118,13 +201,15 @@ impl<'g> CommunityState<'g> {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.in_set[v.index()]
+        self.recs[v.index()].word & IN_SET != 0
     }
 
     /// Internal degree of `v` with respect to the current set.
+    #[inline]
     pub fn internal_degree(&self, v: NodeId) -> usize {
-        self.deg_in[v.index()] as usize
+        (self.recs[v.index()].word & DEG_MASK) as usize
     }
 
     /// The current members (unsorted).
@@ -134,13 +219,13 @@ impl<'g> CommunityState<'g> {
 
     /// The current fitness `L(S)`.
     pub fn fitness(&self) -> f64 {
-        fitness(self.members.len(), self.ein, self.c)
+        self.sqrt.fitness(self.members.len(), self.ein, self.c)
     }
 
     /// Fitness gain if `v` were added. `v` must not be a member.
     pub fn gain_add(&self, v: NodeId) -> f64 {
         debug_assert!(!self.contains(v));
-        gain_add(
+        self.sqrt.gain_add(
             self.members.len(),
             self.ein,
             self.internal_degree(v),
@@ -151,7 +236,7 @@ impl<'g> CommunityState<'g> {
     /// Fitness gain if `v` were removed. `v` must be a member.
     pub fn gain_remove(&self, v: NodeId) -> f64 {
         debug_assert!(self.contains(v));
-        gain_remove(
+        self.sqrt.gain_remove(
             self.members.len(),
             self.ein,
             self.internal_degree(v),
@@ -159,63 +244,221 @@ impl<'g> CommunityState<'g> {
         )
     }
 
-    fn touch(&mut self, v: NodeId) {
-        if !self.touched_flag[v.index()] {
-            self.touched_flag[v.index()] = true;
-            self.touched.push(v);
-        }
+    /// Total bucket-head inspections by [`CommunityState::best_addition`]
+    /// and [`CommunityState::best_removal`] since construction.
+    ///
+    /// With the intrusive queues this is O(moves + degree changes) over a
+    /// run: the bounds only walk buckets they then permanently tighten
+    /// past, so there is no repeated scanning of empty ranges — the drift
+    /// regression test counts these.
+    pub fn bucket_probes(&self) -> u64 {
+        self.probes
     }
 
-    /// Adds `v` to the set. `O(deg v)`.
+    /// Adds `v` to the set. `O(deg v)`, allocation-free at steady state.
+    ///
+    /// Each neighbor costs one read and one write of its packed record
+    /// plus the O(1) intrusive relink between adjacent buckets.
     ///
     /// # Panics
     /// Debug-panics if `v` is already a member.
     pub fn add(&mut self, v: NodeId) {
         debug_assert!(!self.contains(v));
-        self.ein += self.deg_in[v.index()] as usize;
-        self.in_set[v.index()] = true;
-        self.touch(v);
+        let i = v.index();
+        let rec = self.recs[i];
+        let d = (rec.word & DEG_MASK) as usize;
+        self.ein += d;
+        if d > 0 {
+            // Boundary nodes with positive internal degree sit in the
+            // addition queue; v leaves it as it joins S.
+            unlink_known(&mut self.recs, &mut self.add_heads, rec.prev, rec.next, d);
+        }
+        if rec.word & TOUCHED == 0 {
+            self.touched.push(v);
+        }
+        let slot = self.members.len() as u32;
         self.members.push(v);
-        self.push_member_bucket(v, self.deg_in[v.index()]);
-        for i in 0..self.graph.neighbors(v).len() {
-            let u = self.graph.neighbors(v)[i];
-            self.deg_in[u.index()] += 1;
-            self.touch(u);
-            if self.in_set[u.index()] {
-                self.push_member_bucket(u, self.deg_in[u.index()]);
+        self.sqrt.ensure(self.members.len() + 1);
+        let head = link_at_head(
+            &mut self.recs,
+            &mut self.rem_heads,
+            &mut self.dirty_rem,
+            v.raw(),
+            d,
+        );
+        self.recs[i] = NodeRec {
+            word: rec.word | IN_SET | TOUCHED,
+            prev: NIL,
+            next: head,
+            slot,
+        };
+        if d < self.rem_min {
+            self.rem_min = d;
+        }
+        // Copying the `&'g` graph reference out of `self` lets the
+        // neighbor slice outlive the `&mut self` accesses below.
+        let graph = self.graph;
+        for &u in graph.neighbors(v) {
+            let j = u.index();
+            let urec = self.recs[j];
+            let du = (urec.word & DEG_MASK) as usize;
+            if urec.word & TOUCHED == 0 {
+                self.touched.push(u);
+            }
+            if urec.word & IN_SET != 0 {
+                // A member moving up one bucket cannot lower the minimum.
+                unlink_known(
+                    &mut self.recs,
+                    &mut self.rem_heads,
+                    urec.prev,
+                    urec.next,
+                    du,
+                );
+                let head = link_at_head(
+                    &mut self.recs,
+                    &mut self.rem_heads,
+                    &mut self.dirty_rem,
+                    u.raw(),
+                    du + 1,
+                );
+                self.recs[j] = NodeRec {
+                    word: (urec.word | TOUCHED) + 1,
+                    prev: NIL,
+                    next: head,
+                    slot: urec.slot,
+                };
             } else {
-                self.push_bucket(u, self.deg_in[u.index()]);
+                if du > 0 {
+                    unlink_known(
+                        &mut self.recs,
+                        &mut self.add_heads,
+                        urec.prev,
+                        urec.next,
+                        du,
+                    );
+                }
+                let head = link_at_head(
+                    &mut self.recs,
+                    &mut self.add_heads,
+                    &mut self.dirty_add,
+                    u.raw(),
+                    du + 1,
+                );
+                self.recs[j] = NodeRec {
+                    word: (urec.word | TOUCHED) + 1,
+                    prev: NIL,
+                    next: head,
+                    slot: urec.slot,
+                };
+                if du + 1 > self.add_max {
+                    self.add_max = du + 1;
+                }
             }
         }
     }
 
-    /// Removes `v` from the set. `O(deg v + s)` (member list swap-remove
-    /// after a linear scan).
+    /// Removes `v` from the set. `O(deg v)` — the member list is
+    /// slot-indexed, so the swap-remove needs no linear scan.
     ///
     /// # Panics
     /// Debug-panics if `v` is not a member.
     pub fn remove(&mut self, v: NodeId) {
         debug_assert!(self.contains(v));
-        self.ein -= self.deg_in[v.index()] as usize;
-        self.in_set[v.index()] = false;
-        for i in 0..self.graph.neighbors(v).len() {
-            let u = self.graph.neighbors(v)[i];
-            self.deg_in[u.index()] -= 1;
-            if self.in_set[u.index()] {
-                self.push_member_bucket(u, self.deg_in[u.index()]);
-            } else if self.deg_in[u.index()] > 0 {
-                self.push_bucket(u, self.deg_in[u.index()]);
+        let i = v.index();
+        let rec = self.recs[i];
+        let d = (rec.word & DEG_MASK) as usize;
+        self.ein -= d;
+        unlink_known(&mut self.recs, &mut self.rem_heads, rec.prev, rec.next, d);
+        let slot = rec.slot as usize;
+        self.members.swap_remove(slot);
+        if let Some(&moved) = self.members.get(slot) {
+            self.recs[moved.index()].slot = slot as u32;
+        }
+        let graph = self.graph;
+        for &u in graph.neighbors(v) {
+            let j = u.index();
+            let urec = self.recs[j];
+            let du = (urec.word & DEG_MASK) as usize;
+            debug_assert!(du >= 1, "neighbor of a member must have deg_S >= 1");
+            if urec.word & IN_SET != 0 {
+                unlink_known(
+                    &mut self.recs,
+                    &mut self.rem_heads,
+                    urec.prev,
+                    urec.next,
+                    du,
+                );
+                let head = link_at_head(
+                    &mut self.recs,
+                    &mut self.rem_heads,
+                    &mut self.dirty_rem,
+                    u.raw(),
+                    du - 1,
+                );
+                self.recs[j] = NodeRec {
+                    word: urec.word - 1,
+                    prev: NIL,
+                    next: head,
+                    slot: urec.slot,
+                };
+                if du - 1 < self.rem_min {
+                    self.rem_min = du - 1;
+                }
+            } else {
+                // A boundary node moving down one bucket cannot raise the
+                // maximum; at degree 0 it leaves the queue entirely.
+                unlink_known(
+                    &mut self.recs,
+                    &mut self.add_heads,
+                    urec.prev,
+                    urec.next,
+                    du,
+                );
+                let head = if du > 1 {
+                    link_at_head(
+                        &mut self.recs,
+                        &mut self.add_heads,
+                        &mut self.dirty_add,
+                        u.raw(),
+                        du - 1,
+                    )
+                } else {
+                    NIL
+                };
+                self.recs[j] = NodeRec {
+                    word: urec.word - 1,
+                    prev: NIL,
+                    next: head,
+                    slot: urec.slot,
+                };
             }
         }
-        if self.deg_in[v.index()] > 0 {
-            self.push_bucket(v, self.deg_in[v.index()]);
+        // v rejoins the boundary with its internal degree unchanged.
+        if d > 0 {
+            let head = link_at_head(
+                &mut self.recs,
+                &mut self.add_heads,
+                &mut self.dirty_add,
+                v.raw(),
+                d,
+            );
+            self.recs[i] = NodeRec {
+                word: rec.word & !IN_SET,
+                prev: NIL,
+                next: head,
+                slot: rec.slot,
+            };
+            if d > self.add_max {
+                self.add_max = d;
+            }
+        } else {
+            self.recs[i] = NodeRec {
+                word: rec.word & !IN_SET,
+                prev: NIL,
+                next: NIL,
+                slot: rec.slot,
+            };
         }
-        let pos = self
-            .members
-            .iter()
-            .position(|&m| m == v)
-            .expect("member list consistent with in_set");
-        self.members.swap_remove(pos);
     }
 
     /// Iterates the boundary: non-members adjacent to at least one member.
@@ -223,10 +466,10 @@ impl<'g> CommunityState<'g> {
     /// Derived from the touched list, so the cost is proportional to the
     /// neighborhood of the current and former members, not to `n`.
     pub fn boundary(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.touched
-            .iter()
-            .copied()
-            .filter(|&v| !self.in_set[v.index()] && self.deg_in[v.index()] > 0)
+        self.touched.iter().copied().filter(|&v| {
+            let word = self.recs[v.index()].word;
+            word & IN_SET == 0 && word & DEG_MASK > 0
+        })
     }
 
     /// The best addition candidate: the boundary node with the largest
@@ -235,21 +478,22 @@ impl<'g> CommunityState<'g> {
     /// Correct because `L(s+1, ein+d)` is strictly increasing in `d` (the
     /// `Ein` coefficient `1 − (s−2)/√(s(s−1))` is positive for all `s`), so
     /// the node maximizing `deg_S(v)` also maximizes the fitness gain. The
-    /// lazy bucket queue makes this O(1) amortized — the key to OCA's flat
-    /// timing curves (Figs. 5–6). Runs stay deterministic (LIFO ties).
+    /// intrusive bucket queue holds exactly the boundary, so this is a
+    /// head lookup plus the amortized-O(1) tightening of `add_max` (each
+    /// empty bucket walked is never walked again until an insert re-raises
+    /// the bound). Runs stay deterministic (LIFO order within a bucket).
     pub fn best_addition(&mut self) -> Option<NodeId> {
-        loop {
-            let b = self.max_bucket;
-            while let Some(&v) = self.buckets.get(b).and_then(|bk| bk.last()) {
-                if !self.in_set[v.index()] && self.deg_in[v.index()] as usize == b {
-                    return Some(v);
-                }
-                self.buckets[b].pop();
-            }
-            if b == 0 {
-                return None;
-            }
-            self.max_bucket = b - 1;
+        let mut b = self.add_max;
+        self.probes += 1;
+        while b > 0 && self.add_heads[b] == NIL {
+            b -= 1;
+            self.probes += 1;
+        }
+        self.add_max = b;
+        if b == 0 {
+            None
+        } else {
+            Some(NodeId(self.add_heads[b]))
         }
     }
 
@@ -261,22 +505,16 @@ impl<'g> CommunityState<'g> {
         if self.members.len() <= 1 {
             return None;
         }
-        loop {
-            let b = self.min_bucket;
-            while let Some(&v) = self.min_buckets.get(b).and_then(|bk| bk.last()) {
-                if self.in_set[v.index()] && self.deg_in[v.index()] as usize == b {
-                    return Some(v);
-                }
-                self.min_buckets[b].pop();
-            }
-            if b + 1 >= self.min_buckets.len() {
-                // All buckets drained of valid entries; can only happen if
-                // every member entry is stale, which the push discipline
-                // prevents for non-empty member lists.
-                return None;
-            }
-            self.min_bucket = b + 1;
+        // A member is always linked in the removal queue, so the ascent
+        // from `rem_min` terminates at a real candidate.
+        let mut b = self.rem_min;
+        self.probes += 1;
+        while self.rem_heads[b] == NIL {
+            b += 1;
+            self.probes += 1;
         }
+        self.rem_min = b;
+        Some(NodeId(self.rem_heads[b]))
     }
 
     /// Snapshots the current set as a [`Community`].
@@ -284,32 +522,30 @@ impl<'g> CommunityState<'g> {
         Community::new(self.members.clone())
     }
 
-    /// Clears the set, zeroing only the touched entries and the dirty
-    /// buckets, so the state can be reused for the next seed at a cost
-    /// proportional to the work done — not O(n), and not O(max_degree)
-    /// even after an earlier ascent through a high-degree hub has grown
-    /// the bucket table.
+    /// Clears the set, zeroing only the touched records and the dirty
+    /// bucket heads, so the state can be reused for the next seed at a
+    /// cost proportional to the work done — not O(n), and not
+    /// O(max_degree) even after an earlier ascent through a high-degree
+    /// hub has raised the active bucket range.
     pub fn reset(&mut self) {
         for &v in &self.touched {
-            self.deg_in[v.index()] = 0;
-            self.in_set[v.index()] = false;
-            self.touched_flag[v.index()] = false;
+            self.recs[v.index()] = NodeRec::EMPTY;
         }
         self.touched.clear();
         self.members.clear();
         self.ein = 0;
         #[cfg(test)]
         {
-            self.last_reset_bucket_visits = self.dirty_buckets.len() + self.dirty_min_buckets.len();
+            self.last_reset_bucket_visits = self.dirty_add.len() + self.dirty_rem.len();
         }
-        for d in self.dirty_buckets.drain(..) {
-            self.buckets[d as usize].clear();
+        for d in self.dirty_add.drain(..) {
+            self.add_heads[d as usize] = NIL;
         }
-        self.max_bucket = 0;
-        for d in self.dirty_min_buckets.drain(..) {
-            self.min_buckets[d as usize].clear();
+        self.add_max = 0;
+        for d in self.dirty_rem.drain(..) {
+            self.rem_heads[d as usize] = NIL;
         }
-        self.min_bucket = 0;
+        self.rem_min = usize::MAX;
     }
 
     /// Recomputes `Ein` from scratch; for tests and debug assertions.
@@ -320,7 +556,7 @@ impl<'g> CommunityState<'g> {
                 .graph
                 .neighbors(v)
                 .iter()
-                .filter(|u| self.in_set[u.index()])
+                .filter(|u| self.contains(**u))
                 .count();
         }
         twice / 2
@@ -335,6 +571,11 @@ mod tests {
     fn karate_ish() -> oca_graph::CsrGraph {
         // Two triangles joined by one bridge: 0-1-2 and 3-4-5, bridge 2-3.
         from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn node_record_is_sixteen_bytes() {
+        assert_eq!(std::mem::size_of::<NodeRec>(), 16);
     }
 
     #[test]
@@ -475,8 +716,8 @@ mod tests {
     /// O(max_degree) on reset no matter how small its community was.
     #[test]
     fn reset_visits_only_dirty_buckets() {
-        // A 10k-leaf star: adding all leaves pushes the hub into buckets
-        // 1..=10_000, growing the bucket table to hub degree.
+        // A 10k-leaf star: adding all leaves walks the hub through buckets
+        // 1..=10_000 of the addition queue.
         let leaves = 10_000u32;
         let g = from_edges(leaves as usize + 1, (1..=leaves).map(|leaf| (0, leaf)));
         let mut st = CommunityState::new(&g, 0.8);
@@ -485,8 +726,8 @@ mod tests {
         }
         st.reset();
         assert!(
-            st.buckets.len() > leaves as usize / 2,
-            "the expensive ascent should have grown the bucket table"
+            st.add_heads.len() > leaves as usize / 2,
+            "the head arrays span the hub degree"
         );
         // A tiny follow-up ascent: one leaf, touching only the hub.
         st.add(NodeId(1));
@@ -496,13 +737,44 @@ mod tests {
             st.last_reset_bucket_visits <= 8,
             "tiny ascent reset visited {} buckets (table size {})",
             st.last_reset_bucket_visits,
-            st.buckets.len()
+            st.add_heads.len()
         );
         // Correctness after the cheap reset: the state is genuinely clean.
         assert!(st.is_empty());
         assert_eq!(st.best_addition(), None);
         st.add(NodeId(0));
         assert_eq!(st.internal_degree(NodeId(1)), 1);
+    }
+
+    /// Regression for the bound-drift bug: `max_bucket`/`min_bucket` used
+    /// to tighten only on reset, so late in a long ascent every
+    /// best-candidate query re-scanned the same emptied bucket range. The
+    /// intrusive queues tighten incrementally: total probes stay
+    /// proportional to moves + degree churn, not moves × bucket range.
+    #[test]
+    fn best_candidate_probes_stay_proportional_to_work() {
+        // Hub-and-spokes: the hub reaches internal degree `leaves` while
+        // leaves sit at degree 1, leaving buckets 2..leaves empty.
+        let leaves = 2_000u32;
+        let g = from_edges(leaves as usize + 1, (1..=leaves).map(|leaf| (0, leaf)));
+        let mut st = CommunityState::new(&g, 0.8);
+        st.add(NodeId(0));
+        for leaf in 1..=leaves {
+            st.add(NodeId(leaf));
+        }
+        let before = st.bucket_probes();
+        // Many queries at a fixed state: with a stale upper bound each
+        // best_addition would walk the whole empty 2..leaves range; the
+        // tightened bound makes every extra query O(1).
+        for _ in 0..leaves {
+            let _ = st.best_addition();
+            let _ = st.best_removal();
+        }
+        let probes = st.bucket_probes() - before;
+        assert!(
+            probes <= 2 * leaves as u64 + leaves as u64 / 4,
+            "repeated queries probed {probes} heads for {leaves} queries — bounds drifted"
+        );
     }
 
     #[test]
@@ -513,5 +785,23 @@ mod tests {
         st.add(NodeId(3));
         let c = st.to_community();
         assert_eq!(c.members(), &[NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn member_slots_follow_swap_removals() {
+        let g = karate_ish();
+        let mut st = CommunityState::new(&g, 0.8);
+        for v in [0, 1, 2, 3, 4, 5] {
+            st.add(NodeId(v));
+        }
+        // Remove from the middle repeatedly; slots must stay consistent
+        // (a broken slot map would corrupt the member list or panic).
+        st.remove(NodeId(1));
+        st.remove(NodeId(4));
+        st.remove(NodeId(0));
+        let mut left: Vec<u32> = st.members().iter().map(|v| v.raw()).collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![2, 3, 5]);
+        assert_eq!(st.internal_edges(), st.recompute_internal_edges());
     }
 }

@@ -8,6 +8,7 @@
 use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};
 use crate::node::NodeId;
+use crate::relabel::Relabeling;
 
 /// Builds a [`CsrGraph`] from an edge stream.
 #[derive(Debug, Clone)]
@@ -100,10 +101,30 @@ impl GraphBuilder {
 
     /// Normalizes (drops self-loops, deduplicates, symmetrizes, sorts rows)
     /// and produces the CSR graph.
+    ///
+    /// # Panics
+    /// Panics when the directed adjacency exceeds the compact CSR's `u32`
+    /// offset space; use [`GraphBuilder::try_build`] for a typed error.
     pub fn build(self) -> CsrGraph {
+        match self.try_build() {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`GraphBuilder::build`]: rejects edge sets
+    /// whose directed adjacency (2 entries per undirected edge, before
+    /// deduplication) overflows the `u32` offsets of [`CsrGraph`] with
+    /// [`GraphError::TooManyEdges`].
+    pub fn try_build(self) -> Result<CsrGraph> {
         let n = self.node_count;
+        if self.edges.len() > (u32::MAX / 2) as usize {
+            return Err(GraphError::TooManyEdges {
+                requested: self.edges.len(),
+            });
+        }
         // Pass 1: count directed degree (both directions per edge).
-        let mut counts = vec![0usize; n + 1];
+        let mut counts = vec![0u32; n + 1];
         for &(u, v) in &self.edges {
             if u == v {
                 continue;
@@ -118,24 +139,24 @@ impl GraphBuilder {
         }
         // Pass 2: scatter neighbors.
         let mut cursor = offsets.clone();
-        let mut neighbors = vec![NodeId(0); *offsets.last().unwrap()];
+        let mut neighbors = vec![NodeId(0); *offsets.last().unwrap() as usize];
         for &(u, v) in &self.edges {
             if u == v {
                 continue;
             }
-            neighbors[cursor[u as usize]] = NodeId(v);
+            neighbors[cursor[u as usize] as usize] = NodeId(v);
             cursor[u as usize] += 1;
-            neighbors[cursor[v as usize]] = NodeId(u);
+            neighbors[cursor[v as usize] as usize] = NodeId(u);
             cursor[v as usize] += 1;
         }
         drop(cursor);
         // Pass 3: sort rows and deduplicate in place.
         let mut write = 0usize;
         let mut new_offsets = Vec::with_capacity(n + 1);
-        new_offsets.push(0);
+        new_offsets.push(0u32);
         let mut read_start = 0usize;
         for i in 0..n {
-            let read_end = offsets[i + 1];
+            let read_end = offsets[i + 1] as usize;
             let row = &mut neighbors[read_start..read_end];
             row.sort_unstable();
             let mut prev: Option<NodeId> = None;
@@ -150,10 +171,23 @@ impl GraphBuilder {
             }
             write = w;
             read_start = read_end;
-            new_offsets.push(write);
+            new_offsets.push(write as u32);
         }
         neighbors.truncate(write);
-        CsrGraph::from_parts(new_offsets, neighbors)
+        Ok(CsrGraph::from_parts(new_offsets, neighbors))
+    }
+
+    /// Like [`GraphBuilder::build`], followed by a degree-ordered
+    /// relabeling pass: the returned graph numbers nodes by descending
+    /// degree (hub rows first — see [`Relabeling::degree_descending`] for
+    /// why that helps the ascent's cache behavior), and the returned
+    /// [`Relabeling`] maps its ids back to the builder's original ids, so
+    /// communities found on the compact graph can be reported in original
+    /// ids via [`Relabeling::cover_to_original`].
+    pub fn build_degree_ordered(self) -> (CsrGraph, Relabeling) {
+        let g = self.build();
+        let relabeling = Relabeling::degree_descending(&g);
+        (g.relabeled(&relabeling), relabeling)
     }
 }
 
@@ -226,6 +260,36 @@ mod tests {
         assert_eq!(b.raw_edge_count(), 3);
         let g = b.build();
         assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn build_degree_ordered_relabels_hubs_first() {
+        // Node 2 is the hub (degree 3); 0 and 3 have degree 2; 1 and 4
+        // have degree 1 (duplicates and the self-loop are normalized away
+        // before degrees are taken).
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 2), (2, 3), (2, 4), (0, 3), (0, 3), (1, 1), (1, 0)]);
+        let (g, relabeling) = b.build_degree_ordered();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.edge_count(), 5);
+        // Degrees are non-increasing along the new ids, hub first.
+        assert_eq!(relabeling.to_original(NodeId(0)), NodeId(0), "degree 3");
+        for v in 1..g.node_count() as u32 {
+            assert!(g.degree(NodeId(v)) <= g.degree(NodeId(v - 1)));
+        }
+        // The permutation round-trips, and mapping the hub's compact row
+        // back recovers its original neighborhood.
+        for v in 0..g.node_count() as u32 {
+            let v = NodeId(v);
+            assert_eq!(relabeling.to_compact(relabeling.to_original(v)), v);
+        }
+        let mut hub_row: Vec<u32> = g
+            .neighbors(NodeId(0))
+            .iter()
+            .map(|&u| relabeling.to_original(u).raw())
+            .collect();
+        hub_row.sort_unstable();
+        assert_eq!(hub_row, vec![1, 2, 3], "original neighbors of node 0");
     }
 
     #[test]

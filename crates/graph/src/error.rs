@@ -28,6 +28,12 @@ pub enum GraphError {
         /// The requested node count.
         requested: usize,
     },
+    /// An edge set whose directed adjacency overflows the compact CSR's
+    /// `u32` offset space.
+    TooManyEdges {
+        /// The raw (pre-deduplication) undirected edge count.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -44,6 +50,12 @@ impl fmt::Display for GraphError {
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::TooManyNodes { requested } => {
                 write!(f, "graphs are limited to 2^32 - 1 nodes, got {requested}")
+            }
+            GraphError::TooManyEdges { requested } => {
+                write!(
+                    f,
+                    "graphs are limited to 2^31 - 1 undirected edges, got {requested}"
+                )
             }
         }
     }

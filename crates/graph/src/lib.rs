@@ -42,6 +42,7 @@ pub mod error;
 pub mod io;
 pub mod kcore;
 pub mod node;
+pub mod relabel;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
@@ -58,6 +59,7 @@ pub use error::{GraphError, Result};
 pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
 pub use kcore::CoreDecomposition;
 pub use node::NodeId;
+pub use relabel::Relabeling;
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;
 pub use traversal::{ball, Bfs, Dfs};

@@ -82,6 +82,88 @@ proptest! {
         prop_assert!((by_def - closed).abs() < 1e-9, "{} vs {}", by_def, closed);
     }
 
+    /// The incremental `CommunityState` (packed records, intrusive bucket
+    /// queues, memoized sqrt) against a from-scratch oracle: after every
+    /// operation of a random add/remove/reset sequence, membership,
+    /// `Ein`, every node's `deg_S`, the boundary, the best candidates and
+    /// the fitness (via `fitness_from_definition`) must all agree with
+    /// naive recomputation, so a layout rewrite cannot silently corrupt
+    /// gains.
+    #[test]
+    fn community_state_matches_naive_oracle(
+        edges in edge_list(24, 120),
+        ops in prop::collection::vec((0u32..24, 0u32..100), 1..60),
+        c in 0.05f64..0.95,
+    ) {
+        let g = from_edges(24, edges);
+        let n = g.node_count() as u32;
+        let mut st = CommunityState::new(&g, c);
+        let mut naive: std::collections::BTreeSet<NodeId> = Default::default();
+        for (v, action) in ops {
+            let v = NodeId(v);
+            if action < 8 {
+                st.reset();
+                naive.clear();
+                continue;
+            }
+            if naive.contains(&v) {
+                st.remove(v);
+                naive.remove(&v);
+            } else {
+                st.add(v);
+                naive.insert(v);
+            }
+            let deg = |u: NodeId| g.neighbors(u).iter().filter(|w| naive.contains(w)).count();
+            let members: Vec<NodeId> = naive.iter().copied().collect();
+            let flags: Vec<bool> = (0..n).map(|i| naive.contains(&NodeId(i))).collect();
+            let ein = g.internal_edges(&members, &flags);
+            prop_assert_eq!(st.len(), naive.len());
+            prop_assert_eq!(st.internal_edges(), ein);
+            for u in g.nodes() {
+                prop_assert_eq!(st.contains(u), naive.contains(&u));
+                prop_assert_eq!(st.internal_degree(u), deg(u), "deg_S({u:?})");
+            }
+            let internal_degrees: Vec<usize> = members.iter().map(|&m| deg(m)).collect();
+            let by_def = fitness_from_definition(&internal_degrees, ein, c);
+            prop_assert!(
+                (st.fitness() - by_def).abs() <= 1e-9 * by_def.abs().max(1.0),
+                "fitness {} vs definition {}", st.fitness(), by_def
+            );
+            // Boundary: exactly the non-members with positive deg_S.
+            let mut got: Vec<u32> = st.boundary().map(|x| x.raw()).collect();
+            got.sort_unstable();
+            let want: Vec<u32> = (0..n)
+                .filter(|&i| !naive.contains(&NodeId(i)) && deg(NodeId(i)) > 0)
+                .collect();
+            prop_assert_eq!(got, want);
+            // Best candidates agree with the oracle on the extremal degree
+            // (identity may differ on ties).
+            let best_boundary = (0..n)
+                .map(NodeId)
+                .filter(|u| !naive.contains(u) && deg(*u) > 0)
+                .map(deg)
+                .max();
+            prop_assert_eq!(st.best_addition().map(|u| st.internal_degree(u)), best_boundary);
+            if naive.len() >= 2 {
+                let min_member = members.iter().map(|&m| deg(m)).min();
+                prop_assert_eq!(st.best_removal().map(|u| st.internal_degree(u)), min_member);
+            } else {
+                prop_assert_eq!(st.best_removal(), None);
+            }
+            // Gains equal the oracle's fitness differences.
+            if let Some(u) = st.best_addition() {
+                let oracle = fitness(naive.len() + 1, ein + deg(u), c) - fitness(naive.len(), ein, c);
+                prop_assert!((st.gain_add(u) - oracle).abs() < 1e-9);
+            }
+            if naive.len() >= 2 {
+                if let Some(u) = st.best_removal() {
+                    let oracle = fitness(naive.len() - 1, ein - deg(u), c) - fitness(naive.len(), ein, c);
+                    prop_assert!((st.gain_remove(u) - oracle).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
     #[test]
     fn state_add_remove_round_trips(
         edges in edge_list(20, 80),

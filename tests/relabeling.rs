@@ -1,0 +1,142 @@
+//! Degree-ordered relabeling: permutation round-trips, detector contracts
+//! with relabeling on and off, and quality parity on the Fig. 2 setup.
+//!
+//! Relabeling is part of the deterministic schedule (seed picks index the
+//! relabeled id space), so covers legitimately differ between the on/off
+//! runs of one seed; what must *not* differ is validity, determinism, the
+//! thread-count contract, and — within tolerance — the quality metrics
+//! against the planted ground truth.
+
+use oca_repro::gen::{lfr, LfrParams};
+use oca_repro::graph::relabel::Relabeling;
+use oca_repro::metrics::{omega_index, theta};
+use oca_repro::prelude::*;
+
+fn lfr_bench(seed: u64) -> oca_repro::gen::LfrBenchmark {
+    lfr(&LfrParams::small(600, 0.25, seed))
+}
+
+fn oca_with_relabel(relabel: bool) -> Box<dyn CommunityDetector> {
+    let opts = DetectorOptions::new()
+        .with("relabel", if relabel { "true" } else { "false" })
+        .with("max-seeds", "2400")
+        .with("target-coverage", "0.99")
+        .with("stagnation", "200");
+    registry().build("oca", &opts).expect("valid options")
+}
+
+#[test]
+fn degree_ordered_relabeling_round_trips_on_generated_graphs() {
+    for seed in [1u64, 7, 42] {
+        let graph = lfr_bench(seed).graph;
+        let relabeling = Relabeling::degree_descending(&graph);
+        let compact = graph.relabeled(&relabeling);
+        assert!(compact.validate().is_ok(), "seed {seed}");
+        assert_eq!(compact.edge_count(), graph.edge_count());
+        for v in 0..graph.node_count() as u32 {
+            let v = NodeId(v);
+            assert_eq!(relabeling.to_compact(relabeling.to_original(v)), v);
+            assert_eq!(relabeling.to_original(relabeling.to_compact(v)), v);
+            assert_eq!(compact.degree(v), graph.degree(relabeling.to_original(v)));
+        }
+        // Hubs first: degrees are non-increasing along compact ids.
+        for v in 1..compact.node_count() as u32 {
+            assert!(compact.degree(NodeId(v)) <= compact.degree(NodeId(v - 1)));
+        }
+    }
+}
+
+/// The conformance contracts that matter for an opt-in pass: fixed-seed
+/// determinism and valid covers, with relabeling on and off.
+#[test]
+fn detector_contracts_hold_with_relabeling_on_and_off() {
+    let bench = lfr_bench(11);
+    for relabel in [false, true] {
+        let detector = oca_with_relabel(relabel);
+        let a = detector
+            .detect(&bench.graph, &mut DetectContext::new(5))
+            .unwrap();
+        let b = detector
+            .detect(&bench.graph, &mut DetectContext::new(5))
+            .unwrap();
+        assert_eq!(
+            a.cover, b.cover,
+            "relabel={relabel}: runs with one seed must be identical"
+        );
+        assert_eq!(
+            a.cover.node_count(),
+            bench.graph.node_count(),
+            "relabel={relabel}"
+        );
+        for community in a.cover.communities() {
+            assert!(!community.is_empty(), "relabel={relabel}: empty community");
+            for &v in community.members() {
+                assert!(
+                    v.index() < bench.graph.node_count(),
+                    "relabel={relabel}: member {v} out of range — covers must \
+                     be reported in original ids"
+                );
+            }
+        }
+    }
+}
+
+/// The threads-determinism contract survives relabeling: for a fixed seed
+/// the cover is bit-identical at any thread count.
+#[test]
+fn relabeled_runs_are_thread_independent() {
+    let bench = lfr_bench(3);
+    let base = DetectorOptions::new()
+        .with("relabel", "true")
+        .with("max-seeds", "1200")
+        .with("stagnation", "120");
+    let reference = registry()
+        .build("oca", &base.clone().with("threads", "1"))
+        .unwrap()
+        .detect(&bench.graph, &mut DetectContext::new(9))
+        .unwrap();
+    for threads in ["2", "4"] {
+        let run = registry()
+            .build("oca", &base.clone().with("threads", threads))
+            .unwrap()
+            .detect(&bench.graph, &mut DetectContext::new(9))
+            .unwrap();
+        assert_eq!(run.cover, reference.cover, "threads={threads}");
+        assert_eq!(run.iterations, reference.iterations, "threads={threads}");
+    }
+}
+
+/// Fig. 2 protocol: quality against the planted LFR ground truth must not
+/// depend on the id space the ascents ran in. Covers differ (different
+/// seed draws), so the comparison is on the quality metrics, within a
+/// tolerance reflecting seed-to-seed variance at this graph size.
+#[test]
+fn fig2_quality_metrics_agree_within_tolerance() {
+    let bench = lfr_bench(1234);
+    let mut scores: Vec<(f64, f64)> = Vec::new();
+    for relabel in [false, true] {
+        let detection = oca_with_relabel(relabel)
+            .detect(&bench.graph, &mut DetectContext::new(77))
+            .unwrap();
+        let cover = detection.cover;
+        scores.push((
+            theta(&cover, &bench.ground_truth),
+            omega_index(&cover, &bench.ground_truth),
+        ));
+    }
+    let (theta_off, omega_off) = scores[0];
+    let (theta_on, omega_on) = scores[1];
+    assert!(
+        theta_off > 0.5 && theta_on > 0.5,
+        "both runs should find most of the planted structure \
+         (off {theta_off:.3}, on {theta_on:.3})"
+    );
+    assert!(
+        (theta_off - theta_on).abs() < 0.15,
+        "theta diverged: off {theta_off:.3} vs on {theta_on:.3}"
+    );
+    assert!(
+        (omega_off - omega_on).abs() < 0.15,
+        "omega diverged: off {omega_off:.3} vs on {omega_on:.3}"
+    );
+}

@@ -210,6 +210,17 @@ pub fn registry() -> DetectorRegistry {
             ("target-coverage", "stop at this covered-node fraction"),
             ("stagnation", "stop after this many fruitless seeds"),
             (
+                "stagnation-streak",
+                "stop after this many consecutive rejected (duplicate or \
+                 too-small) seeds; ends hub-graph runs that can only rediscover",
+            ),
+            (
+                "seeds-per-covered",
+                "seed-efficiency budget: stop once seeds tried exceeds \
+                 2 x stagnation + this x covered nodes; 0 disables — caps \
+                 hub-graph runs whose coverage saturates",
+            ),
+            (
                 "merge-threshold",
                 "merge communities with rho >= this, or 'none'",
             ),
@@ -288,6 +299,8 @@ fn tuned_oca(graph: &CsrGraph) -> DetectorOptions {
         .with("max-seeds", &(4 * graph.node_count()).max(100).to_string())
         .with("target-coverage", "0.99")
         .with("stagnation", "200")
+        .with("stagnation-streak", "500")
+        .with("seeds-per-covered", "0.15")
 }
 
 const CFINDER_OPTIONS: &[(&str, &str)] = &[
@@ -309,6 +322,10 @@ fn build_oca(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
             max_seeds: opts.get_or("max-seeds", defaults.halting.max_seeds)?,
             target_coverage: opts.get_or("target-coverage", defaults.halting.target_coverage)?,
             stagnation_limit: opts.get_or("stagnation", defaults.halting.stagnation_limit)?,
+            stagnation_streak: opts
+                .get_or("stagnation-streak", defaults.halting.stagnation_streak)?,
+            seeds_per_covered: opts
+                .get_or("seeds-per-covered", defaults.halting.seeds_per_covered)?,
         },
         merge_threshold,
         min_community_size: opts.get_or("min-size", defaults.min_community_size)?,
@@ -330,6 +347,8 @@ fn experiment_oca(graph: &CsrGraph) -> BoxedDetector {
             max_seeds: (4 * graph.node_count()).max(100),
             target_coverage: 0.99,
             stagnation_limit: 200,
+            stagnation_streak: 500,
+            seeds_per_covered: 0.15,
         },
         merge_threshold: None, // shared postprocessing applies it
         ..Default::default()

@@ -28,6 +28,7 @@ fn run(
             max_seeds: 4 * graph.node_count(),
             target_coverage: 0.99,
             stagnation_limit: 200,
+            ..Default::default()
         },
         ..Default::default()
     };

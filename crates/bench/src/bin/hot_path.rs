@@ -1,10 +1,12 @@
 //! Hot-path bench: times the sequential greedy-ascent inner loop in
 //! isolation (`local_search` over a reusable [`oca::CommunityState`]) and
-//! end-to-end single-thread detection, on LFR / BA / daisy graphs.
-//! Results go to `results/BENCH_hotpath.json` (fields documented in
-//! README.md) with ns/move, moves/s, peak RSS, and before/after deltas
-//! against a committed baseline snapshot; a ns/move regression beyond
-//! 25% of the baseline exits non-zero, so CI can gate on it.
+//! end-to-end single-thread detection, on LFR / BA / hub-stress BA /
+//! daisy graphs. Results go to `results/BENCH_hotpath.json` (fields
+//! documented in README.md) with ns/move, moves/s, a per-phase
+//! ascent/dedup/merge/orphan wall-clock breakdown, peak RSS, and
+//! before/after deltas against a committed baseline snapshot; a ns/move
+//! regression beyond 25% of the baseline — or a dedup+merge phase blow-up
+//! beyond 1.5x + 10 ms — exits non-zero, so CI can gate on it.
 //!
 //! ```text
 //! cargo run -p oca-bench --release --bin hot_path                      # full: n = 10k, 100k, 1M
@@ -13,11 +15,11 @@
 //! cargo run -p oca-bench --release --bin hot_path -- --write-baseline  # refresh the snapshot
 //! ```
 //!
-//! The default 1M point covers LFR and daisy; BA is skipped there because
-//! a structureless BA graph makes every ascent swallow a macroscopic
-//! fraction of the nodes, turning its end-to-end run into a multi-minute
-//! stress test rather than a hot-path measurement (opt in with
-//! `--families ba --sizes 1000000`).
+//! The default 1M point covers LFR and daisy; the BA variants are skipped
+//! there because a structureless BA graph makes every ascent swallow a
+//! macroscopic fraction of the nodes, turning its end-to-end run into a
+//! multi-minute stress test rather than a hot-path measurement (opt in
+//! with `--families ba --sizes 1000000`).
 
 use oca::{
     initial_set, local_search, ticket_seed, CommunityState, HaltingConfig, Oca, OcaConfig,
@@ -40,13 +42,20 @@ struct AscentStats {
     moves_per_sec: f64,
 }
 
-/// Measurements of one end-to-end single-thread detection.
+/// Measurements of one end-to-end single-thread detection, including the
+/// per-phase wall-clock breakdown (`OcaResult::phases`) so off-ascent
+/// regressions — dedup, merging, orphan assignment — are visible and
+/// gateable on their own, not just inside `end_to_end_secs`.
 struct EndToEndStats {
     secs: f64,
     seeds_tried: usize,
     communities: usize,
     coverage: f64,
     halt: &'static str,
+    ascent_ns: u64,
+    dedup_ns: u64,
+    merge_ns: u64,
+    orphan_ns: u64,
 }
 
 /// One benchmark case: a (family, n) pair with both measurements.
@@ -111,6 +120,16 @@ fn bench_end_to_end(graph: &CsrGraph, seed: u64) -> EndToEndStats {
             max_seeds: (4 * n).max(100),
             target_coverage: 0.99,
             stagnation_limit: 200,
+            // The duplicate-streak and seed-efficiency criteria: hub
+            // graphs whose ascents can only rediscover known communities —
+            // or trickle one or two covered nodes per dozens of full-cost
+            // ascents — stop here instead of burning the whole seed budget
+            // (DESIGN.md §4a). The values mirror the registry's tuned
+            // preset but are pinned explicitly: the bench's workload (and
+            // its committed baseline) must stay comparable across preset
+            // retunes.
+            stagnation_streak: 500,
+            seeds_per_covered: 0.15,
         },
         rng_seed: seed,
         threads: 1,
@@ -123,6 +142,10 @@ fn bench_end_to_end(graph: &CsrGraph, seed: u64) -> EndToEndStats {
         communities: result.cover.len(),
         coverage: result.cover.coverage(),
         halt: result.halt_reason.map_or("none", |r| r.label()),
+        ascent_ns: result.phases.ascent_ns,
+        dedup_ns: result.phases.dedup_ns,
+        merge_ns: result.phases.merge_ns,
+        orphan_ns: result.phases.orphan_ns,
     }
 }
 
@@ -141,15 +164,23 @@ fn peak_rss_bytes() -> u64 {
         .map_or(0, |kb| kb * 1024)
 }
 
-/// The three graph families of the bench. Daisy scales by *flower count*
+/// The graph families of the bench. Daisy scales by *flower count*
 /// (200-node flowers in a daisy tree), keeping community size constant as
-/// n grows — the regime of the paper's Fig. 6 flat curve.
+/// n grows — the regime of the paper's Fig. 6 flat curve. `ba-hub`
+/// doubles Barabási–Albert's attachment count: denser hubs mean more
+/// ascents converging to overlapping near-duplicates, which is exactly
+/// the workload that stresses dedup and merge rather than the ascent
+/// inner loop (the regression class this bench phase-times).
 fn make_graph(family: &str, n: usize, seed: u64) -> CsrGraph {
     match family {
         "lfr" => lfr(&LfrParams::timing(n, 20, 100, seed)).graph,
         "ba" => {
             let mut rng = StdRng::seed_from_u64(seed);
             barabasi_albert(n, 8, &mut rng)
+        }
+        "ba-hub" => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            barabasi_albert(n, 16, &mut rng)
         }
         "daisy" => {
             let flower = 200.min(n.max(10));
@@ -160,40 +191,47 @@ fn make_graph(family: &str, n: usize, seed: u64) -> CsrGraph {
     }
 }
 
-/// A previously recorded case, parsed from the baseline JSON.
+/// A previously recorded case, parsed from the baseline JSON. The phase
+/// fields are 0 when the baseline predates phase timing (pre-phase
+/// snapshots stay comparable for ns/move and end-to-end).
 struct BaselineCase {
     family: String,
     nodes: usize,
     ns_per_move: f64,
     end_to_end_secs: f64,
+    dedup_ns: u64,
+    merge_ns: u64,
 }
 
 /// Minimal extraction of the fields the gate needs from a prior run's
 /// JSON (written by this binary, so the shape is known; no JSON crate in
 /// the sanctioned dependency set).
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn parse_baseline(text: &str) -> Vec<BaselineCase> {
-    let field = |chunk: &str, key: &str| -> Option<f64> {
-        let pat = format!("\"{key}\":");
-        let at = chunk.find(&pat)? + pat.len();
-        let rest = chunk[at..].trim_start();
-        let end = rest
-            .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
-            .unwrap_or(rest.len());
-        rest[..end].parse().ok()
-    };
     let mut out = Vec::new();
     for chunk in text.split("\"family\":").skip(1) {
         let name = chunk.split('"').nth(1).unwrap_or("").to_string();
         if let (Some(nodes), Some(npm), Some(secs)) = (
-            field(chunk, "nodes"),
-            field(chunk, "ns_per_move"),
-            field(chunk, "end_to_end_secs"),
+            json_number(chunk, "nodes"),
+            json_number(chunk, "ns_per_move"),
+            json_number(chunk, "end_to_end_secs"),
         ) {
             out.push(BaselineCase {
                 family: name,
                 nodes: nodes as usize,
                 ns_per_move: npm,
                 end_to_end_secs: secs,
+                dedup_ns: json_number(chunk, "dedup_ns").map_or(0, |v| v as u64),
+                merge_ns: json_number(chunk, "merge_ns").map_or(0, |v| v as u64),
             });
         }
     }
@@ -223,6 +261,14 @@ fn json_case(case: &Case, baseline: Option<&BaselineCase>, last: bool) -> String
         case.end_to_end.coverage,
         case.end_to_end.halt,
     );
+    let _ = write!(
+        out,
+        ", \"ascent_ns\": {}, \"dedup_ns\": {}, \"merge_ns\": {}, \"orphan_ns\": {}",
+        case.end_to_end.ascent_ns,
+        case.end_to_end.dedup_ns,
+        case.end_to_end.merge_ns,
+        case.end_to_end.orphan_ns,
+    );
     if let Some(b) = baseline {
         let _ = write!(
             out,
@@ -233,6 +279,13 @@ fn json_case(case: &Case, baseline: Option<&BaselineCase>, last: bool) -> String
             b.end_to_end_secs,
             b.end_to_end_secs / case.end_to_end.secs.max(1e-9),
         );
+        if b.dedup_ns + b.merge_ns > 0 {
+            let _ = write!(
+                out,
+                ", \"before_dedup_ns\": {}, \"before_merge_ns\": {}",
+                b.dedup_ns, b.merge_ns,
+            );
+        }
     }
     out.push('}');
     if !last {
@@ -272,9 +325,10 @@ fn main() {
             .display()
             .to_string(),
     );
-    let baseline = std::fs::read_to_string(&baseline_path)
-        .map(|text| parse_baseline(&text))
-        .unwrap_or_default();
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let baseline = parse_baseline(&baseline_text);
+    // The first occurrence is the top-level field (cases have no RSS key).
+    let baseline_rss = json_number(&baseline_text, "peak_rss_bytes").map_or(0, |v| v as u64);
 
     println!(
         "hot path: sequential ascent loop, sizes {sizes:?}, seed {seed}{}",
@@ -295,13 +349,16 @@ fn main() {
 
     let mut cases: Vec<Case> = Vec::new();
     for &n in &sizes {
-        for family in ["lfr", "ba", "daisy"] {
+        for family in ["lfr", "ba", "ba-hub", "daisy"] {
             match &explicit_families {
                 Some(want) if !want.iter().any(|f| f == family) => continue,
                 Some(_) => {}
-                // BA at the million-node point is opt-in (see module docs).
-                None if family == "ba" && n >= 1_000_000 => {
-                    eprintln!("ba/{n}: skipped by default (pass --families ba to include)");
+                // BA variants at the million-node point are opt-in (see
+                // module docs).
+                None if family.starts_with("ba") && n >= 1_000_000 => {
+                    eprintln!(
+                        "{family}/{n}: skipped by default (pass --families {family} to include)"
+                    );
                     continue;
                 }
                 None => {}
@@ -341,10 +398,13 @@ fn main() {
         "ns/move",
         "moves/s",
         "e2e secs",
+        "off-ascent",
         "communities",
         "vs before",
     ]);
     for case in &cases {
+        let off_ascent_ns =
+            case.end_to_end.dedup_ns + case.end_to_end.merge_ns + case.end_to_end.orphan_ns;
         table.row([
             case.family.to_string(),
             case.nodes.to_string(),
@@ -352,6 +412,7 @@ fn main() {
             format!("{:.1}", case.ascent.ns_per_move),
             format!("{:.2e}", case.ascent.moves_per_sec),
             format!("{:.3}", case.end_to_end.secs),
+            format!("{:.3}", off_ascent_ns as f64 / 1e9),
             case.end_to_end.communities.to_string(),
             find_baseline(case).map_or("-".to_string(), |b| {
                 format!("{:.2}x", b.end_to_end_secs / case.end_to_end.secs.max(1e-9))
@@ -364,9 +425,17 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"hot_path\",\n");
     let _ = write!(
         json,
-        "  \"mode\": \"{}\",\n  \"rng_seed\": {seed},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cases\": [\n",
+        "  \"mode\": \"{}\",\n  \"rng_seed\": {seed},\n  \"peak_rss_bytes\": {peak_rss},\n",
         if smoke { "smoke" } else { "full" },
     );
+    if baseline_rss > 0 {
+        let _ = writeln!(
+            json,
+            "  \"before_peak_rss_bytes\": {baseline_rss}, \"peak_rss_ratio\": {:.3},",
+            peak_rss as f64 / baseline_rss as f64,
+        );
+    }
+    json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         json.push_str(&json_case(case, find_baseline(case), i + 1 == cases.len()));
     }
@@ -392,11 +461,16 @@ fn main() {
     }
 
     // Regression gate: ns/move must stay within 25% of the baseline
-    // snapshot for every case the baseline also measured. The gate never
-    // passes vacuously: zero matches against a non-empty baseline is a
-    // misconfigured snapshot (e.g. a full-mode baseline checked against a
-    // smoke run) and fails in smoke mode rather than silently gating
-    // nothing.
+    // snapshot for every case the baseline also measured, and the
+    // off-ascent phases (dedup + merge) must not blow up either — the
+    // BA-100k collapse this bench was extended for sat entirely outside
+    // ns/move. Phase wall-clock is noisier than ns/move, so its gate is
+    // wider: fail only past 1.5x the baseline plus a 10 ms grace (tiny
+    // smoke-mode phases never trip on jitter, a reintroduced quadratic
+    // sweep still does). The gate never passes vacuously: zero matches
+    // against a non-empty baseline is a misconfigured snapshot (e.g. a
+    // full-mode baseline checked against a smoke run) and fails in smoke
+    // mode rather than silently gating nothing.
     let mut regressed = false;
     let mut matched = 0usize;
     for case in &cases {
@@ -407,6 +481,18 @@ fn main() {
                 eprintln!(
                     "REGRESSION: {}/{} ns/move {:.1} vs baseline {:.1} ({:.2}x > 1.25x)",
                     case.family, case.nodes, case.ascent.ns_per_move, b.ns_per_move, ratio
+                );
+                regressed = true;
+            }
+            let off_ascent = case.end_to_end.dedup_ns + case.end_to_end.merge_ns;
+            let before = b.dedup_ns + b.merge_ns;
+            if before > 0 && off_ascent > before + before / 2 + 10_000_000 {
+                eprintln!(
+                    "REGRESSION: {}/{} dedup+merge {:.1}ms vs baseline {:.1}ms (> 1.5x + 10ms)",
+                    case.family,
+                    case.nodes,
+                    off_ascent as f64 / 1e6,
+                    before as f64 / 1e6,
                 );
                 regressed = true;
             }

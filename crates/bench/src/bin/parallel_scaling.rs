@@ -28,6 +28,7 @@ fn config(n: usize, seed: u64, threads: usize, batch: usize) -> OcaConfig {
             max_seeds: (4 * n).max(100),
             target_coverage: 0.99,
             stagnation_limit: 200,
+            ..Default::default()
         },
         rng_seed: seed,
         threads,

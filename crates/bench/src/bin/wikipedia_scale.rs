@@ -48,6 +48,7 @@ fn main() {
             // Section IV), so halting rides on stagnation, not coverage.
             target_coverage: 0.5,
             stagnation_limit: 10 * bench.planted.len().max(50),
+            ..Default::default()
         },
         threads,
         rng_seed: seed,

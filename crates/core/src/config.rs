@@ -111,6 +111,17 @@ impl OcaConfig {
         if self.halting.max_seeds < 1 {
             return Err(invalid("need at least one seed".to_string()));
         }
+        if self.halting.stagnation_streak < 1 {
+            return Err(invalid(
+                "stagnation streak must be at least one rejected seed".to_string(),
+            ));
+        }
+        if !(self.halting.seeds_per_covered >= 0.0 && self.halting.seeds_per_covered.is_finite()) {
+            return Err(invalid(format!(
+                "seeds-per-covered budget must be finite and non-negative, got {}",
+                self.halting.seeds_per_covered
+            )));
+        }
         Ok(())
     }
 }
@@ -142,6 +153,32 @@ mod tests {
         };
         let err = cfg.validate().unwrap_err();
         assert!(err.to_string().contains("thread"));
+    }
+
+    #[test]
+    fn rejects_zero_stagnation_streak() {
+        let cfg = OcaConfig {
+            halting: HaltingConfig {
+                stagnation_streak: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("streak"));
+    }
+
+    #[test]
+    fn rejects_negative_efficiency_budget() {
+        let cfg = OcaConfig {
+            halting: HaltingConfig {
+                seeds_per_covered: -0.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("seeds-per-covered"));
     }
 
     #[test]

@@ -65,6 +65,10 @@ impl CommunityDetector for OcaDetector {
                     "halt_reason",
                     result.halt_reason.map_or("none", |r| r.label()).to_string(),
                 ),
+                ("ascent_ns", result.phases.ascent_ns.to_string()),
+                ("dedup_ns", result.phases.dedup_ns.to_string()),
+                ("merge_ns", result.phases.merge_ns.to_string()),
+                ("orphan_ns", result.phases.orphan_ns.to_string()),
             ],
         })
     }
@@ -127,6 +131,16 @@ mod tests {
         assert!(d.complete);
         assert!(d.stats.iter().any(|(k, _)| *k == "c"));
         assert!(d.stats.iter().any(|(k, _)| *k == "lambda_min"));
+        // The per-phase breakdown rides along so harnesses can attribute
+        // wall-clock without OCA-specific plumbing.
+        for phase in ["ascent_ns", "dedup_ns", "merge_ns", "orphan_ns"] {
+            assert!(
+                d.stats
+                    .iter()
+                    .any(|(k, v)| *k == phase && v.parse::<u64>().is_ok()),
+                "missing phase stat {phase}"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,35 @@ pub struct HaltingConfig {
     /// Stop after this many consecutive seeds that discover nothing new
     /// (duplicate communities or no coverage gain).
     pub stagnation_limit: usize,
+    /// Stop after this many consecutive *rejected* seeds (duplicate or
+    /// below the minimum community size). Tighter than
+    /// [`HaltingConfig::stagnation_limit`] on hub-dominated graphs, where
+    /// almost every ascent re-converges to an already-accepted community:
+    /// occasional accepts with tiny coverage gains keep resetting the
+    /// stagnation window, so the run can burn its whole seed budget on
+    /// duplicates the dedup set rejects in O(1) but the ascent still pays
+    /// for in full. `usize::MAX` (the default) disables the criterion,
+    /// so configs written before it existed behave unchanged; the
+    /// registry's tuned and experiment presets enable it at 500.
+    pub stagnation_streak: usize,
+    /// Seed-efficiency budget: stop once
+    /// `seeds_tried ≥ 2 × stagnation_limit + seeds_per_covered × covered`.
+    /// `0.0` disables (the default); the registry presets use 0.15.
+    ///
+    /// Consecutive-failure windows cannot end a hub-dominated run: on a
+    /// scale-free graph, coverage saturates but *trickles* — a novel
+    /// community covering one or two peripheral nodes arrives every few
+    /// dozen seeds indefinitely, resetting every window while each of
+    /// those seeds pays for a full multi-thousand-move ascent into the
+    /// core. Healthy runs spend well under 0.05 seeds per covered node;
+    /// saturated hub runs burn 25–50× that. This budget caps the spend
+    /// proportionally to what the run has actually achieved, with twice
+    /// the stagnation window as a warm-up floor so stagnation always gets
+    /// a full window before the budget can fire. Because the floor scales
+    /// with `stagnation_limit`, disabling stagnation by setting a huge
+    /// limit also pushes the budget out of reach — keep the limit at a
+    /// real window size when relying on this criterion.
+    pub seeds_per_covered: f64,
 }
 
 impl Default for HaltingConfig {
@@ -24,6 +53,8 @@ impl Default for HaltingConfig {
             max_seeds: 10_000,
             target_coverage: 0.95,
             stagnation_limit: 50,
+            stagnation_streak: usize::MAX,
+            seeds_per_covered: 0.0,
         }
     }
 }
@@ -38,6 +69,12 @@ pub enum HaltReason {
     Coverage,
     /// Too many consecutive seeds discovered nothing new.
     Stagnation,
+    /// Too many consecutive seeds were rejected outright (duplicates or
+    /// below the minimum size).
+    DuplicateStreak,
+    /// The seed-efficiency budget ran out: the run spent more seeds than
+    /// its coverage justifies ([`HaltingConfig::seeds_per_covered`]).
+    SeedEfficiency,
 }
 
 impl HaltReason {
@@ -47,6 +84,8 @@ impl HaltReason {
             HaltReason::SeedBudget => "seed-budget",
             HaltReason::Coverage => "coverage",
             HaltReason::Stagnation => "stagnation",
+            HaltReason::DuplicateStreak => "duplicate-streak",
+            HaltReason::SeedEfficiency => "seed-efficiency",
         }
     }
 }
@@ -64,6 +103,7 @@ pub struct HaltingState {
     seeds_tried: usize,
     covered: usize,
     stagnant: usize,
+    rejected_streak: usize,
 }
 
 impl HaltingState {
@@ -75,11 +115,14 @@ impl HaltingState {
             seeds_tried: 0,
             covered: 0,
             stagnant: 0,
+            rejected_streak: 0,
         }
     }
 
     /// Records the outcome of one seed: how many previously uncovered nodes
-    /// its community added, and whether the community was new.
+    /// its community added, and whether the community was new (i.e.
+    /// accepted into the cover rather than rejected as a duplicate or as
+    /// too small).
     pub fn record(&mut self, newly_covered: usize, novel: bool) {
         self.seeds_tried += 1;
         self.covered += newly_covered;
@@ -87,6 +130,11 @@ impl HaltingState {
             self.stagnant = 0;
         } else {
             self.stagnant += 1;
+        }
+        if novel {
+            self.rejected_streak = 0;
+        } else {
+            self.rejected_streak += 1;
         }
     }
 
@@ -115,7 +163,8 @@ impl HaltingState {
     }
 
     /// The first criterion that currently says stop (budget before
-    /// coverage before stagnation), or `None` while the run should go on.
+    /// coverage before stagnation before the duplicate streak), or `None`
+    /// while the run should go on.
     pub fn reason(&self) -> Option<HaltReason> {
         if self.seeds_tried >= self.config.max_seeds {
             Some(HaltReason::SeedBudget)
@@ -123,9 +172,24 @@ impl HaltingState {
             Some(HaltReason::Coverage)
         } else if self.stagnant >= self.config.stagnation_limit {
             Some(HaltReason::Stagnation)
+        } else if self.rejected_streak >= self.config.stagnation_streak {
+            Some(HaltReason::DuplicateStreak)
+        } else if self.efficiency_exhausted() {
+            Some(HaltReason::SeedEfficiency)
         } else {
             None
         }
+    }
+
+    /// True when the seed-efficiency budget is enabled and spent. The
+    /// warm-up floor is twice the stagnation window, so stagnation always
+    /// gets a full window before the budget can end a run.
+    fn efficiency_exhausted(&self) -> bool {
+        if self.config.seeds_per_covered <= 0.0 {
+            return false;
+        }
+        let floor = self.config.stagnation_limit.saturating_mul(2) as f64;
+        self.seeds_tried as f64 >= floor + self.config.seeds_per_covered * self.covered as f64
     }
 }
 
@@ -138,6 +202,8 @@ mod tests {
             max_seeds,
             target_coverage: cov,
             stagnation_limit: stag,
+            stagnation_streak: usize::MAX,
+            seeds_per_covered: 0.0,
         }
     }
 
@@ -174,6 +240,66 @@ mod tests {
         assert!(!st.should_halt());
         st.record(0, false);
         assert!(st.should_halt());
+    }
+
+    /// The duplicate streak counts consecutive *rejections* only: a novel
+    /// community resets it even when it adds no coverage (which still
+    /// advances the stagnation window — the two criteria are independent).
+    #[test]
+    fn halts_on_duplicate_streak_and_resets_on_any_accept() {
+        let mut st = HaltingState::new(
+            HaltingConfig {
+                stagnation_streak: 3,
+                ..cfg(100, 2.0, usize::MAX - 1)
+            },
+            100,
+        );
+        st.record(0, false);
+        st.record(0, false);
+        assert!(!st.should_halt());
+        st.record(0, true); // novel, zero coverage: resets the streak
+        st.record(0, false);
+        st.record(0, false);
+        assert!(!st.should_halt());
+        st.record(0, false);
+        assert_eq!(st.reason(), Some(HaltReason::DuplicateStreak));
+        assert_eq!(st.reason().unwrap().label(), "duplicate-streak");
+    }
+
+    /// The efficiency budget scales the seed allowance with the coverage
+    /// achieved: the hub-graph trickle (a tiny accept every few dozen
+    /// seeds, which resets every consecutive-failure window forever) runs
+    /// out of budget, while a run that covers nodes proportionally to the
+    /// seeds it spends never trips it.
+    #[test]
+    fn halts_on_the_seed_efficiency_budget() {
+        let config = HaltingConfig {
+            stagnation_limit: 5,
+            stagnation_streak: 5,
+            seeds_per_covered: 0.5,
+            ..cfg(100_000, 2.0, 5)
+        };
+        // A trickle: one 1-node novel accept every 4 seeds keeps both
+        // consecutive-failure windows permanently reset, but each covered
+        // node only buys 0.5 seeds of budget — the spend (1 seed/seed)
+        // overtakes the budget growth (0.125/seed) and the run halts.
+        let mut st = HaltingState::new(config, 1_000_000);
+        st.record(20, true);
+        let mut seeds = 1;
+        while !st.should_halt() {
+            seeds += 1;
+            assert!(seeds < 1_000, "budget never fired");
+            st.record(usize::from(seeds % 4 == 0), seeds % 4 == 0);
+        }
+        assert_eq!(st.reason(), Some(HaltReason::SeedEfficiency));
+        assert_eq!(st.reason().unwrap().label(), "seed-efficiency");
+
+        // Proportional coverage keeps the budget ahead of the spend.
+        let mut st = HaltingState::new(config, 1_000_000);
+        for _ in 0..200 {
+            st.record(3, true);
+            assert!(!st.should_halt());
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use detector::OcaDetector;
 pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi, SqrtTable};
 pub use halting::{HaltReason, HaltingConfig, HaltingState};
 pub use postprocess::{assign_orphans, merge_similar};
-pub use runner::{run_default, CoverageBitmap, Oca, OcaResult};
-pub use search::{local_search, SearchConfig, SearchOutcome};
+pub use runner::{run_default, CoverageBitmap, Oca, OcaResult, PhaseNanos};
+pub use search::{ascend, local_search, AscentOutcome, SearchConfig, SearchOutcome};
 pub use seed::{initial_set, ticket_seed, SeedStrategy};
 pub use state::CommunityState;

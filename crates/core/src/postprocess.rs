@@ -5,73 +5,163 @@
 //! "too similar, i.e. that differ in very few nodes"; the paper merges
 //! them. Optionally, every node is then forced into at least one community
 //! by giving each orphan to the community holding most of its neighbors.
+//!
+//! Both passes are built around the same primitive: a flat
+//! [`EpochCounters`] array over dense community ids, so counting "how
+//! many of these nodes fall into community `j`" costs one array bump per
+//! observation, with O(1) logical clearing between queries — no hashing,
+//! no per-query allocation, and no `O(|A| + |B|)` sorted-set
+//! intersections (DESIGN.md §4a has the cost model).
 
-use oca_graph::{Community, Cover, CsrGraph, NodeId};
-use std::collections::HashMap;
+use oca_graph::{Community, Cover, CsrGraph, EpochCounters, NodeId, UnionFind};
 
-/// Merges communities whose pairwise similarity `ρ` is at least
-/// `threshold`, repeating until a fixed point. Exact duplicates always
-/// merge. Uses a shared-member index so only overlapping pairs are compared.
+/// Merges groups of similar communities until no two communities in the
+/// result have similarity `ρ` at least `threshold`. Exact duplicates
+/// always merge; communities sharing no node never do.
+///
+/// The acceptance rule is deterministic and **order-independent**: per
+/// round, a pair merges iff the Jaccard similarity of their round-start
+/// member sets reaches `threshold`, and the accepted pairs are closed
+/// transitively (union–find), so permuting the input communities permutes
+/// nothing but the output order. (The previous implementation compared
+/// candidates against the partially *grown* union, so the scan order
+/// decided which pairs passed — see the regression test
+/// `merging_is_independent_of_community_order`.) Newly merged groups are
+/// re-tested against the rest in the next round; the fixed point is
+/// reached when a round accepts nothing, and only changed groups are ever
+/// re-scanned.
+///
+/// Cost: one inverted-index sweep per round — `O(Σ membership + Σ
+/// pairwise overlap)` via an epoch-stamped counter array — instead of the
+/// former per-pair sorted-set intersections repeated over whole-cover
+/// passes.
 pub fn merge_similar(cover: &Cover, threshold: f64) -> Cover {
     assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
-    let mut communities: Vec<Community> = cover.communities().to_vec();
+    let k = cover.len();
+    if k <= 1 {
+        return cover.clone();
+    }
+    // Current member list per original slot. A merged group's union lives
+    // at its union-find root slot; absorbed slots are left empty.
+    let mut members: Vec<Vec<NodeId>> = cover
+        .communities()
+        .iter()
+        .map(|c| c.members().to_vec())
+        .collect();
+    // Inverted index, built once and maintained incrementally (never
+    // rebuilt per pass): for each node, the canonical root ids of the
+    // live communities containing it, exactly one entry per community.
+    let mut index: Vec<Vec<u32>> = vec![Vec::new(); cover.node_count()];
+    for (ci, m) in members.iter().enumerate() {
+        for &v in m {
+            index[v.index()].push(ci as u32);
+        }
+    }
+    let mut uf = UnionFind::new(k);
+    let mut counts = EpochCounters::new(k);
+    // Slots whose member set changed last round (round 1: all of them).
+    // Only these are re-scanned: an unchanged pair was already tested
+    // with its current sets in an earlier round.
+    let mut changed: Vec<u32> = (0..k as u32).collect();
+    let mut is_changed = vec![true; k];
     loop {
-        let merged = merge_pass(&communities, threshold);
-        let done = merged.len() == communities.len();
-        communities = merged;
-        if done {
+        // Acceptance pass. Similarities are evaluated on the round-start
+        // member sets only (nothing is mutated until the pass is over),
+        // which is what makes the accepted-pair set independent of the
+        // scan order.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for &ci in &changed {
+            counts.begin();
+            for &v in &members[ci as usize] {
+                for &cj in &index[v.index()] {
+                    if cj != ci {
+                        counts.bump(cj);
+                    }
+                }
+            }
+            let si = members[ci as usize].len();
+            for &cj in counts.touched() {
+                // A changed–changed pair is seen from both sides; keep
+                // one orientation.
+                if is_changed[cj as usize] && cj < ci {
+                    continue;
+                }
+                let overlap = counts.get(cj) as usize;
+                let union = si + members[cj as usize].len() - overlap;
+                if overlap as f64 / union as f64 >= threshold {
+                    pairs.push((ci, cj));
+                }
+            }
+        }
+        for &ci in &changed {
+            is_changed[ci as usize] = false;
+        }
+        changed.clear();
+        if pairs.is_empty() {
             break;
         }
-    }
-    Cover::new(cover.node_count(), communities)
-}
-
-fn merge_pass(communities: &[Community], threshold: f64) -> Vec<Community> {
-    let mut node_to_comms: HashMap<NodeId, Vec<usize>> = HashMap::new();
-    for (ci, c) in communities.iter().enumerate() {
-        for &v in c.members() {
-            node_to_comms.entry(v).or_default().push(ci);
+        // Merge phase: close the accepted pairs transitively, then
+        // rebuild each group that grew at its new root slot.
+        for &(a, b) in &pairs {
+            uf.union(a as usize, b as usize);
         }
-    }
-    let mut absorbed_into: Vec<Option<usize>> = vec![None; communities.len()];
-    let mut result: Vec<Community> = Vec::new();
-    let mut result_of: Vec<Option<usize>> = vec![None; communities.len()];
-    for ci in 0..communities.len() {
-        if absorbed_into[ci].is_some() {
-            continue;
-        }
-        // Candidate partners: communities sharing at least one node.
-        let mut candidates: Vec<usize> = communities[ci]
-            .members()
+        let mut constituents: Vec<(usize, u32)> = pairs
             .iter()
-            .flat_map(|v| node_to_comms[v].iter().copied())
-            .filter(|&cj| cj > ci && absorbed_into[cj].is_none())
+            .flat_map(|&(a, b)| [a, b])
+            .map(|s| (uf.find(s as usize), s))
             .collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-
-        let slot = match result_of[ci] {
-            Some(slot) => slot,
-            None => {
-                result.push(communities[ci].clone());
-                result_of[ci] = Some(result.len() - 1);
-                result.len() - 1
+        constituents.sort_unstable();
+        constituents.dedup();
+        let mut start = 0;
+        while start < constituents.len() {
+            let root = constituents[start].0;
+            let mut end = start;
+            while end < constituents.len() && constituents[end].0 == root {
+                end += 1;
             }
-        };
-        for cj in candidates {
-            if result[slot].similarity(&communities[cj]) >= threshold {
-                result[slot] = result[slot].merged(&communities[cj]);
-                absorbed_into[cj] = Some(ci);
+            let mut merged: Vec<NodeId> = Vec::new();
+            for &(_, slot) in &constituents[start..end] {
+                merged.append(&mut members[slot as usize]);
             }
+            merged.sort_unstable();
+            merged.dedup();
+            // Re-point the union's index entries at the root: drop the
+            // constituents' now-stale entries, add the root once.
+            for &v in &merged {
+                let list = &mut index[v.index()];
+                list.retain(|&e| uf.find_immutable(e as usize) != root);
+                list.push(root as u32);
+            }
+            members[root] = merged;
+            changed.push(root as u32);
+            is_changed[root] = true;
+            start = end;
         }
     }
-    result
+    // Emit survivors ordered by each group's smallest original index —
+    // the order the pass-based merge used to produce.
+    let mut emitted = vec![false; k];
+    let mut out: Vec<Community> = Vec::new();
+    for i in 0..k {
+        let root = uf.find(i);
+        if !emitted[root] {
+            emitted[root] = true;
+            out.push(Community::new(std::mem::take(&mut members[root])));
+        }
+    }
+    Cover::new(cover.node_count(), out)
 }
 
 /// Assigns each orphan node to the community containing the most of its
 /// neighbors (Section IV's "orphan node" rule). Orphans whose neighbors are
 /// all orphans too are retried for `max_rounds` rounds, so chains attached
 /// to a community get absorbed; nodes in componentless limbo stay orphans.
+///
+/// Membership counting uses a flat epoch-stamped counter over community
+/// ids (one bump per neighbor membership, O(1) reset per orphan) instead
+/// of a freshly allocated `HashMap` per node; the winner rule — maximum
+/// count, lowest community index on ties — is a total order, so the
+/// result is unchanged.
 pub fn assign_orphans(graph: &CsrGraph, cover: &Cover, max_rounds: usize) -> Cover {
     let mut communities: Vec<Vec<NodeId>> = cover
         .communities()
@@ -84,6 +174,7 @@ pub fn assign_orphans(graph: &CsrGraph, cover: &Cover, max_rounds: usize) -> Cov
     // membership[v] = communities containing v (updated as we assign).
     let mut membership: Vec<Vec<u32>> = cover.membership_index();
     let mut orphans: Vec<NodeId> = cover.orphans();
+    let mut counts = EpochCounters::new(communities.len());
     for _ in 0..max_rounds {
         if orphans.is_empty() {
             break;
@@ -92,16 +183,17 @@ pub fn assign_orphans(graph: &CsrGraph, cover: &Cover, max_rounds: usize) -> Cov
         let mut assigned_any = false;
         for &v in &orphans {
             // Count neighbor memberships.
-            let mut counts: HashMap<u32, usize> = HashMap::new();
+            counts.begin();
             for &u in graph.neighbors(v) {
                 for &ci in &membership[u.index()] {
-                    *counts.entry(ci).or_insert(0) += 1;
+                    counts.bump(ci);
                 }
             }
             // Deterministic winner: max count, lowest index on ties.
             let winner = counts
+                .touched()
                 .iter()
-                .map(|(&ci, &cnt)| (cnt, std::cmp::Reverse(ci)))
+                .map(|&ci| (counts.get(ci), std::cmp::Reverse(ci)))
                 .max()
                 .map(|(_, std::cmp::Reverse(ci))| ci);
             match winner {
@@ -153,9 +245,9 @@ mod tests {
 
     #[test]
     fn merge_cascades_to_fixed_point() {
-        // ρ(a,b) = 3/5 = 0.6, and after a∪b the union's similarity to c is
-        // 3/6 = 0.5: at threshold 0.5 the chain collapses fully, at 0.6 the
-        // third community survives.
+        // ρ(a,b) = ρ(b,c) = 3/5 = 0.6, ρ(a,c) = 2/6 = 0.333. At 0.5 the
+        // chain collapses; at 0.6 both accepted pairs share b, so the
+        // transitive closure still collapses it; at 0.65 no pair passes.
         let cover = Cover::new(
             10,
             vec![c(&[0, 1, 2, 3]), c(&[1, 2, 3, 4]), c(&[2, 3, 4, 5])],
@@ -163,8 +255,67 @@ mod tests {
         let merged = merge_similar(&cover, 0.5);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged.communities()[0].len(), 6);
-        let partial = merge_similar(&cover, 0.6);
+        let closed = merge_similar(&cover, 0.6);
+        assert_eq!(closed.len(), 1, "a–b and b–c close transitively");
+        let untouched = merge_similar(&cover, 0.65);
+        assert_eq!(untouched.len(), 3);
+    }
+
+    /// A merged group is re-tested against the rest with its *union*: the
+    /// pair (a,b) merges first, and only the union reaches the threshold
+    /// against d — a second round must pick that up.
+    #[test]
+    fn merged_groups_are_retested_until_a_fixed_point() {
+        // a = {0,1,2,3}, b = {0,1,2,4}: ρ = 3/5 = 0.6 — merges at 0.55.
+        // d = {0,1,2,3,4,9}: ρ(a,d) = ρ(b,d) = 4/7 ≈ 0.571 > 0.55, so
+        // round 1 already chains everything; use a d that only the union
+        // reaches: d = {3,4,5,6,7}: ρ(a,d) = 1/8, ρ(b,d) = 1/8, but
+        // ρ(a∪b, d) = 2/8 = 0.25. Threshold 0.25: round 1 merges only
+        // a–b (ρ 0.6), round 2 merges the union with d.
+        let cover = Cover::new(
+            10,
+            vec![c(&[0, 1, 2, 3]), c(&[0, 1, 2, 4]), c(&[3, 4, 5, 6, 7])],
+        );
+        let merged = merge_similar(&cover, 0.25);
+        assert_eq!(merged.len(), 1, "the union must be re-tested against d");
+        assert_eq!(merged.communities()[0].len(), 8);
+        // Sanity: at a threshold between 0.25 and 0.6 only a–b merge.
+        let partial = merge_similar(&cover, 0.3);
         assert_eq!(partial.len(), 2);
+    }
+
+    /// The regression for the order-dependence bug: the old pass compared
+    /// candidates against the partially grown union, so permuting the
+    /// input changed which pairs passed. The union-find rule may not
+    /// depend on community order.
+    #[test]
+    fn merging_is_independent_of_community_order() {
+        let comms = vec![
+            c(&[0, 1, 2, 3]),
+            c(&[1, 2, 3, 4]),
+            c(&[2, 3, 4, 5]),
+            c(&[6, 7, 8]),
+            c(&[5, 6, 7, 8]),
+        ];
+        let normalize = |cover: &Cover| {
+            let mut sets: Vec<Vec<NodeId>> = cover
+                .communities()
+                .iter()
+                .map(|c| c.members().to_vec())
+                .collect();
+            sets.sort();
+            sets
+        };
+        for threshold in [0.3, 0.5, 0.6, 0.75, 0.9] {
+            let reference = normalize(&merge_similar(&Cover::new(9, comms.clone()), threshold));
+            // A few fixed permutations, including the reverse.
+            let orders: [&[usize]; 3] = [&[4, 3, 2, 1, 0], &[2, 0, 4, 1, 3], &[1, 4, 0, 3, 2]];
+            for order in orders {
+                let permuted: Vec<Community> = order.iter().map(|&i| comms[i].clone()).collect();
+                let got = normalize(&merge_similar(&Cover::new(9, permuted), threshold));
+                assert_eq!(got, reference, "threshold {threshold}, order {order:?}");
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::config::{CStrategy, OcaConfig};
 use crate::halting::{HaltReason, HaltingState};
 use crate::postprocess::{assign_orphans, merge_similar};
-use crate::search::local_search;
+use crate::search::ascend;
 use crate::seed::{initial_set, ticket_seed};
 use crate::state::CommunityState;
 use oca_graph::{
@@ -29,6 +29,24 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Per-phase wall-clock breakdown of one run, in nanoseconds. The bench
+/// and the detector telemetry expose these so an off-ascent regression
+/// (dedup, merging, orphan assignment — the paper's Section IV
+/// postprocessing) can never hide inside the end-to-end total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Greedy ascents: seed drawing plus local search. In parallel mode
+    /// this is the wall time of the worker rounds, not summed CPU time.
+    pub ascent_ns: u64,
+    /// The ordered reduction: fingerprint dedup, coverage accounting and
+    /// halting, per ticket.
+    pub dedup_ns: u64,
+    /// [`merge_similar`] over the accepted communities.
+    pub merge_ns: u64,
+    /// [`assign_orphans`], when enabled.
+    pub orphan_ns: u64,
+}
 
 /// Result of an OCA run.
 #[derive(Debug, Clone)]
@@ -49,6 +67,8 @@ pub struct OcaResult {
     pub halt_reason: Option<HaltReason>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// Where the wall-clock went, phase by phase.
+    pub phases: PhaseNanos,
 }
 
 /// The OCA algorithm, configured and ready to run.
@@ -123,6 +143,22 @@ impl UncoveredList {
     }
 }
 
+/// What one ticket's ascent produced, in the cheapest form the ordered
+/// reduction can decide on: the O(1) set fingerprint and size always, the
+/// materialized member vector only when the ticket can still be accepted
+/// (too-small sets and already-seen fingerprints skip the clone+sort of
+/// [`CommunityState::to_community`] entirely — on hub graphs, where the
+/// overwhelming majority of ascents re-converge to known communities,
+/// this is most of the off-ascent wall-clock).
+struct TicketOutcome {
+    /// Order-independent 128-bit fingerprint of the final set.
+    fp: u128,
+    /// Member count of the final set.
+    size: usize,
+    /// The members, or `None` when the ticket was pre-filtered.
+    community: Option<Community>,
+}
+
 /// The ordered deterministic reduction: every accepted ascent flows
 /// through [`Reduction::record`] in ascending ticket order, which is what
 /// makes dedup, coverage accounting and the halting cutoff independent of
@@ -136,7 +172,10 @@ struct Reduction {
     /// end (in this deterministic order) while its `nodes` vec is lent
     /// out as the round's snapshot.
     newly_covered: Vec<NodeId>,
-    seen: HashSet<Vec<NodeId>>,
+    /// Fingerprints of every accepted community: dedup is an O(1) probe
+    /// with no member-vector clone (was `HashSet<Vec<NodeId>>`, which
+    /// cloned and content-hashed the full vector once per ticket).
+    seen: HashSet<u128>,
     accepted: Vec<Community>,
     min_size: usize,
     halted: bool,
@@ -157,20 +196,27 @@ impl Reduction {
         }
     }
 
-    /// Records the next ticket's community (in ticket order) and emits the
+    /// Records the next ticket's outcome (in ticket order) and emits the
     /// post-record progress tick. Returns true while the run should go on.
     fn record(
         &mut self,
-        community: Community,
+        outcome: TicketOutcome,
         covered: &CoverageBitmap,
         ctx: &DetectContext,
         max_seeds: usize,
     ) -> bool {
         debug_assert!(!self.halted, "ticket recorded past the cutoff");
-        // Too-small communities are dropped without entering the dedup set.
-        if community.len() < self.min_size || !self.seen.insert(community.members().to_vec()) {
+        // Too-small communities are dropped without entering the dedup
+        // set; duplicates are rejected by the O(1) fingerprint probe.
+        if outcome.size < self.min_size || !self.seen.insert(outcome.fp) {
             self.halting.record(0, false);
         } else {
+            // The fingerprint was novel, so the worker cannot have
+            // pre-filtered this ticket (`seen` only grows): the members
+            // were materialized.
+            let community = outcome
+                .community
+                .expect("novel fingerprint implies materialized members");
             let mut newly = 0usize;
             for &v in community.members() {
                 if covered.set(v.index()) {
@@ -203,12 +249,34 @@ struct Round<'a> {
 impl Round<'_> {
     /// Runs the ascent for round-local ticket `t`: a pure function of
     /// `(rng_seed, start + t)` and the round snapshot.
-    fn run_ticket(&self, state: &mut CommunityState<'_>, t: usize) -> Community {
+    ///
+    /// `seen` is a dedup-set snapshot no newer than the reduction's view
+    /// of this ticket (the live set on the sequential path, the
+    /// round-start set in parallel). Probing it never changes the
+    /// *decision* — the reduction re-checks in ticket order — it only
+    /// skips materializing member vectors for ascents that are already
+    /// guaranteed to be rejected, so the output stays bit-identical at
+    /// any thread count.
+    fn run_ticket(
+        &self,
+        state: &mut CommunityState<'_>,
+        t: usize,
+        seen: &HashSet<u128>,
+    ) -> TicketOutcome {
         let mut rng =
             StdRng::seed_from_u64(ticket_seed(self.config.rng_seed, self.start + t as u64));
         let seed = self.pick_seed(&mut rng);
         let initial = initial_set(self.config.seed_strategy, self.graph, seed, &mut rng);
-        local_search(state, &initial, &self.config.search).community
+        ascend(state, &initial, &self.config.search);
+        let fp = state.fingerprint();
+        let size = state.len();
+        let community = (size >= self.config.min_community_size && !seen.contains(&fp))
+            .then(|| state.to_community());
+        TicketOutcome {
+            fp,
+            size,
+            community,
+        }
     }
 
     /// O(1) unbiased pick from the uncovered snapshot; when everything is
@@ -338,6 +406,7 @@ impl Oca {
                 raw_community_count: 0,
                 halt_reason: None,
                 elapsed: start.elapsed(),
+                phases: PhaseNanos::default(),
             });
         }
 
@@ -345,6 +414,7 @@ impl Oca {
         let threads = config.threads;
         let covered = CoverageBitmap::new(n);
         let mut reduction = Reduction::new(config, n);
+        let mut phases = PhaseNanos::default();
         // One reusable search state per worker; buffers persist across
         // rounds so reset cost stays proportional to work done.
         let mut states: Vec<CommunityState<'_>> = (0..threads.max(1))
@@ -376,24 +446,36 @@ impl Oca {
                     if ctx.is_cancelled() {
                         break;
                     }
-                    let community = round.run_ticket(&mut states[0], t);
-                    if !reduction.record(community, &covered, ctx, config.halting.max_seeds) {
+                    // Sequentially the reduction's live dedup set is
+                    // current for this ticket, so it doubles as the
+                    // pre-filter snapshot.
+                    let t0 = Instant::now();
+                    let outcome = round.run_ticket(&mut states[0], t, &reduction.seen);
+                    let t1 = Instant::now();
+                    let go_on = reduction.record(outcome, &covered, ctx, config.halting.max_seeds);
+                    phases.ascent_ns += t1.duration_since(t0).as_nanos() as u64;
+                    phases.dedup_ns += t1.elapsed().as_nanos() as u64;
+                    if !go_on {
                         break;
                     }
                 }
             } else {
-                let results = run_round_parallel(&round, &mut states, ctx);
+                let t0 = Instant::now();
+                let results = run_round_parallel(&round, &mut states, &reduction.seen, ctx);
+                let t1 = Instant::now();
+                phases.ascent_ns += t1.duration_since(t0).as_nanos() as u64;
                 for slot in results {
                     // A hole means a worker bailed on cancellation; the
                     // contiguous prefix before it is still reduced so the
                     // partial result is well-formed.
-                    let Some(community) = slot else { break };
-                    if !reduction.record(community, &covered, ctx, config.halting.max_seeds)
+                    let Some(outcome) = slot else { break };
+                    if !reduction.record(outcome, &covered, ctx, config.halting.max_seeds)
                         || ctx.is_cancelled()
                     {
                         break;
                     }
                 }
+                phases.dedup_ns += t1.elapsed().as_nanos() as u64;
             }
             reduction.uncovered.nodes = snapshot;
             for v in std::mem::take(&mut reduction.newly_covered) {
@@ -409,10 +491,14 @@ impl Oca {
         let raw_count = reduction.accepted.len();
         let mut cover = Cover::new(n, reduction.accepted);
         if let Some(threshold) = config.merge_threshold {
+            let t0 = Instant::now();
             cover = merge_similar(&cover, threshold);
+            phases.merge_ns += t0.elapsed().as_nanos() as u64;
         }
         if config.assign_orphans {
+            let t0 = Instant::now();
             cover = assign_orphans(graph, &cover, 16);
+            phases.orphan_ns += t0.elapsed().as_nanos() as u64;
         }
         Ok(OcaResult {
             cover,
@@ -422,6 +508,7 @@ impl Oca {
             raw_community_count: raw_count,
             halt_reason: reduction.halting.reason(),
             elapsed: start.elapsed(),
+            phases,
         })
     }
 }
@@ -434,19 +521,20 @@ impl Oca {
 fn run_round_parallel(
     round: &Round<'_>,
     states: &mut [CommunityState<'_>],
+    seen: &HashSet<u128>,
     ctx: &DetectContext,
-) -> Vec<Option<Community>> {
+) -> Vec<Option<TicketOutcome>> {
     let cursor = AtomicUsize::new(0);
     // Small leases keep workers balanced near the end of a round while
     // amortizing the cursor traffic.
     let lease = (round.len / (states.len() * 4)).clamp(1, 32);
-    let buffers: Vec<Vec<(usize, Community)>> = crossbeam::scope(|scope| {
+    let buffers: Vec<Vec<(usize, TicketOutcome)>> = crossbeam::scope(|scope| {
         let handles: Vec<_> = states
             .iter_mut()
             .map(|state| {
                 let cursor = &cursor;
                 scope.spawn(move |_| {
-                    let mut out: Vec<(usize, Community)> = Vec::new();
+                    let mut out: Vec<(usize, TicketOutcome)> = Vec::new();
                     'lease: loop {
                         let lo = cursor.fetch_add(lease, Ordering::Relaxed);
                         if lo >= round.len {
@@ -456,7 +544,7 @@ fn run_round_parallel(
                             if ctx.is_cancelled() {
                                 break 'lease;
                             }
-                            out.push((t, round.run_ticket(state, t)));
+                            out.push((t, round.run_ticket(state, t, seen)));
                         }
                     }
                     out
@@ -470,11 +558,11 @@ fn run_round_parallel(
     })
     .expect("worker thread panicked");
 
-    let mut slots: Vec<Option<Community>> = Vec::new();
+    let mut slots: Vec<Option<TicketOutcome>> = Vec::new();
     slots.resize_with(round.len, || None);
-    for (t, community) in buffers.into_iter().flatten() {
+    for (t, outcome) in buffers.into_iter().flatten() {
         debug_assert!(slots[t].is_none(), "ticket executed twice");
-        slots[t] = Some(community);
+        slots[t] = Some(outcome);
     }
     slots
 }
@@ -511,6 +599,7 @@ mod tests {
                 max_seeds: 200,
                 target_coverage: 1.0,
                 stagnation_limit: 30,
+                ..Default::default()
             },
             ..Default::default()
         }
@@ -601,6 +690,43 @@ mod tests {
         }
     }
 
+    /// Once the three cliques are found every further ascent re-converges
+    /// to one of them; with coverage unreachable the duplicate streak is
+    /// what stops the run (long before the stagnation window, which the
+    /// config leaves effectively open).
+    #[test]
+    fn duplicate_streak_halts_hub_style_repetition() {
+        let g = three_cliques();
+        let r = Oca::new(OcaConfig {
+            halting: crate::halting::HaltingConfig {
+                max_seeds: 10_000,
+                target_coverage: 2.0,
+                stagnation_limit: usize::MAX - 1,
+                stagnation_streak: 25,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .run(&g);
+        assert_eq!(r.halt_reason, Some(HaltReason::DuplicateStreak));
+        assert_eq!(r.cover.len(), 3, "the streak fires only after the finds");
+        assert!(r.seeds_tried < 10_000, "the budget must not be exhausted");
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_for_the_run() {
+        let g = three_cliques();
+        let r = Oca::new(quick_config()).run(&g);
+        assert!(r.phases.ascent_ns > 0, "ascent work must be timed");
+        assert!(r.phases.dedup_ns > 0, "reduction work must be timed");
+        assert_eq!(r.phases.orphan_ns, 0, "orphan assignment is off");
+        let total = r.phases.ascent_ns + r.phases.dedup_ns + r.phases.merge_ns;
+        assert!(
+            total <= r.elapsed.as_nanos() as u64,
+            "phases cannot exceed the wall clock"
+        );
+    }
+
     #[test]
     fn coverage_bitmap_tracks_sets() {
         let bm = CoverageBitmap::new(130);
@@ -627,6 +753,7 @@ mod tests {
                 max_seeds: 30,
                 target_coverage: 1.0,
                 stagnation_limit: 10,
+                ..Default::default()
             },
             ..Default::default()
         };

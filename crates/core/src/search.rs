@@ -59,13 +59,30 @@ fn best_move(state: &mut CommunityState<'_>) -> Option<(f64, NodeId, bool)> {
     best
 }
 
-/// Runs the greedy ascent from `initial` on a (reset) state. The state is
-/// left holding the final set, so callers can inspect it before reusing.
-pub fn local_search(
+/// Outcome of an in-place ascent: everything [`SearchOutcome`] carries
+/// except the materialized community, which stays in the state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AscentOutcome {
+    /// Fitness `L` at the local maximum.
+    pub fitness: f64,
+    /// Number of applied moves.
+    pub moves: usize,
+    /// Whether the ascent reached a true local maximum (vs. the move cap).
+    pub converged: bool,
+}
+
+/// Runs the greedy ascent from `initial` on a (reset) state, leaving the
+/// final set *in the state* without building a member vector. The driver
+/// uses this so rejected ascents — duplicates, too-small sets — never pay
+/// for cloning and sorting their members: it checks
+/// [`CommunityState::len`] and [`CommunityState::fingerprint`] first and
+/// calls [`CommunityState::to_community`] only for candidates that can
+/// still be accepted.
+pub fn ascend(
     state: &mut CommunityState<'_>,
     initial: &[NodeId],
     config: &SearchConfig,
-) -> SearchOutcome {
+) -> AscentOutcome {
     state.reset();
     for &v in initial {
         if !state.contains(v) {
@@ -73,7 +90,6 @@ pub fn local_search(
         }
     }
     let mut moves = 0usize;
-    let mut converged = true;
     while moves < config.max_moves {
         match best_move(state) {
             Some((gain, v, is_add)) if gain > config.min_gain => {
@@ -87,14 +103,26 @@ pub fn local_search(
             _ => break,
         }
     }
-    if moves >= config.max_moves {
-        converged = false;
-    }
-    SearchOutcome {
-        community: state.to_community(),
+    AscentOutcome {
         fitness: state.fitness(),
         moves,
-        converged,
+        converged: moves < config.max_moves,
+    }
+}
+
+/// Runs the greedy ascent from `initial` on a (reset) state. The state is
+/// left holding the final set, so callers can inspect it before reusing.
+pub fn local_search(
+    state: &mut CommunityState<'_>,
+    initial: &[NodeId],
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let outcome = ascend(state, initial, config);
+    SearchOutcome {
+        community: state.to_community(),
+        fitness: outcome.fitness,
+        moves: outcome.moves,
+        converged: outcome.converged,
     }
 }
 

@@ -17,10 +17,28 @@
 //! from a memoized [`SqrtTable`].
 
 use crate::fitness::SqrtTable;
+use crate::seed::splitmix64;
 use oca_graph::{Community, CsrGraph, NodeId};
 
 /// Sentinel for "no node" in the intrusive links and head arrays.
 const NIL: u32 = u32::MAX;
+
+/// Domain-separation constants for the two 64-bit halves of the set
+/// fingerprint (arbitrary odd constants; see [`CommunityState::fingerprint`]).
+const FP_XOR_SALT: u64 = 0xA076_1D64_78BD_642F;
+const FP_SUM_SALT: u64 = 0xE703_7ED1_A0B4_28DB;
+
+/// The per-node mix feeding the XOR half of the fingerprint.
+#[inline(always)]
+fn fp_mix_xor(v: u32) -> u64 {
+    splitmix64(v as u64 ^ FP_XOR_SALT)
+}
+
+/// The per-node mix feeding the additive half of the fingerprint.
+#[inline(always)]
+fn fp_mix_sum(v: u32) -> u64 {
+    splitmix64(v as u64 ^ FP_SUM_SALT)
+}
 
 /// `word` bit for "v ∈ S".
 const IN_SET: u32 = 1 << 31;
@@ -107,6 +125,11 @@ pub struct CommunityState<'g> {
     touched: Vec<NodeId>,
     members: Vec<NodeId>,
     ein: usize,
+    /// XOR half of the order-independent 128-bit set fingerprint,
+    /// maintained O(1) per membership change.
+    fp_xor: u64,
+    /// Additive (wrapping-sum) half of the fingerprint.
+    fp_sum: u64,
     /// Intrusive bucket heads for the boundary (best-addition) queue:
     /// `add_heads[d]` starts the list of non-members with `deg_S = d ≥ 1`.
     add_heads: Vec<u32>,
@@ -167,6 +190,8 @@ impl<'g> CommunityState<'g> {
             touched: Vec::new(),
             members: Vec::new(),
             ein: 0,
+            fp_xor: 0,
+            fp_sum: 0,
             add_heads: vec![NIL; buckets],
             add_max: 0,
             rem_heads: vec![NIL; buckets],
@@ -222,6 +247,19 @@ impl<'g> CommunityState<'g> {
         self.sqrt.fitness(self.members.len(), self.ein, self.c)
     }
 
+    /// An order-independent 128-bit fingerprint of the current member
+    /// *set*: two independently salted SplitMix64 mixes per node, folded
+    /// with XOR (low half) and wrapping addition (high half). Both folds
+    /// commute and invert, so the value is maintained in O(1) per
+    /// [`CommunityState::add`]/[`CommunityState::remove`] and depends only
+    /// on membership — two ascents converging to the same set report the
+    /// same fingerprint no matter the move order. The driver's dedup set
+    /// keys on this instead of cloning and hashing the member vector
+    /// (collision odds for distinct sets ≈ 2⁻¹²⁸ per pair; DESIGN.md §4a).
+    pub fn fingerprint(&self) -> u128 {
+        ((self.fp_sum as u128) << 64) | self.fp_xor as u128
+    }
+
     /// Fitness gain if `v` were added. `v` must not be a member.
     pub fn gain_add(&self, v: NodeId) -> f64 {
         debug_assert!(!self.contains(v));
@@ -268,6 +306,8 @@ impl<'g> CommunityState<'g> {
         let rec = self.recs[i];
         let d = (rec.word & DEG_MASK) as usize;
         self.ein += d;
+        self.fp_xor ^= fp_mix_xor(v.raw());
+        self.fp_sum = self.fp_sum.wrapping_add(fp_mix_sum(v.raw()));
         if d > 0 {
             // Boundary nodes with positive internal degree sit in the
             // addition queue; v leaves it as it joins S.
@@ -368,6 +408,8 @@ impl<'g> CommunityState<'g> {
         let rec = self.recs[i];
         let d = (rec.word & DEG_MASK) as usize;
         self.ein -= d;
+        self.fp_xor ^= fp_mix_xor(v.raw());
+        self.fp_sum = self.fp_sum.wrapping_sub(fp_mix_sum(v.raw()));
         unlink_known(&mut self.recs, &mut self.rem_heads, rec.prev, rec.next, d);
         let slot = rec.slot as usize;
         self.members.swap_remove(slot);
@@ -534,6 +576,8 @@ impl<'g> CommunityState<'g> {
         self.touched.clear();
         self.members.clear();
         self.ein = 0;
+        self.fp_xor = 0;
+        self.fp_sum = 0;
         #[cfg(test)]
         {
             self.last_reset_bucket_visits = self.dirty_add.len() + self.dirty_rem.len();
@@ -775,6 +819,33 @@ mod tests {
             probes <= 2 * leaves as u64 + leaves as u64 / 4,
             "repeated queries probed {probes} heads for {leaves} queries — bounds drifted"
         );
+    }
+
+    /// The fingerprint depends only on the final member *set*: different
+    /// move orders (and intervening add/remove churn) converge to the same
+    /// value, distinct sets get distinct values, and the empty set is 0.
+    #[test]
+    fn fingerprint_is_order_independent_and_set_determined() {
+        let g = karate_ish();
+        let mut a = CommunityState::new(&g, 0.8);
+        let mut b = CommunityState::new(&g, 0.8);
+        for v in [0, 1, 2] {
+            a.add(NodeId(v));
+        }
+        for v in [2, 0, 5, 1] {
+            b.add(NodeId(v));
+        }
+        b.remove(NodeId(5));
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same set, same print");
+        assert_ne!(a.fingerprint(), 0, "non-empty sets are non-zero");
+        b.remove(NodeId(2));
+        b.add(NodeId(3));
+        assert_ne!(a.fingerprint(), b.fingerprint(), "{{0,1,3}} != {{0,1,2}}");
+        a.reset();
+        assert_eq!(a.fingerprint(), 0, "reset restores the empty print");
+        a.add(NodeId(4));
+        a.remove(NodeId(4));
+        assert_eq!(a.fingerprint(), 0, "add/remove round-trips to empty");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod cover_io;
 pub mod csr;
 pub mod detect;
 pub mod distances;
+pub mod epoch;
 pub mod error;
 pub mod io;
 pub mod kcore;
@@ -55,6 +56,7 @@ pub use cover_io::{read_cover, read_cover_path, write_cover, write_cover_path};
 pub use csr::CsrGraph;
 pub use detect::{CancelToken, CommunityDetector, DetectContext, DetectError, Detection, Progress};
 pub use distances::{bfs_distances, double_sweep_diameter, eccentricity};
+pub use epoch::EpochCounters;
 pub use error::{GraphError, Result};
 pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
 pub use kcore::CoreDecomposition;

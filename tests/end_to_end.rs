@@ -12,6 +12,7 @@ fn quality_config(n: usize) -> OcaConfig {
             max_seeds: 4 * n,
             target_coverage: 0.99,
             stagnation_limit: 200,
+            ..Default::default()
         },
         ..Default::default()
     }

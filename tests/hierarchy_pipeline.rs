@@ -12,6 +12,7 @@ fn detect(graph: &oca_graph::CsrGraph) -> oca_graph::Cover {
             max_seeds: 4 * graph.node_count(),
             target_coverage: 0.99,
             stagnation_limit: 150,
+            ..Default::default()
         },
         ..Default::default()
     })

@@ -5,6 +5,113 @@ use oca::{fitness, fitness_from_definition, CommunityState};
 use oca_graph::{from_edges, Community, Cover, CsrGraph, NodeId, UnionFind};
 use oca_metrics::{omega_index, overlapping_nmi, rho, theta};
 use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Reference for the driver's dedup semantics: exact member-vector sets,
+/// the representation the fingerprint probe replaced.
+fn exact_dedup_decisions(comms: &[Community]) -> Vec<bool> {
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    comms
+        .iter()
+        .map(|c| seen.insert(c.members().to_vec()))
+        .collect()
+}
+
+/// Reference for the merge spec — per round, union every pair of current
+/// communities that shares a node and has similarity ≥ threshold
+/// (evaluated on the round-start sets), merge the groups, repeat to the
+/// fixed point. Quadratic in the community count; order-independent by
+/// construction.
+fn merge_similar_reference(cover: &Cover, threshold: f64) -> Cover {
+    let mut comms: Vec<Community> = cover.communities().to_vec();
+    loop {
+        let k = comms.len();
+        let mut uf = UnionFind::new(k);
+        let mut any = false;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if comms[i].intersection_size(&comms[j]) > 0
+                    && comms[i].similarity(&comms[j]) >= threshold
+                {
+                    any |= uf.union(i, j);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        let mut emitted = vec![false; k];
+        let mut merged: Vec<Community> = Vec::new();
+        for i in 0..k {
+            let root = uf.find(i);
+            if emitted[root] {
+                continue;
+            }
+            emitted[root] = true;
+            let mut group = comms[root].clone();
+            for (j, c) in comms.iter().enumerate() {
+                if j != root && uf.find(j) == root {
+                    group = group.merged(c);
+                }
+            }
+            merged.push(group);
+        }
+        comms = merged;
+    }
+    Cover::new(cover.node_count(), comms)
+}
+
+/// Reference for orphan assignment: the per-node `HashMap` counting the
+/// epoch-stamped counter array replaced — identical winner rule (max
+/// neighbor count, lowest community index on ties), identical rounds.
+fn assign_orphans_reference(graph: &CsrGraph, cover: &Cover, max_rounds: usize) -> Cover {
+    let mut communities: Vec<Vec<NodeId>> = cover
+        .communities()
+        .iter()
+        .map(|c| c.members().to_vec())
+        .collect();
+    if communities.is_empty() {
+        return cover.clone();
+    }
+    let mut membership: Vec<Vec<u32>> = cover.membership_index();
+    let mut orphans: Vec<NodeId> = cover.orphans();
+    for _ in 0..max_rounds {
+        if orphans.is_empty() {
+            break;
+        }
+        let mut still_orphan = Vec::new();
+        let mut assigned_any = false;
+        for &v in &orphans {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for &u in graph.neighbors(v) {
+                for &ci in &membership[u.index()] {
+                    *counts.entry(ci).or_insert(0) += 1;
+                }
+            }
+            let winner = counts
+                .iter()
+                .map(|(&ci, &cnt)| (cnt, std::cmp::Reverse(ci)))
+                .max()
+                .map(|(_, std::cmp::Reverse(ci))| ci);
+            match winner {
+                Some(ci) => {
+                    communities[ci as usize].push(v);
+                    membership[v.index()].push(ci);
+                    assigned_any = true;
+                }
+                None => still_orphan.push(v),
+            }
+        }
+        orphans = still_orphan;
+        if !assigned_any {
+            break;
+        }
+    }
+    Cover::new(
+        cover.node_count(),
+        communities.into_iter().map(Community::new).collect(),
+    )
+}
 
 /// Strategy: a random edge list over up to `n` nodes.
 fn edge_list(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
@@ -219,6 +326,85 @@ proptest! {
         let o1 = omega_index(&ca, &cb);
         let o2 = omega_index(&cb, &ca);
         prop_assert!((o1 - o2).abs() < 1e-9);
+    }
+
+    /// The incremental 128-bit fingerprint must accept/reject exactly the
+    /// communities the old clone-the-member-vector dedup set did, for any
+    /// sequence of sets (duplicates included). A collision would show up
+    /// here as a decision mismatch.
+    #[test]
+    fn fingerprint_dedup_matches_exact_set_dedup(
+        comms in prop::collection::vec(community(30), 1..40),
+    ) {
+        let g = CsrGraph::empty(30);
+        let mut st = CommunityState::new(&g, 0.5);
+        let mut fps: HashSet<u128> = HashSet::new();
+        let exact = exact_dedup_decisions(&comms);
+        for (c, want) in comms.iter().zip(exact) {
+            st.reset();
+            for &v in c.members() {
+                st.add(v);
+            }
+            prop_assert_eq!(fps.insert(st.fingerprint()), want, "set {:?}", c.members());
+        }
+    }
+
+    /// The inverted-index + union-find merge must equal the quadratic
+    /// order-independent specification: same communities, same order.
+    #[test]
+    fn merge_similar_matches_quadratic_reference(
+        comms in prop::collection::vec(community(20), 0..10),
+        threshold in 0.05f64..1.0,
+    ) {
+        let cover = Cover::new(20, comms);
+        let fast = oca::merge_similar(&cover, threshold);
+        let reference = merge_similar_reference(&cover, threshold);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Merging may not depend on the order communities arrive in (the old
+    /// grown-union rule did): any permutation yields the same cover up to
+    /// community order.
+    #[test]
+    fn merge_similar_is_order_independent(
+        comms in prop::collection::vec(community(20), 0..8),
+        threshold in 0.05f64..1.0,
+        rot in 0usize..8,
+    ) {
+        let normalize = |cover: &Cover| {
+            let mut sets: Vec<Vec<NodeId>> = cover
+                .communities()
+                .iter()
+                .map(|c| c.members().to_vec())
+                .collect();
+            sets.sort();
+            sets
+        };
+        let reference = normalize(&oca::merge_similar(&Cover::new(20, comms.clone()), threshold));
+        let mut rotated = comms.clone();
+        if !rotated.is_empty() {
+            let by = rot % rotated.len();
+            rotated.rotate_left(by);
+            rotated.reverse();
+        }
+        let got = normalize(&oca::merge_similar(&Cover::new(20, rotated), threshold));
+        prop_assert_eq!(got, reference);
+    }
+
+    /// The counter-based orphan assignment must equal the old HashMap
+    /// implementation exactly (same covers, same community order).
+    #[test]
+    fn assign_orphans_matches_hashmap_reference(
+        edges in edge_list(20, 60),
+        comms in prop::collection::vec(community(20), 1..4),
+        rounds in 1usize..6,
+    ) {
+        let g: CsrGraph = from_edges(20, edges);
+        let cover = Cover::new(20, comms);
+        prop_assume!(!cover.is_empty());
+        let fast = oca::assign_orphans(&g, &cover, rounds);
+        let reference = assign_orphans_reference(&g, &cover, rounds);
+        prop_assert_eq!(fast, reference);
     }
 
     #[test]

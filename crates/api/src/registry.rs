@@ -7,7 +7,7 @@
 //! without per-algorithm dispatch at the call sites.
 
 use crate::options::DetectorOptions;
-use oca::{HaltingConfig, OcaConfig, OcaDetector};
+use oca::{HaltingConfig, MoveRule, OcaConfig, OcaDetector, SearchConfig};
 use oca_baselines::{
     CFinderConfig, CFinderDetector, CFinderFaithfulDetector, LfkConfig, LfkDetector, LpaConfig,
     LpaDetector,
@@ -235,6 +235,33 @@ pub fn registry() -> DetectorRegistry {
                 "true = ascend on a degree-ordered relabeled copy (cache \
                  locality); covers are still reported in original ids",
             ),
+            (
+                "move-rule",
+                "'greedy' (the paper's strictly-improving rule) or \
+                 'penalized' (tabu + repeat-add penalties keep exploring \
+                 past plateaus and return the best set seen)",
+            ),
+            (
+                "ascent-budget",
+                "per-ascent move budget as a multiple of the initial set \
+                 size; stops hub ascents from crawling whole cores; 0 \
+                 disables (the library default)",
+            ),
+            (
+                "plateau-moves",
+                "penalized rule: moves without a new best fitness before \
+                 the ascent returns its best-so-far set",
+            ),
+            (
+                "tabu-tenure",
+                "penalized rule: moves a just-removed node stays un-addable",
+            ),
+            (
+                "hub-prune-degree",
+                "skip already-covered nodes of at least this degree as add \
+                 candidates (0 disables); uses the round-start coverage \
+                 snapshot, so covers stay identical at any thread count",
+            ),
         ],
         build_oca,
         tuned_oca,
@@ -301,6 +328,19 @@ fn tuned_oca(graph: &CsrGraph) -> DetectorOptions {
         .with("stagnation", "200")
         .with("stagnation-streak", "500")
         .with("seeds-per-covered", "0.15")
+        .with("ascent-budget", "64")
+        .with("hub-prune-degree", &hub_prune_degree(graph).to_string())
+}
+
+/// The covered-hub pruning threshold of the tuned and experiment presets:
+/// `max(64, 8 × average degree)`. On LFR-style benches the maximum degree
+/// sits below this, so pruning never fires and fig2 quality is untouched;
+/// on scale-free graphs it singles out exactly the mega-hubs whose
+/// re-exploration dominates ascent time (DESIGN.md §2a).
+fn hub_prune_degree(graph: &CsrGraph) -> usize {
+    let n = graph.node_count().max(1);
+    let avg_degree = 2 * graph.edge_count() / n;
+    (8 * avg_degree).max(64)
 }
 
 const CFINDER_OPTIONS: &[(&str, &str)] = &[
@@ -331,6 +371,25 @@ fn build_oca(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
         min_community_size: opts.get_or("min-size", defaults.min_community_size)?,
         assign_orphans: opts.get_or("orphans", defaults.assign_orphans)?,
         relabel: opts.get_or("relabel", defaults.relabel)?,
+        search: SearchConfig {
+            budget_factor: opts.get_or("ascent-budget", defaults.search.budget_factor)?,
+            plateau_moves: opts.get_or("plateau-moves", defaults.search.plateau_moves)?,
+            tabu_tenure: opts.get_or("tabu-tenure", defaults.search.tabu_tenure)?,
+            prune_hub_degree: opts.get_or("hub-prune-degree", defaults.search.prune_hub_degree)?,
+            move_rule: match opts.get("move-rule") {
+                None => defaults.search.move_rule,
+                Some("greedy") => MoveRule::Greedy,
+                Some("penalized") => MoveRule::Penalized,
+                Some(other) => {
+                    return Err(DetectError::InvalidOption {
+                        key: "move-rule".to_string(),
+                        value: other.to_string(),
+                        message: "expected 'greedy' or 'penalized'".to_string(),
+                    })
+                }
+            },
+            ..defaults.search
+        },
         ..defaults
     };
     if let Some(c) = opts.get_parsed::<f64>("fixed-c")? {
@@ -341,6 +400,12 @@ fn build_oca(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
 
 /// Experiment-grade OCA: seed budget scaled to the graph, merging left to
 /// the shared postprocessing step (the paper applies it to all algorithms).
+/// Like the tuned preset it runs with the scaled ascent budget and
+/// covered-hub pruning — on the fig2 protocol neither binds (LFR ascents
+/// converge well under the budget and no LFR node reaches the hub
+/// threshold), while hub graphs drop from hours to seconds. The greedy
+/// move rule stays the default: benchmarked against `penalized` it gives
+/// the same θ/ω at lower cost, so the penalized rule remains opt-in.
 fn experiment_oca(graph: &CsrGraph) -> BoxedDetector {
     let config = OcaConfig {
         halting: HaltingConfig {
@@ -349,6 +414,11 @@ fn experiment_oca(graph: &CsrGraph) -> BoxedDetector {
             stagnation_limit: 200,
             stagnation_streak: 500,
             seeds_per_covered: 0.15,
+        },
+        search: SearchConfig {
+            budget_factor: 64.0,
+            prune_hub_degree: hub_prune_degree(graph),
+            ..Default::default()
         },
         merge_threshold: None, // shared postprocessing applies it
         ..Default::default()
@@ -576,6 +646,71 @@ mod tests {
             reg.build("cfinder", &DetectorOptions::new().with("k", "1")),
             Err(DetectError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn hub_search_options_flow_into_the_config_and_are_validated() {
+        let reg = registry();
+        // All five options build and detect.
+        let det = reg
+            .build(
+                "oca",
+                &DetectorOptions::new()
+                    .with("move-rule", "penalized")
+                    .with("ascent-budget", "8")
+                    .with("plateau-moves", "16")
+                    .with("tabu-tenure", "4")
+                    .with("hub-prune-degree", "32")
+                    .with("max-seeds", "50"),
+            )
+            .unwrap();
+        let g = toy();
+        assert!(!det
+            .detect(&g, &mut DetectContext::new(2))
+            .unwrap()
+            .cover
+            .is_empty());
+        // A bad move rule is a typed option error naming the choices.
+        match reg
+            .build("oca", &DetectorOptions::new().with("move-rule", "anneal"))
+            .unwrap_err()
+        {
+            DetectError::InvalidOption { key, message, .. } => {
+                assert_eq!(key, "move-rule");
+                assert!(message.contains("penalized"));
+            }
+            other => panic!("expected InvalidOption, got {other}"),
+        }
+        // A malformed budget is typed; a negative one is a config error.
+        assert!(matches!(
+            reg.build("oca", &DetectorOptions::new().with("ascent-budget", "lots")),
+            Err(DetectError::InvalidOption { .. })
+        ));
+        assert!(matches!(
+            reg.build("oca", &DetectorOptions::new().with("ascent-budget", "-2")),
+            Err(DetectError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn tuned_preset_enables_budget_and_hub_pruning() {
+        let g = toy();
+        let opts = tuned_oca(&g);
+        assert_eq!(opts.get("ascent-budget"), Some("64"));
+        // The toy graph's average degree is small, so the floor applies.
+        assert_eq!(opts.get("hub-prune-degree"), Some("64"));
+        assert_eq!(hub_prune_degree(&g), 64);
+        // A denser graph scales with its average degree: a 41-clique has
+        // average degree 40, so the threshold is 8 × 40 = 320.
+        let k = 41u32;
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((i, j));
+            }
+        }
+        let dense = from_edges(k as usize, edges);
+        assert_eq!(hub_prune_degree(&dense), 320);
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! regression beyond 25% of the baseline — or a dedup+merge phase blow-up
 //! beyond 1.5x + 10 ms — exits non-zero, so CI can gate on it.
 //!
+//! The end-to-end leg runs with the tuned preset's ascent budget and
+//! covered-hub pruning pinned (DESIGN.md §2a). For ba-hub cases small
+//! enough to afford it, an unbudgeted reference run scores the budgeted
+//! cover (`theta_vs_unbudgeted` / `omega_vs_unbudgeted`), and the hub
+//! gate holds both the wall-clock win (≤ 2x baseline + 1 s) and the
+//! quality floor (θ no more than 0.10 below the baseline's).
+//!
 //! ```text
 //! cargo run -p oca-bench --release --bin hot_path                      # full: n = 10k, 100k, 1M
 //! cargo run -p oca-bench --release --bin hot_path -- --sizes 10000 --families lfr,daisy
@@ -27,7 +34,8 @@ use oca::{
 };
 use oca_bench::{results_dir, Args, Table};
 use oca_gen::{barabasi_albert, daisy_tree, lfr, DaisyParams, LfrParams};
-use oca_graph::{CsrGraph, NodeId};
+use oca_graph::{Cover, CsrGraph, NodeId};
+use oca_metrics::{omega_index, theta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -58,13 +66,19 @@ struct EndToEndStats {
     orphan_ns: u64,
 }
 
-/// One benchmark case: a (family, n) pair with both measurements.
+/// One benchmark case: a (family, n) pair with both measurements. The
+/// quality deltas are the θ / omega-index of the budgeted cover against
+/// an unbudgeted reference run on the same graph — recorded for ba-hub
+/// cases small enough that the reference is affordable, so the speedup
+/// numbers always travel with proof they did not buy speed with quality.
 struct Case {
     family: &'static str,
     nodes: usize,
     edges: usize,
     ascent: AscentStats,
     end_to_end: EndToEndStats,
+    theta_vs_unbudgeted: Option<f64>,
+    omega_vs_unbudgeted: Option<f64>,
 }
 
 /// Moves after which the isolated-ascent loop stops early: plenty for a
@@ -111,11 +125,35 @@ fn bench_ascents(graph: &CsrGraph, max_ascents: usize, seed: u64) -> AscentStats
     }
 }
 
+/// The hub-pruning threshold the registry's tuned preset derives from the
+/// graph: 8x the average degree, floored at 64. Pinned here (rather than
+/// calling through `oca-api`) for the same reason as the halting values
+/// below — the bench workload must stay comparable across preset retunes.
+fn hub_prune_degree(graph: &CsrGraph) -> usize {
+    let n = graph.node_count().max(1);
+    (8 * (2 * graph.edge_count() / n)).max(64)
+}
+
+/// The ascent budget / covered-hub pruning settings of the registry's
+/// tuned preset, pinned explicitly. This is the configuration whose
+/// end-to-end numbers the bench records and gates: the library default
+/// (budgets off) is the *reference* the quality deltas compare against.
+fn tuned_search(graph: &CsrGraph) -> SearchConfig {
+    SearchConfig {
+        budget_factor: 64.0,
+        prune_hub_degree: hub_prune_degree(graph),
+        ..SearchConfig::default()
+    }
+}
+
 /// Runs the full single-thread OCA pipeline (spectral `c`, seeded ascents,
 /// dedup, halting, merge postprocessing) — the Fig. 5/6 measurement.
-fn bench_end_to_end(graph: &CsrGraph, seed: u64) -> EndToEndStats {
+/// Returns the cover alongside the timings so callers can score it
+/// against a reference run.
+fn bench_end_to_end(graph: &CsrGraph, seed: u64, search: SearchConfig) -> (EndToEndStats, Cover) {
     let n = graph.node_count();
     let config = OcaConfig {
+        search,
         halting: HaltingConfig {
             max_seeds: (4 * n).max(100),
             target_coverage: 0.99,
@@ -136,7 +174,7 @@ fn bench_end_to_end(graph: &CsrGraph, seed: u64) -> EndToEndStats {
         ..Default::default()
     };
     let result = Oca::new(config).run(graph);
-    EndToEndStats {
+    let stats = EndToEndStats {
         secs: result.elapsed.as_secs_f64(),
         seeds_tried: result.seeds_tried,
         communities: result.cover.len(),
@@ -146,8 +184,15 @@ fn bench_end_to_end(graph: &CsrGraph, seed: u64) -> EndToEndStats {
         dedup_ns: result.phases.dedup_ns,
         merge_ns: result.phases.merge_ns,
         orphan_ns: result.phases.orphan_ns,
-    }
+    };
+    (stats, result.cover)
 }
+
+/// Largest ba-hub size for which the unbudgeted reference run is cheap
+/// enough to repeat on every bench invocation. Above this the reference
+/// would dominate wall-clock (it is the multi-minute regime the budgets
+/// exist to avoid), so the quality fields come from the smaller cases.
+const QUALITY_REF_MAX_NODES: usize = 30_000;
 
 /// Peak resident set size of this process in bytes (`VmHWM` on Linux;
 /// 0 where the proc filesystem is unavailable).
@@ -201,6 +246,7 @@ struct BaselineCase {
     end_to_end_secs: f64,
     dedup_ns: u64,
     merge_ns: u64,
+    theta_vs_unbudgeted: Option<f64>,
 }
 
 /// Minimal extraction of the fields the gate needs from a prior run's
@@ -232,6 +278,7 @@ fn parse_baseline(text: &str) -> Vec<BaselineCase> {
                 end_to_end_secs: secs,
                 dedup_ns: json_number(chunk, "dedup_ns").map_or(0, |v| v as u64),
                 merge_ns: json_number(chunk, "merge_ns").map_or(0, |v| v as u64),
+                theta_vs_unbudgeted: json_number(chunk, "theta_vs_unbudgeted"),
             });
         }
     }
@@ -269,6 +316,12 @@ fn json_case(case: &Case, baseline: Option<&BaselineCase>, last: bool) -> String
         case.end_to_end.merge_ns,
         case.end_to_end.orphan_ns,
     );
+    if let (Some(th), Some(om)) = (case.theta_vs_unbudgeted, case.omega_vs_unbudgeted) {
+        let _ = write!(
+            out,
+            ", \"theta_vs_unbudgeted\": {th:.4}, \"omega_vs_unbudgeted\": {om:.4}",
+        );
+    }
     if let Some(b) = baseline {
         let _ = write!(
             out,
@@ -372,7 +425,21 @@ fn main() {
             eprint!(" ascents");
             let ascent = bench_ascents(&graph, ascents, seed);
             eprint!(" e2e");
-            let end_to_end = bench_end_to_end(&graph, seed);
+            let (end_to_end, cover) = bench_end_to_end(&graph, seed, tuned_search(&graph));
+            // The quality check: rerun ba-hub with the budgets/pruning off
+            // and score the budgeted cover against that reference. Only on
+            // the hub family (the one the budgets reshape) and only where
+            // the unbudgeted run is affordable.
+            let (theta_vs, omega_vs) = if family == "ba-hub" && n <= QUALITY_REF_MAX_NODES {
+                eprint!(" ref");
+                let (_, reference) = bench_end_to_end(&graph, seed, SearchConfig::default());
+                (
+                    Some(theta(&reference, &cover)),
+                    Some(omega_index(&reference, &cover)),
+                )
+            } else {
+                (None, None)
+            };
             eprintln!(" done ({:.1}s)", end_to_end.secs);
             cases.push(Case {
                 family,
@@ -380,6 +447,8 @@ fn main() {
                 edges: graph.edge_count(),
                 ascent,
                 end_to_end,
+                theta_vs_unbudgeted: theta_vs,
+                omega_vs_unbudgeted: omega_vs,
             });
         }
     }
@@ -495,6 +564,31 @@ fn main() {
                     before as f64 / 1e6,
                 );
                 regressed = true;
+            }
+            // Hub-stress gate: the budgeted ba-hub end-to-end must hold
+            // both the wall-clock win (within 2x baseline + 1 s grace for
+            // small-case jitter) and the quality floor (θ against the
+            // unbudgeted reference no more than 0.10 below the baseline's).
+            if case.family == "ba-hub" {
+                if case.end_to_end.secs > 2.0 * b.end_to_end_secs + 1.0 {
+                    eprintln!(
+                        "REGRESSION: {}/{} end-to-end {:.2}s vs baseline {:.2}s (> 2x + 1s)",
+                        case.family, case.nodes, case.end_to_end.secs, b.end_to_end_secs,
+                    );
+                    regressed = true;
+                }
+                if let (Some(th), Some(before_th)) =
+                    (case.theta_vs_unbudgeted, b.theta_vs_unbudgeted)
+                {
+                    if th < before_th - 0.10 {
+                        eprintln!(
+                            "REGRESSION: {}/{} theta_vs_unbudgeted {:.3} vs baseline {:.3} \
+                             (quality floor is baseline - 0.10)",
+                            case.family, case.nodes, th, before_th,
+                        );
+                        regressed = true;
+                    }
+                }
             }
         }
     }

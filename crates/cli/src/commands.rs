@@ -204,6 +204,21 @@ fn detect(cli: &Cli) -> Result<(), String> {
         detection.iterations,
         detection.elapsed.as_secs_f64()
     );
+    // Say *why* the run ended: a halt on stagnation or a seed budget with
+    // nodes left uncovered means the cover is intentionally partial — the
+    // paper keeps "just the most relevant nodes" — which is invisible from
+    // the summary line alone.
+    if let Some((_, reason)) = detection.stats.iter().find(|(k, _)| *k == "halt_reason") {
+        if reason == "coverage" {
+            println!("halted: reached the target coverage");
+        } else if reason != "none" && cover.coverage() < 1.0 {
+            println!(
+                "halted: {reason} at coverage {:.3} — the cover is deliberately partial; \
+                 raise --max-seeds / the halting budgets, or pass --orphans for a full cover",
+                cover.coverage()
+            );
+        }
+    }
     if let Some(path) = cli.get_str("output") {
         write_cover_path(&cover, path).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");

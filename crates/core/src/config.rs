@@ -122,6 +122,15 @@ impl OcaConfig {
                 self.halting.seeds_per_covered
             )));
         }
+        if !(self.search.budget_factor >= 0.0 && self.search.budget_factor.is_finite()) {
+            return Err(invalid(format!(
+                "ascent budget factor must be finite and non-negative, got {}",
+                self.search.budget_factor
+            )));
+        }
+        if self.search.max_moves < 1 {
+            return Err(invalid("need at least one move per ascent".to_string()));
+        }
         Ok(())
     }
 }
@@ -179,6 +188,28 @@ mod tests {
         };
         let err = cfg.validate().unwrap_err();
         assert!(err.to_string().contains("seeds-per-covered"));
+    }
+
+    #[test]
+    fn rejects_non_finite_budget_factor() {
+        use crate::search::SearchConfig;
+        let cfg = OcaConfig {
+            search: SearchConfig {
+                budget_factor: f64::NAN,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("budget factor"));
+        let cfg = OcaConfig {
+            search: SearchConfig {
+                budget_factor: -1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        cfg.validate().unwrap_err();
     }
 
     #[test]

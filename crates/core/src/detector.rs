@@ -69,6 +69,22 @@ impl CommunityDetector for OcaDetector {
                 ("dedup_ns", result.phases.dedup_ns.to_string()),
                 ("merge_ns", result.phases.merge_ns.to_string()),
                 ("orphan_ns", result.phases.orphan_ns.to_string()),
+                (
+                    "ascents_converged",
+                    result.ascent_stops.converged.to_string(),
+                ),
+                (
+                    "ascents_move_capped",
+                    result.ascent_stops.move_cap.to_string(),
+                ),
+                (
+                    "ascents_budget_stopped",
+                    result.ascent_stops.move_budget.to_string(),
+                ),
+                (
+                    "ascents_plateau_stopped",
+                    result.ascent_stops.plateau.to_string(),
+                ),
             ],
         })
     }
@@ -141,6 +157,48 @@ mod tests {
                 "missing phase stat {phase}"
             );
         }
+    }
+
+    /// Cap/budget hits surface in the detection stats, so harnesses can
+    /// see when a run's ascents were cut short.
+    #[test]
+    fn reports_ascent_stop_telemetry() {
+        let g = two_triangles();
+        let d = OcaDetector::default()
+            .detect(&g, &mut DetectContext::new(1))
+            .unwrap();
+        let stat = |key: &str| -> usize {
+            d.stats
+                .iter()
+                .find(|(k, _)| *k == key)
+                .unwrap_or_else(|| panic!("missing stat {key}"))
+                .1
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(stat("ascents_converged"), d.iterations);
+        assert_eq!(stat("ascents_move_capped"), 0);
+        assert_eq!(stat("ascents_budget_stopped"), 0);
+        assert_eq!(stat("ascents_plateau_stopped"), 0);
+        // A one-move cap shows up in the tally.
+        let detector = OcaDetector::new(OcaConfig {
+            search: crate::search::SearchConfig {
+                max_moves: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let d = detector.detect(&g, &mut DetectContext::new(1)).unwrap();
+        let capped: usize = d
+            .stats
+            .iter()
+            .find(|(k, _)| *k == "ascents_move_capped")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!(capped > 0);
     }
 
     #[test]

@@ -90,6 +90,43 @@ impl HaltReason {
     }
 }
 
+/// Per-run tally of why ascents stopped ([`crate::AscentStop`]), for
+/// telemetry: a healthy budgeted run converges most ascents and spends its
+/// budget only inside hub cores; a run that budget-stops everything is
+/// under-budgeted. Advanced only by the driver's ordered reduction
+/// (tickets recorded in ascending ticket order up to the halting cutoff),
+/// so the counts — like the cover — are a deterministic function of the
+/// run, independent of thread scheduling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AscentStopStats {
+    /// Ascents that reached a true local maximum.
+    pub converged: usize,
+    /// Ascents stopped by the hard move cap with an improving move left.
+    pub move_cap: usize,
+    /// Ascents stopped by the scaled per-ascent budget.
+    pub move_budget: usize,
+    /// Penalized-rule ascents that returned best-so-far after the plateau
+    /// patience ran out.
+    pub plateau: usize,
+}
+
+impl AscentStopStats {
+    /// Tallies one ascent's stop reason.
+    pub fn record(&mut self, stop: crate::AscentStop) {
+        match stop {
+            crate::AscentStop::Converged => self.converged += 1,
+            crate::AscentStop::MoveCap => self.move_cap += 1,
+            crate::AscentStop::MoveBudget => self.move_budget += 1,
+            crate::AscentStop::Plateau => self.plateau += 1,
+        }
+    }
+
+    /// Ascents cut short by any cap or budget (everything non-converged).
+    pub fn limited(&self) -> usize {
+        self.move_cap + self.move_budget + self.plateau
+    }
+}
+
 /// Mutable halting state, updated once per processed seed.
 ///
 /// In the parallel driver this state is only ever advanced by the ordered
@@ -300,6 +337,27 @@ mod tests {
             st.record(3, true);
             assert!(!st.should_halt());
         }
+    }
+
+    #[test]
+    fn ascent_stop_stats_tally_each_reason() {
+        use crate::AscentStop;
+        let mut stats = AscentStopStats::default();
+        for stop in [
+            AscentStop::Converged,
+            AscentStop::Converged,
+            AscentStop::MoveCap,
+            AscentStop::MoveBudget,
+            AscentStop::MoveBudget,
+            AscentStop::Plateau,
+        ] {
+            stats.record(stop);
+        }
+        assert_eq!(stats.converged, 2);
+        assert_eq!(stats.move_cap, 1);
+        assert_eq!(stats.move_budget, 2);
+        assert_eq!(stats.plateau, 1);
+        assert_eq!(stats.limited(), 4);
     }
 
     #[test]

@@ -43,9 +43,12 @@ pub mod state;
 pub use config::{CStrategy, OcaConfig};
 pub use detector::OcaDetector;
 pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi, SqrtTable};
-pub use halting::{HaltReason, HaltingConfig, HaltingState};
+pub use halting::{AscentStopStats, HaltReason, HaltingConfig, HaltingState};
 pub use postprocess::{assign_orphans, merge_similar};
 pub use runner::{run_default, CoverageBitmap, Oca, OcaResult, PhaseNanos};
-pub use search::{ascend, local_search, AscentOutcome, SearchConfig, SearchOutcome};
+pub use search::{
+    ascend, local_search, AscentOutcome, AscentStop, MoveRule, SearchConfig, SearchOutcome,
+    MIN_MOVE_BUDGET,
+};
 pub use seed::{initial_set, ticket_seed, SeedStrategy};
 pub use state::CommunityState;

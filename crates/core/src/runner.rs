@@ -15,9 +15,9 @@
 //! small ticket batches from — no mutex anywhere on the hot path.
 
 use crate::config::{CStrategy, OcaConfig};
-use crate::halting::{HaltReason, HaltingState};
+use crate::halting::{AscentStopStats, HaltReason, HaltingState};
 use crate::postprocess::{assign_orphans, merge_similar};
-use crate::search::ascend;
+use crate::search::{ascend, AscentStop};
 use crate::seed::{initial_set, ticket_seed};
 use crate::state::CommunityState;
 use oca_graph::{
@@ -65,6 +65,10 @@ pub struct OcaResult {
     /// Which halting criterion ended the run (`None` only for empty
     /// graphs, which never start).
     pub halt_reason: Option<HaltReason>,
+    /// Why the recorded ascents stopped (converged vs. cap/budget/plateau),
+    /// tallied in ticket order up to the halting cutoff — deterministic
+    /// for a fixed seed like the cover itself.
+    pub ascent_stops: AscentStopStats,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Where the wall-clock went, phase by phase.
@@ -109,6 +113,22 @@ impl CoverageBitmap {
     fn set(&self, i: usize) -> bool {
         let mask = 1 << (i % 64);
         self.words[i / 64].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+
+    /// Copies the current words into `dst` (lock-free snapshot). The
+    /// driver takes one per round — at the round boundary, where the
+    /// bitmap is identical on the sequential and parallel paths — to
+    /// build the covered-hub prune mask every ticket of the round shares.
+    pub fn copy_words_into(&self, dst: &mut [u64]) {
+        debug_assert_eq!(dst.len(), self.words.len());
+        for (d, w) in dst.iter_mut().zip(&self.words) {
+            *d = w.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Number of 64-bit words backing the bitmap.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
     }
 }
 
@@ -157,6 +177,8 @@ struct TicketOutcome {
     size: usize,
     /// The members, or `None` when the ticket was pre-filtered.
     community: Option<Community>,
+    /// Why the ascent stopped, for the reduction's ordered stop tally.
+    stop: AscentStop,
 }
 
 /// The ordered deterministic reduction: every accepted ascent flows
@@ -179,6 +201,8 @@ struct Reduction {
     accepted: Vec<Community>,
     min_size: usize,
     halted: bool,
+    /// Stop-reason tally of every recorded ticket (budget telemetry).
+    stops: AscentStopStats,
 }
 
 impl Reduction {
@@ -193,6 +217,7 @@ impl Reduction {
             accepted: Vec::new(),
             min_size: config.min_community_size,
             halted,
+            stops: AscentStopStats::default(),
         }
     }
 
@@ -206,6 +231,7 @@ impl Reduction {
         max_seeds: usize,
     ) -> bool {
         debug_assert!(!self.halted, "ticket recorded past the cutoff");
+        self.stops.record(outcome.stop);
         // Too-small communities are dropped without entering the dedup
         // set; duplicates are rejected by the O(1) fingerprint probe.
         if outcome.size < self.min_size || !self.seen.insert(outcome.fp) {
@@ -267,7 +293,7 @@ impl Round<'_> {
             StdRng::seed_from_u64(ticket_seed(self.config.rng_seed, self.start + t as u64));
         let seed = self.pick_seed(&mut rng);
         let initial = initial_set(self.config.seed_strategy, self.graph, seed, &mut rng);
-        ascend(state, &initial, &self.config.search);
+        let outcome = ascend(state, &initial, &self.config.search);
         let fp = state.fingerprint();
         let size = state.len();
         let community = (size >= self.config.min_community_size && !seen.contains(&fp))
@@ -276,6 +302,7 @@ impl Round<'_> {
             fp,
             size,
             community,
+            stop: outcome.stop,
         }
     }
 
@@ -405,6 +432,7 @@ impl Oca {
                 seeds_tried: 0,
                 raw_community_count: 0,
                 halt_reason: None,
+                ascent_stops: AscentStopStats::default(),
                 elapsed: start.elapsed(),
                 phases: PhaseNanos::default(),
             });
@@ -420,8 +448,36 @@ impl Oca {
         let mut states: Vec<CommunityState<'_>> = (0..threads.max(1))
             .map(|_| CommunityState::new(graph, c))
             .collect();
+        // Covered-hub pruning: nodes of degree ≥ the threshold get a bit
+        // in this fixed mask; each round intersects it with the round-start
+        // coverage and hands the result to every worker state. Because the
+        // bitmap only advances at round boundaries on the parallel path —
+        // and the sequential path uses the same round-start snapshot — the
+        // prune mask a ticket sees is a pure function of the schedule, so
+        // covers stay bit-identical across thread counts.
+        let hub_mask: Vec<u64> = if config.search.prune_hub_degree > 0 {
+            let mut mask = vec![0u64; covered.word_count()];
+            for v in 0..n {
+                if graph.neighbors(NodeId(v as u32)).len() >= config.search.prune_hub_degree {
+                    mask[v / 64] |= 1 << (v % 64);
+                }
+            }
+            mask
+        } else {
+            Vec::new()
+        };
+        let mut prune_words = vec![0u64; hub_mask.len()];
 
         while !reduction.halted {
+            if !hub_mask.is_empty() {
+                covered.copy_words_into(&mut prune_words);
+                for (w, m) in prune_words.iter_mut().zip(&hub_mask) {
+                    *w &= m;
+                }
+                for state in &mut states {
+                    state.set_prune_snapshot(&prune_words);
+                }
+            }
             let done = reduction.halting.seeds_tried();
             let len = config.batch.min(config.halting.max_seeds - done);
             debug_assert!(len > 0, "max_seeds exhausted without halting");
@@ -507,6 +563,7 @@ impl Oca {
             seeds_tried: reduction.halting.seeds_tried(),
             raw_community_count: raw_count,
             halt_reason: reduction.halting.reason(),
+            ascent_stops: reduction.stops,
             elapsed: start.elapsed(),
             phases,
         })
@@ -711,6 +768,91 @@ mod tests {
         assert_eq!(r.halt_reason, Some(HaltReason::DuplicateStreak));
         assert_eq!(r.cover.len(), 3, "the streak fires only after the finds");
         assert!(r.seeds_tried < 10_000, "the budget must not be exhausted");
+    }
+
+    /// The determinism contract extends to every hub-search feature: with
+    /// scaled budgets, covered-hub pruning and the penalized move rule all
+    /// enabled, the cover, cutoff, halt reason *and* the stop-reason tally
+    /// are bit-identical at any thread count.
+    #[test]
+    fn hub_search_features_preserve_thread_determinism() {
+        let g = three_cliques();
+        let cfg = OcaConfig {
+            search: crate::search::SearchConfig {
+                budget_factor: 2.0,
+                prune_hub_degree: 4,
+                move_rule: crate::search::MoveRule::Penalized,
+                plateau_moves: 6,
+                tabu_tenure: 3,
+                ..Default::default()
+            },
+            ..quick_config()
+        };
+        let reference = Oca::new(cfg.clone()).run(&g);
+        assert!(!reference.cover.is_empty());
+        for threads in [2, 3, 4] {
+            let r = Oca::new(OcaConfig {
+                threads,
+                ..cfg.clone()
+            })
+            .run(&g);
+            assert_eq!(r.cover, reference.cover, "threads = {threads}");
+            assert_eq!(r.seeds_tried, reference.seeds_tried, "threads = {threads}");
+            assert_eq!(r.halt_reason, reference.halt_reason, "threads = {threads}");
+            assert_eq!(
+                r.ascent_stops, reference.ascent_stops,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    /// The stop tally covers every recorded seed, and an unbudgeted run on
+    /// an easy graph converges everything.
+    #[test]
+    fn ascent_stop_telemetry_accounts_for_every_seed() {
+        let g = three_cliques();
+        let r = Oca::new(quick_config()).run(&g);
+        let s = r.ascent_stops;
+        assert_eq!(
+            s.converged + s.limited(),
+            r.seeds_tried,
+            "every recorded ascent is tallied exactly once"
+        );
+        assert_eq!(s.limited(), 0, "default config never cuts an ascent");
+        // A one-move hard cap cuts every multi-move ascent.
+        let capped = Oca::new(OcaConfig {
+            search: crate::search::SearchConfig {
+                max_moves: 1,
+                ..Default::default()
+            },
+            ..quick_config()
+        })
+        .run(&g);
+        assert!(capped.ascent_stops.move_cap > 0, "cap stops must be seen");
+    }
+
+    /// Pruning covered hubs changes which communities later seeds can
+    /// reach, but never the validity of the cover.
+    #[test]
+    fn covered_hub_pruning_yields_a_valid_cover() {
+        let g = three_cliques();
+        let r = Oca::new(OcaConfig {
+            search: crate::search::SearchConfig {
+                // Every node of a 5-clique has degree ≥ 4, so after the
+                // first accepted clique all its members are prunable.
+                prune_hub_degree: 4,
+                ..Default::default()
+            },
+            ..quick_config()
+        })
+        .run(&g);
+        assert!(!r.cover.is_empty());
+        for community in r.cover.communities() {
+            assert!(!community.is_empty());
+            for &v in community.members() {
+                assert!(v.index() < 15);
+            }
+        }
     }
 
     #[test]

@@ -1,13 +1,60 @@
-//! Greedy local maximization of the directed-Laplacian fitness (Section IV).
+//! Local maximization of the directed-Laplacian fitness (Section IV).
 //!
 //! From an initial set, repeatedly apply the single add-or-remove move with
-//! the greatest fitness increment; stop when no move improves. Fitness
-//! strictly increases with every move, so termination is guaranteed.
+//! the greatest fitness increment. Under the paper's greedy rule
+//! ([`MoveRule::Greedy`]) only strictly improving moves are applied, so
+//! fitness increases every move and termination is guaranteed. The
+//! penalized rule ([`MoveRule::Penalized`]) may also accept the best
+//! non-improving move to escape a plateau, bounded by a patience window
+//! and protected from cycling by a recency tabu plus repeat-add penalties;
+//! it returns the best set seen, never the last one.
+//!
+//! Either rule can additionally run under a per-ascent move budget scaled
+//! to the seed neighborhood ([`SearchConfig::budget_factor`]), which is
+//! what keeps a single hub ascent from dominating a whole run on
+//! scale-free graphs (DESIGN.md §2a).
 
 use crate::state::CommunityState;
 use oca_graph::{Community, NodeId};
 
-/// Tunables of one greedy ascent.
+/// Floor of the scaled per-ascent move budget: even a singleton seed may
+/// spend this many moves, so tiny seeds can still grow a real community.
+pub const MIN_MOVE_BUDGET: usize = 32;
+
+/// Which move-selection rule the ascent uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MoveRule {
+    /// The paper's rule: apply the best move only while it strictly
+    /// improves fitness; stop at the first local maximum.
+    #[default]
+    Greedy,
+    /// Tabu-style rule: apply the best move even when it does not improve,
+    /// with a recency tabu on just-removed nodes and a per-node repeat-add
+    /// penalty folded into the candidate bucket key (both diversify the
+    /// search away from re-adding the same hub nodes). The ascent tracks
+    /// the best fitness seen and returns *that* set once the plateau
+    /// patience ([`SearchConfig::plateau_moves`]) runs out.
+    Penalized,
+}
+
+/// Why an ascent stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AscentStop {
+    /// No applicable move improves fitness (greedy), or no move is
+    /// applicable at all (penalized): a true local maximum.
+    Converged,
+    /// The hard [`SearchConfig::max_moves`] cap was hit while an
+    /// applicable move remained.
+    MoveCap,
+    /// The scaled per-ascent budget ([`SearchConfig::budget_factor`]) was
+    /// spent while an applicable move remained.
+    MoveBudget,
+    /// The penalized rule went [`SearchConfig::plateau_moves`] moves
+    /// without a new best fitness and returned the best-so-far set.
+    Plateau,
+}
+
+/// Tunables of one ascent.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchConfig {
     /// Hard cap on moves (safety net; ascent normally stops on its own).
@@ -15,6 +62,33 @@ pub struct SearchConfig {
     /// Minimum gain for a move to count as an improvement. A small positive
     /// epsilon avoids chasing floating-point noise at the optimum.
     pub min_gain: f64,
+    /// Per-ascent move budget as a multiple of the initial set's size
+    /// (which is ~half the seed's closed neighborhood under the default
+    /// [`crate::SeedStrategy`]): the ascent may spend
+    /// `max(MIN_MOVE_BUDGET, ceil(budget_factor × (|initial| + 1)))`
+    /// moves, never more than [`SearchConfig::max_moves`]. `0.0` disables
+    /// the budget (the library default, preserving pre-budget behavior);
+    /// the registry's tuned preset enables it. Scaling to the seed
+    /// neighborhood means peripheral seeds stop crawling hub cores while
+    /// dense seeds keep room to grow.
+    pub budget_factor: f64,
+    /// Penalized rule only: how many consecutive moves without a new best
+    /// fitness the ascent tolerates before returning the best-so-far set.
+    /// The greedy rule stops at the first non-improving move regardless.
+    pub plateau_moves: usize,
+    /// Penalized rule only: for how many subsequent moves a just-removed
+    /// node may not be re-added (values < 1 behave as 1).
+    pub tabu_tenure: usize,
+    /// Move-selection rule.
+    pub move_rule: MoveRule,
+    /// Skip already-covered nodes of at least this degree when enumerating
+    /// add candidates (`0` disables). The driver feeds the round-start
+    /// coverage snapshot to [`CommunityState::set_prune_snapshot`], so hub
+    /// ascents stop re-exploring mega-neighborhoods that earlier accepted
+    /// communities already cover — and because every ticket of a round
+    /// sees the same snapshot, covers stay bit-identical across thread
+    /// counts.
+    pub prune_hub_degree: usize,
 }
 
 impl Default for SearchConfig {
@@ -22,21 +96,45 @@ impl Default for SearchConfig {
         SearchConfig {
             max_moves: 100_000,
             min_gain: 1e-9,
+            budget_factor: 0.0,
+            plateau_moves: 64,
+            tabu_tenure: 8,
+            move_rule: MoveRule::Greedy,
+            prune_hub_degree: 0,
         }
     }
 }
 
-/// Outcome of a greedy ascent.
+impl SearchConfig {
+    /// The effective per-ascent move cap for an initial set of
+    /// `initial_len` nodes, and whether the scaled budget (rather than the
+    /// hard [`SearchConfig::max_moves`] cap) is what bounds it.
+    pub fn move_cap(&self, initial_len: usize) -> (usize, bool) {
+        if self.budget_factor > 0.0 {
+            let scaled = (self.budget_factor * (initial_len as f64 + 1.0)).ceil() as usize;
+            let budget = scaled.max(MIN_MOVE_BUDGET);
+            if budget < self.max_moves {
+                return (budget, true);
+            }
+        }
+        (self.max_moves, false)
+    }
+}
+
+/// Outcome of a local search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchOutcome {
-    /// The community at the local maximum.
+    /// The community at the (best seen) local maximum.
     pub community: Community,
     /// Its fitness `L`.
     pub fitness: f64,
-    /// Number of applied moves.
+    /// Number of applied moves (not counting the unwind back to the best
+    /// set under the penalized rule).
     pub moves: usize,
-    /// Whether the ascent reached a true local maximum (vs. the move cap).
+    /// Whether the ascent reached a true local maximum (vs. a budget).
     pub converged: bool,
+    /// Why the ascent stopped.
+    pub stop: AscentStop,
 }
 
 /// One candidate move, as `(gain, node, is_addition)`.
@@ -44,7 +142,9 @@ pub struct SearchOutcome {
 /// Exploits the monotonicity of the gain in the internal degree (see
 /// [`CommunityState::best_addition`]): only two fitness evaluations are
 /// needed per move, one for the densest boundary node and one for the
-/// loosest member.
+/// loosest member. Under the penalized rule the addition candidate is the
+/// best by *penalized* bucket key, but its gain — and the comparison
+/// against the removal — uses the true fitness increment.
 fn best_move(state: &mut CommunityState<'_>) -> Option<(f64, NodeId, bool)> {
     let mut best: Option<(f64, NodeId, bool)> = None;
     if let Some(v) = state.best_addition() {
@@ -63,36 +163,65 @@ fn best_move(state: &mut CommunityState<'_>) -> Option<(f64, NodeId, bool)> {
 /// except the materialized community, which stays in the state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AscentOutcome {
-    /// Fitness `L` at the local maximum.
+    /// Fitness `L` at the (best seen) local maximum.
     pub fitness: f64,
-    /// Number of applied moves.
+    /// Number of applied moves (not counting the unwind back to the best
+    /// set under the penalized rule).
     pub moves: usize,
-    /// Whether the ascent reached a true local maximum (vs. the move cap).
+    /// Whether the ascent reached a true local maximum (vs. a budget).
     pub converged: bool,
+    /// Why the ascent stopped.
+    pub stop: AscentStop,
 }
 
-/// Runs the greedy ascent from `initial` on a (reset) state, leaving the
-/// final set *in the state* without building a member vector. The driver
-/// uses this so rejected ascents — duplicates, too-small sets — never pay
-/// for cloning and sorting their members: it checks
-/// [`CommunityState::len`] and [`CommunityState::fingerprint`] first and
-/// calls [`CommunityState::to_community`] only for candidates that can
-/// still be accepted.
+/// Runs the ascent from `initial` on a (reset) state, leaving the final
+/// set *in the state* without building a member vector. The driver uses
+/// this so rejected ascents — duplicates, too-small sets — never pay for
+/// cloning and sorting their members: it checks [`CommunityState::len`]
+/// and [`CommunityState::fingerprint`] first and calls
+/// [`CommunityState::to_community`] only for candidates that can still be
+/// accepted.
 pub fn ascend(
     state: &mut CommunityState<'_>,
     initial: &[NodeId],
     config: &SearchConfig,
 ) -> AscentOutcome {
+    state.set_penalized(config.move_rule == MoveRule::Penalized);
     state.reset();
     for &v in initial {
         if !state.contains(v) {
             state.add(v);
         }
     }
+    let (cap, budgeted) = config.move_cap(initial.len());
+    let over_cap = if budgeted {
+        AscentStop::MoveBudget
+    } else {
+        AscentStop::MoveCap
+    };
+    match config.move_rule {
+        MoveRule::Greedy => ascend_greedy(state, config, cap, over_cap),
+        MoveRule::Penalized => ascend_penalized(state, config, cap, over_cap),
+    }
+}
+
+/// The paper's strictly-improving ascent. Convergence is reported from the
+/// actual stopping condition — no improving move exists — so an ascent
+/// that naturally converges on exactly its last allowed move counts as
+/// converged, and a cap stop always means an improving move was forgone.
+fn ascend_greedy(
+    state: &mut CommunityState<'_>,
+    config: &SearchConfig,
+    cap: usize,
+    over_cap: AscentStop,
+) -> AscentOutcome {
     let mut moves = 0usize;
-    while moves < config.max_moves {
+    let stop = loop {
         match best_move(state) {
             Some((gain, v, is_add)) if gain > config.min_gain => {
+                if moves >= cap {
+                    break over_cap;
+                }
                 if is_add {
                     state.add(v);
                 } else {
@@ -100,18 +229,108 @@ pub fn ascend(
                 }
                 moves += 1;
             }
-            _ => break,
+            _ => break AscentStop::Converged,
         }
+    };
+    AscentOutcome {
+        fitness: state.fitness(),
+        moves,
+        converged: stop == AscentStop::Converged,
+        stop,
+    }
+}
+
+/// The tabu/penalty ascent: accepts the best move even when non-improving
+/// (within the plateau patience), tabus just-removed nodes for
+/// [`SearchConfig::tabu_tenure`] moves, and unwinds to the best set seen
+/// before returning. The unwind replays the move log in reverse, so the
+/// state's incremental counters — including the dedup fingerprint — end
+/// up exactly those of the best set.
+fn ascend_penalized(
+    state: &mut CommunityState<'_>,
+    config: &SearchConfig,
+    cap: usize,
+    over_cap: AscentStop,
+) -> AscentOutcome {
+    let tenure = config.tabu_tenure.max(1);
+    let mut moves = 0usize;
+    let mut best_fitness = state.fitness();
+    let mut since_best = 0usize;
+    // Moves applied since the best set was current, for the unwind.
+    let mut undo: Vec<(NodeId, bool)> = Vec::new();
+    // Tabu entries in expiry order (tenure is constant, so push order is
+    // expiry order); front expires first.
+    let mut tabu: std::collections::VecDeque<(usize, NodeId)> = std::collections::VecDeque::new();
+    let stop = loop {
+        while let Some(&(expiry, v)) = tabu.front() {
+            if expiry > moves {
+                break;
+            }
+            tabu.pop_front();
+            state.expire_tabu(v);
+        }
+        let mut mv = best_move(state);
+        if mv.is_none() && !tabu.is_empty() {
+            // Every remaining candidate is tabu-blocked: fast-forward the
+            // clock (flush all tenures) rather than reporting a spurious
+            // local maximum.
+            for (_, v) in tabu.drain(..) {
+                state.expire_tabu(v);
+            }
+            mv = best_move(state);
+        }
+        let Some((gain, v, is_add)) = mv else {
+            break AscentStop::Converged;
+        };
+        if gain <= config.min_gain && since_best >= config.plateau_moves {
+            break AscentStop::Plateau;
+        }
+        if moves >= cap {
+            break over_cap;
+        }
+        if is_add {
+            state.add(v);
+        } else {
+            state.remove_with_tabu(v);
+            tabu.push_back((moves + tenure, v));
+        }
+        moves += 1;
+        let f = state.fitness();
+        if f > best_fitness + config.min_gain {
+            best_fitness = f;
+            since_best = 0;
+            undo.clear();
+        } else {
+            since_best += 1;
+            undo.push((v, is_add));
+        }
+    };
+    if !undo.is_empty() {
+        for (_, v) in tabu.drain(..) {
+            state.expire_tabu(v);
+        }
+        for &(v, was_add) in undo.iter().rev() {
+            if was_add {
+                state.remove(v);
+            } else {
+                state.add(v);
+            }
+        }
+        debug_assert!(
+            state.fitness() == best_fitness,
+            "unwind must restore the best set exactly"
+        );
     }
     AscentOutcome {
         fitness: state.fitness(),
         moves,
-        converged: moves < config.max_moves,
+        converged: stop == AscentStop::Converged,
+        stop,
     }
 }
 
-/// Runs the greedy ascent from `initial` on a (reset) state. The state is
-/// left holding the final set, so callers can inspect it before reusing.
+/// Runs the ascent from `initial` on a (reset) state. The state is left
+/// holding the final set, so callers can inspect it before reusing.
 pub fn local_search(
     state: &mut CommunityState<'_>,
     initial: &[NodeId],
@@ -123,6 +342,7 @@ pub fn local_search(
         fitness: outcome.fitness,
         moves: outcome.moves,
         converged: outcome.converged,
+        stop: outcome.stop,
     }
 }
 
@@ -151,6 +371,7 @@ mod tests {
         let mut st = CommunityState::new(&g, 0.9);
         let out = local_search(&mut st, &[NodeId(0)], &SearchConfig::default());
         assert!(out.converged);
+        assert_eq!(out.stop, AscentStop::Converged);
         let raw: Vec<u32> = out.community.members().iter().map(|v| v.raw()).collect();
         assert_eq!(raw, vec![0, 1, 2, 3], "should grow to the full clique");
     }
@@ -216,6 +437,158 @@ mod tests {
         let out = local_search(&mut st, &[NodeId(0)], &cfg);
         assert_eq!(out.moves, 1);
         assert!(!out.converged);
+        assert_eq!(out.stop, AscentStop::MoveCap);
+    }
+
+    /// Regression for the old `converged: moves < max_moves` formula: an
+    /// ascent whose last improving move lands exactly on the cap *has*
+    /// converged — the stopping condition (no further improving move) is
+    /// what decides, not whether the cap was reached.
+    #[test]
+    fn converging_on_exactly_the_last_allowed_move_counts_as_converged() {
+        let g = two_cliques();
+        let mut st = CommunityState::new(&g, 0.9);
+        let free = local_search(&mut st, &[NodeId(0)], &SearchConfig::default());
+        assert!(free.converged);
+        let cfg = SearchConfig {
+            max_moves: free.moves,
+            ..Default::default()
+        };
+        let capped = local_search(&mut st, &[NodeId(0)], &cfg);
+        assert_eq!(capped.moves, free.moves);
+        assert!(
+            capped.converged,
+            "natural convergence on the last allowed move misreported as a cap stop"
+        );
+        assert_eq!(capped.stop, AscentStop::Converged);
+        assert_eq!(capped.community, free.community);
+    }
+
+    #[test]
+    fn scaled_budget_stops_long_ascents_and_reports_it() {
+        // A 40-clique: a singleton seed needs 39 improving moves, but the
+        // scaled budget (floor 32) allows only 32.
+        let k = 40u32;
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((i, j));
+            }
+        }
+        let g = from_edges(k as usize, edges);
+        let mut st = CommunityState::new(&g, 0.9);
+        let cfg = SearchConfig {
+            budget_factor: 1.0,
+            ..Default::default()
+        };
+        let out = local_search(&mut st, &[NodeId(0)], &cfg);
+        assert_eq!(out.moves, MIN_MOVE_BUDGET);
+        assert_eq!(out.stop, AscentStop::MoveBudget);
+        assert!(!out.converged);
+        assert_eq!(out.community.len(), MIN_MOVE_BUDGET + 1);
+        // Without the budget the same seed converges to the full clique.
+        let free = local_search(&mut st, &[NodeId(0)], &SearchConfig::default());
+        assert_eq!(free.community.len(), k as usize);
+    }
+
+    #[test]
+    fn budget_scales_with_the_initial_set() {
+        let cfg = SearchConfig {
+            budget_factor: 8.0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.move_cap(0), (MIN_MOVE_BUDGET, true), "floor applies");
+        assert_eq!(cfg.move_cap(9), (80, true));
+        let off = SearchConfig::default();
+        assert_eq!(off.move_cap(9), (off.max_moves, false));
+        // A huge scaled budget degrades to the hard cap.
+        let wide = SearchConfig {
+            budget_factor: 1e9,
+            ..Default::default()
+        };
+        assert_eq!(wide.move_cap(9), (wide.max_moves, false));
+    }
+
+    #[test]
+    fn penalized_rule_recovers_cliques_and_matches_greedy_quality() {
+        let g = two_cliques();
+        let mut st = CommunityState::new(&g, 0.9);
+        let cfg = SearchConfig {
+            move_rule: MoveRule::Penalized,
+            plateau_moves: 8,
+            tabu_tenure: 4,
+            ..Default::default()
+        };
+        let out = local_search(&mut st, &[NodeId(0)], &cfg);
+        let raw: Vec<u32> = out.community.members().iter().map(|v| v.raw()).collect();
+        assert_eq!(raw, vec![0, 1, 2, 3]);
+        let greedy = local_search(&mut st, &[NodeId(0)], &SearchConfig::default());
+        assert!(out.fitness >= greedy.fitness - 1e-12);
+    }
+
+    /// The penalized rule keeps exploring past the first plateau but must
+    /// return the best set seen: its fitness can never be worse than
+    /// stopping at the first plateau (patience 0), whose trajectory is a
+    /// prefix of the patient one.
+    #[test]
+    fn best_so_far_is_never_worse_than_the_first_plateau() {
+        let g = two_cliques();
+        let mut st = CommunityState::new(&g, 0.9);
+        for seed in 0..8u32 {
+            let base = SearchConfig {
+                move_rule: MoveRule::Penalized,
+                tabu_tenure: 3,
+                ..Default::default()
+            };
+            let first_plateau = local_search(
+                &mut st,
+                &[NodeId(seed)],
+                &SearchConfig {
+                    plateau_moves: 0,
+                    ..base
+                },
+            );
+            let patient = local_search(
+                &mut st,
+                &[NodeId(seed)],
+                &SearchConfig {
+                    plateau_moves: 16,
+                    ..base
+                },
+            );
+            assert!(
+                patient.fitness >= first_plateau.fitness - 1e-12,
+                "seed {seed}: best-so-far {} worse than first plateau {}",
+                patient.fitness,
+                first_plateau.fitness
+            );
+        }
+    }
+
+    /// After the plateau patience runs out mid-exploration, the state must
+    /// hold exactly the best set (fingerprint included), not the wandering
+    /// endpoint — the driver's dedup relies on it.
+    #[test]
+    fn plateau_stop_restores_the_best_set_in_the_state() {
+        let g = two_cliques();
+        let mut st = CommunityState::new(&g, 0.9);
+        let cfg = SearchConfig {
+            move_rule: MoveRule::Penalized,
+            plateau_moves: 3,
+            tabu_tenure: 2,
+            ..Default::default()
+        };
+        let out = local_search(&mut st, &[NodeId(0)], &cfg);
+        assert!((st.fitness() - out.fitness).abs() < 1e-12);
+        assert_eq!(st.len(), out.community.len());
+        assert_eq!(st.internal_edges(), st.recompute_internal_edges());
+        // The reported fitness matches a from-scratch evaluation.
+        let mut fresh = CommunityState::new(&g, 0.9);
+        for &v in out.community.members() {
+            fresh.add(v);
+        }
+        assert!((fresh.fitness() - out.fitness).abs() < 1e-12);
+        assert_eq!(fresh.fingerprint(), st.fingerprint());
     }
 
     #[test]
@@ -238,5 +611,24 @@ mod tests {
         );
         let raw: Vec<u32> = out.community.members().iter().map(|v| v.raw()).collect();
         assert_eq!(raw, vec![0, 1, 2, 3]);
+    }
+
+    /// Reusing one state across rules may not leak penalties, tabus or
+    /// members between ascents.
+    #[test]
+    fn rules_can_alternate_on_a_reused_state() {
+        let g = two_cliques();
+        let mut st = CommunityState::new(&g, 0.9);
+        let penalized = SearchConfig {
+            move_rule: MoveRule::Penalized,
+            plateau_moves: 4,
+            ..Default::default()
+        };
+        let a = local_search(&mut st, &[NodeId(0)], &SearchConfig::default());
+        let b = local_search(&mut st, &[NodeId(0)], &penalized);
+        let c = local_search(&mut st, &[NodeId(0)], &SearchConfig::default());
+        assert_eq!(a.community, c.community);
+        assert_eq!(a.fitness, c.fitness);
+        assert_eq!(b.community.len(), 4);
     }
 }

@@ -130,6 +130,62 @@ fn thread_count_never_changes_a_threaded_detectors_output() {
     assert!(checked >= 1, "OCA must be covered by this contract");
 }
 
+/// Every hub-search option — ascent budgets, covered-hub pruning, the
+/// penalized move rule and its tabu/plateau knobs — must preserve the
+/// thread-determinism contract: for a fixed seed the detection is
+/// bit-identical at any thread count, because each feature is a pure
+/// function of the ticket and the shared round-start coverage snapshot.
+#[test]
+fn hub_search_options_preserve_thread_determinism() {
+    let bench = lfr(&LfrParams::small(300, 0.3, 41));
+    let reg = registry();
+    let option_sets: [&[(&str, &str)]; 5] = [
+        &[("ascent-budget", "4")],
+        &[("hub-prune-degree", "8")],
+        &[("move-rule", "penalized")],
+        &[
+            ("move-rule", "penalized"),
+            ("plateau-moves", "8"),
+            ("tabu-tenure", "4"),
+        ],
+        &[
+            ("ascent-budget", "6"),
+            ("hub-prune-degree", "8"),
+            ("move-rule", "penalized"),
+            ("plateau-moves", "8"),
+            ("tabu-tenure", "4"),
+        ],
+    ];
+    for set in option_sets {
+        let mut reference = None;
+        for threads in [1usize, 2, 4] {
+            let mut opts = DetectorOptions::new().with("threads", &threads.to_string());
+            for (key, value) in set {
+                opts = opts.with(key, value);
+            }
+            let detector = reg
+                .build("oca", &opts)
+                .unwrap_or_else(|e| panic!("{set:?}: {e}"));
+            let detection = detector
+                .detect(&bench.graph, &mut DetectContext::new(17))
+                .unwrap_or_else(|e| panic!("{set:?}: {e}"));
+            match &reference {
+                None => reference = Some(detection),
+                Some(r) => {
+                    assert_eq!(
+                        detection.cover, r.cover,
+                        "{set:?}: cover differs at threads = {threads}"
+                    );
+                    assert_eq!(
+                        detection.iterations, r.iterations,
+                        "{set:?}: iteration cutoff differs at threads = {threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Progress ticks report *completed* work: per stage, `done` must be
 /// monotone non-decreasing, and ticking a count captured before the work
 /// ran (the old OCA driver's bug) is a contract violation.

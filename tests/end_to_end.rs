@@ -1,10 +1,10 @@
 //! End-to-end integration tests spanning all crates: generator → algorithm
 //! → metrics, checking the paper's headline claims at test-friendly scale.
 
-use oca::{HaltingConfig, Oca, OcaConfig};
+use oca::{HaltingConfig, Oca, OcaConfig, SearchConfig};
 use oca_baselines::{cfinder, lfk, CFinderConfig, LfkConfig};
 use oca_gen::{daisy_tree, lfr, planted_partition, DaisyParams, LfrParams};
-use oca_metrics::{average_f1, overlapping_nmi, theta};
+use oca_metrics::{average_f1, omega_index, overlapping_nmi, theta};
 
 fn quality_config(n: usize) -> OcaConfig {
     OcaConfig {
@@ -129,6 +129,44 @@ fn oca_finds_planted_overlap_in_overlapping_lfr() {
     assert!(
         result.cover.overlap_node_count() > 0,
         "planted overlap should surface in the found cover"
+    );
+}
+
+/// Fig. 2 protocol with the tuned preset's hub-search settings: per-ascent
+/// budgets and covered-hub pruning buy wall-clock on scale-free graphs,
+/// but on community-structured LFR they must not move the quality metrics
+/// against the planted ground truth by more than seed-to-seed variance.
+#[test]
+fn budgeted_hub_search_matches_unbudgeted_quality_on_fig2() {
+    let bench = lfr(&LfrParams::small(600, 0.25, 1234));
+    let unbudgeted = Oca::new(quality_config(600)).run(&bench.graph);
+    let n = bench.graph.node_count().max(1);
+    let budgeted = Oca::new(OcaConfig {
+        search: SearchConfig {
+            budget_factor: 64.0,
+            // The tuned preset's derivation: 8x average degree, floored.
+            prune_hub_degree: (8 * (2 * bench.graph.edge_count() / n)).max(64),
+            ..SearchConfig::default()
+        },
+        ..quality_config(600)
+    })
+    .run(&bench.graph);
+    let theta_off = theta(&bench.ground_truth, &unbudgeted.cover);
+    let theta_on = theta(&bench.ground_truth, &budgeted.cover);
+    let omega_off = omega_index(&bench.ground_truth, &unbudgeted.cover);
+    let omega_on = omega_index(&bench.ground_truth, &budgeted.cover);
+    assert!(
+        theta_off > 0.5 && theta_on > 0.5,
+        "both runs should find most of the planted structure \
+         (off {theta_off:.3}, on {theta_on:.3})"
+    );
+    assert!(
+        (theta_off - theta_on).abs() < 0.15,
+        "theta diverged: off {theta_off:.3} vs on {theta_on:.3}"
+    );
+    assert!(
+        (omega_off - omega_on).abs() < 0.15,
+        "omega diverged: off {omega_off:.3} vs on {omega_on:.3}"
     );
 }
 

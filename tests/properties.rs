@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) on the core data-structure and
 //! algorithm invariants.
 
-use oca::{fitness, fitness_from_definition, CommunityState};
+use oca::{fitness, fitness_from_definition, local_search, CommunityState, MoveRule, SearchConfig};
 use oca_graph::{from_edges, Community, Cover, CsrGraph, NodeId, UnionFind};
 use oca_metrics::{omega_index, overlapping_nmi, rho, theta};
 use proptest::prelude::*;
@@ -444,6 +444,120 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// With budgets, pruning and penalties all off (the library default),
+    /// the reworked `ascend` must replay the pre-budget greedy loop
+    /// exactly: same members, same fitness, same move count, for any graph
+    /// and initial set. The reference runs on an identical
+    /// `CommunityState`, so bucket-queue tie-breaking matches and the
+    /// comparison is bit-exact, not just quality-equivalent.
+    #[test]
+    fn default_ascend_matches_the_unbudgeted_reference_loop(
+        edges in edge_list(24, 120),
+        initial in prop::collection::btree_set(0u32..24, 1..8),
+        c in 0.05f64..0.95,
+    ) {
+        let g = from_edges(24, edges);
+        let initial: Vec<NodeId> = initial.into_iter().map(NodeId).collect();
+        let config = SearchConfig::default();
+        let mut st = CommunityState::new(&g, c);
+        let got = local_search(&mut st, &initial, &config);
+
+        let mut rf = CommunityState::new(&g, c);
+        rf.reset();
+        for &v in &initial {
+            if !rf.contains(v) {
+                rf.add(v);
+            }
+        }
+        let mut moves = 0usize;
+        loop {
+            let mut best: Option<(f64, NodeId, bool)> = None;
+            if let Some(v) = rf.best_addition() {
+                best = Some((rf.gain_add(v), v, true));
+            }
+            if let Some(v) = rf.best_removal() {
+                let gain = rf.gain_remove(v);
+                if best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, v, false));
+                }
+            }
+            match best {
+                Some((gain, v, is_add)) if gain > config.min_gain && moves < config.max_moves => {
+                    if is_add {
+                        rf.add(v);
+                    } else {
+                        rf.remove(v);
+                    }
+                    moves += 1;
+                }
+                _ => break,
+            }
+        }
+        prop_assert_eq!(got.moves, moves);
+        prop_assert!(got.converged);
+        let reference = rf.to_community();
+        prop_assert_eq!(got.community.members(), reference.members());
+        prop_assert!((got.fitness - rf.fitness()).abs() < 1e-12);
+    }
+
+    /// Covered-hub pruning only suppresses candidacy: a pruned node can be
+    /// in the final set only by arriving through the initial set, never by
+    /// greedy addition.
+    #[test]
+    fn pruned_nodes_only_enter_through_the_initial_set(
+        edges in edge_list(24, 120),
+        initial in prop::collection::btree_set(0u32..24, 1..6),
+        pruned in prop::collection::btree_set(0u32..24, 0..12),
+        c in 0.05f64..0.95,
+    ) {
+        let g = from_edges(24, edges);
+        let initial: Vec<NodeId> = initial.into_iter().map(NodeId).collect();
+        let mut words = [0u64; 1];
+        for &v in &pruned {
+            words[0] |= 1u64 << v;
+        }
+        let mut st = CommunityState::new(&g, c);
+        st.set_prune_snapshot(&words);
+        let got = local_search(&mut st, &initial, &SearchConfig::default());
+        for &v in got.community.members() {
+            if pruned.contains(&v.raw()) {
+                prop_assert!(
+                    initial.contains(&v),
+                    "pruned node {:?} entered by addition", v
+                );
+            }
+        }
+    }
+
+    /// The penalized rule's best-so-far tracking: more plateau patience can
+    /// only help. The fitness with patience `k` must be at least the
+    /// fitness at the first plateau (patience 0), for any graph and seed —
+    /// both runs walk the identical strictly-improving prefix, and the
+    /// deeper run unwinds to its best set seen.
+    #[test]
+    fn penalized_patience_never_loses_fitness(
+        edges in edge_list(24, 120),
+        initial in prop::collection::btree_set(0u32..24, 1..6),
+        patience in 1usize..24,
+        c in 0.05f64..0.95,
+    ) {
+        let g = from_edges(24, edges);
+        let initial: Vec<NodeId> = initial.into_iter().map(NodeId).collect();
+        let base = SearchConfig {
+            move_rule: MoveRule::Penalized,
+            plateau_moves: 0,
+            tabu_tenure: 4,
+            ..Default::default()
+        };
+        let mut st = CommunityState::new(&g, c);
+        let first_plateau = local_search(&mut st, &initial, &base);
+        let deeper = local_search(&mut st, &initial, &SearchConfig { plateau_moves: patience, ..base });
+        prop_assert!(
+            deeper.fitness >= first_plateau.fitness - 1e-9,
+            "patience {} lost fitness: {} < {}", patience, deeper.fitness, first_plateau.fitness
+        );
     }
 
     #[test]

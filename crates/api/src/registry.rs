@@ -7,7 +7,10 @@
 //! without per-algorithm dispatch at the call sites.
 
 use crate::options::DetectorOptions;
-use oca::{HaltingConfig, MoveRule, OcaConfig, OcaDetector, SearchConfig};
+use oca::{
+    HaltingConfig, LocalConfig, LocalDetector, MoveRule, OcaConfig, OcaDetector, SearchConfig,
+    SeedStrategy,
+};
 use oca_baselines::{
     CFinderConfig, CFinderDetector, CFinderFaithfulDetector, LfkConfig, LfkDetector, LpaConfig,
     LpaDetector,
@@ -298,6 +301,40 @@ pub fn registry() -> DetectorRegistry {
         experiment_cfinder_faithful,
     ));
     reg.register(DetectorSpec::new(
+        "oca-local",
+        "OCA-local",
+        "query-centric variant: one seeded ascent answers 'which community contains v?'",
+        &[
+            (
+                "seed-node",
+                "the query node the ascent grows from; unset derives one \
+                 from the run seed (conformance harnesses)",
+            ),
+            (
+                "seed-strategy",
+                "'singleton', 'neighborhood' (the paper's random inclusion) \
+                 or 'ball' (the full 1-hop neighborhood)",
+            ),
+            (
+                "fixed-c",
+                "bypass the spectral c = -1/lambda_min with a fixed value",
+            ),
+            (
+                "ascent-budget",
+                "per-ascent move budget as a multiple of the initial set \
+                 size; 0 disables",
+            ),
+            (
+                "move-rule",
+                "'greedy' (strictly improving) or 'penalized' (tabu rule \
+                 returning the best set seen)",
+            ),
+        ],
+        build_oca_local,
+        tuned_oca_local,
+        experiment_oca_local,
+    ));
+    reg.register(DetectorSpec::new(
         "lpa",
         "LPA",
         "label propagation of Raghavan et al., a fast non-overlapping yardstick",
@@ -426,6 +463,64 @@ fn experiment_oca(graph: &CsrGraph) -> BoxedDetector {
     Box::new(OcaDetector::new(config).expect("experiment preset is valid"))
 }
 
+fn build_oca_local(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
+    let defaults = LocalConfig::default();
+    let mut config = LocalConfig {
+        query: opts.get_parsed::<u32>("seed-node")?.map(oca_graph::NodeId),
+        seed_strategy: match opts.get("seed-strategy") {
+            None => defaults.seed_strategy,
+            Some("singleton") => SeedStrategy::Singleton,
+            Some("neighborhood") => SeedStrategy::default(),
+            Some("ball") => SeedStrategy::Ball { radius: 1 },
+            Some(other) => {
+                return Err(DetectError::InvalidOption {
+                    key: "seed-strategy".to_string(),
+                    value: other.to_string(),
+                    message: "expected 'singleton', 'neighborhood' or 'ball'".to_string(),
+                })
+            }
+        },
+        search: SearchConfig {
+            budget_factor: opts.get_or("ascent-budget", defaults.search.budget_factor)?,
+            move_rule: match opts.get("move-rule") {
+                None => defaults.search.move_rule,
+                Some("greedy") => MoveRule::Greedy,
+                Some("penalized") => MoveRule::Penalized,
+                Some(other) => {
+                    return Err(DetectError::InvalidOption {
+                        key: "move-rule".to_string(),
+                        value: other.to_string(),
+                        message: "expected 'greedy' or 'penalized'".to_string(),
+                    })
+                }
+            },
+            ..defaults.search
+        },
+        ..defaults
+    };
+    if let Some(c) = opts.get_parsed::<f64>("fixed-c")? {
+        config.c = oca::CStrategy::Fixed(c);
+    }
+    Ok(Box::new(LocalDetector::new(config)?))
+}
+
+/// The tuned local preset mirrors the serving default: a scaled move
+/// budget so a hub query cannot stall a worker.
+fn tuned_oca_local(_graph: &CsrGraph) -> DetectorOptions {
+    DetectorOptions::new().with("ascent-budget", "64")
+}
+
+fn experiment_oca_local(_graph: &CsrGraph) -> BoxedDetector {
+    let config = LocalConfig {
+        search: SearchConfig {
+            budget_factor: 64.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Box::new(LocalDetector::new(config).expect("experiment preset is valid"))
+}
+
 fn build_lfk(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
     let defaults = LfkConfig::default();
     let config = LfkConfig {
@@ -508,14 +603,61 @@ mod tests {
     }
 
     #[test]
-    fn builtin_registry_has_all_five_variants() {
+    fn builtin_registry_has_all_six_variants() {
         let reg = registry();
         assert_eq!(
             reg.names(),
-            vec!["oca", "lfk", "cfinder", "cfinder-faithful", "lpa"]
+            vec![
+                "oca",
+                "lfk",
+                "cfinder",
+                "cfinder-faithful",
+                "oca-local",
+                "lpa"
+            ]
         );
-        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.len(), 6);
         assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn oca_local_options_flow_into_the_config() {
+        let g = toy();
+        let reg = registry();
+        // A pinned query answers with the community containing it.
+        let det = reg
+            .build(
+                "oca-local",
+                &DetectorOptions::new()
+                    .with("seed-node", "7")
+                    .with("fixed-c", "0.9")
+                    .with("seed-strategy", "ball"),
+            )
+            .unwrap();
+        assert_eq!(det.name(), "OCA-local");
+        let d = det.detect(&g, &mut DetectContext::new(11)).unwrap();
+        assert_eq!(d.cover.len(), 1);
+        assert!(d.cover.communities()[0].contains(oca_graph::NodeId(7)));
+        // Bad strategy and move-rule values are typed option errors.
+        assert!(matches!(
+            reg.build(
+                "oca-local",
+                &DetectorOptions::new().with("seed-strategy", "global")
+            ),
+            Err(DetectError::InvalidOption { .. })
+        ));
+        assert!(matches!(
+            reg.build(
+                "oca-local",
+                &DetectorOptions::new().with("move-rule", "anneal")
+            ),
+            Err(DetectError::InvalidOption { .. })
+        ));
+        // An out-of-range fixed c is a typed config error.
+        assert!(matches!(
+            reg.build("oca-local", &DetectorOptions::new().with("fixed-c", "1.5")),
+            Err(DetectError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

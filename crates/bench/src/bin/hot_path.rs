@@ -494,8 +494,11 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"hot_path\",\n");
     let _ = write!(
         json,
-        "  \"mode\": \"{}\",\n  \"rng_seed\": {seed},\n  \"peak_rss_bytes\": {peak_rss},\n",
+        "  \"mode\": \"{}\",\n  \"meta\": {},\n  \"rng_seed\": {seed},\n  \"peak_rss_bytes\": {peak_rss},\n",
         if smoke { "smoke" } else { "full" },
+        oca_bench::run_meta_json(&format!(
+            "lfr/ba/ba-hub/daisy sweep, sizes {sizes:?}"
+        )),
     );
     if baseline_rss > 0 {
         let _ = writeln!(

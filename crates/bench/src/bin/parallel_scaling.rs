@@ -160,8 +160,12 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"parallel_scaling\",\n");
     let _ = write!(
         json,
-        "  \"mode\": \"{}\",\n  \"rng_seed\": {seed},\n  \"batch\": {batch},\n  \"thread_counts\": {threads:?},\n  \"determinism\": \"{}\",\n  \"graphs\": [\n",
+        "  \"mode\": \"{}\",\n  \"meta\": {},\n  \"rng_seed\": {seed},\n  \"batch\": {batch},\n  \"thread_counts\": {threads:?},\n  \"determinism\": \"{}\",\n  \"graphs\": [\n",
         if smoke { "smoke" } else { "full" },
+        oca_bench::run_meta_json(&format!(
+            "lfr{} n={nodes} mu=0.3",
+            if smoke { "" } else { "+planted" }
+        )),
         if pass { "pass" } else { "fail" }
     );
     for (i, (family, graph, points)) in all_points.iter().enumerate() {

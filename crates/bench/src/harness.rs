@@ -172,6 +172,28 @@ impl Table {
     }
 }
 
+/// Run metadata embedded in every benchmark JSON so a results file is
+/// self-describing: the git commit the run came from (`"unknown"` when
+/// the binary runs outside a checkout), the host's available
+/// parallelism, and a free-form description of the graph family and
+/// parameters measured. Returns one JSON object literal, no trailing
+/// comma or newline.
+pub fn run_meta_json(graph: &str) -> String {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|hash| !hash.is_empty() && hash.chars().all(|ch| ch.is_ascii_alphanumeric()))
+        .unwrap_or_else(|| "unknown".to_string());
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    format!(
+        "{{\"git_commit\": \"{commit}\", \"host_threads\": {host_threads}, \"graph\": \"{}\"}}",
+        graph.replace('"', "'")
+    )
+}
+
 /// The `results/` directory next to the workspace root (falls back to cwd).
 pub fn results_dir() -> PathBuf {
     let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -333,6 +355,17 @@ mod tests {
         assert_eq!(args.get("seed", 0u64), 7);
         assert_eq!(args.get("nodes", 0usize), 300);
         assert_eq!(args.get("smoke", 1usize), 1, "flag has no value");
+    }
+
+    #[test]
+    fn run_meta_is_a_self_describing_json_object() {
+        let meta = run_meta_json("lfr n=1000 mu=0.3 \"quoted\"");
+        assert!(meta.starts_with('{') && meta.ends_with('}'), "{meta}");
+        assert!(meta.contains("\"git_commit\": \""), "{meta}");
+        assert!(meta.contains("\"host_threads\": "), "{meta}");
+        // Double quotes in the description cannot break the JSON string.
+        assert!(meta.contains("'quoted'"), "{meta}");
+        assert!(!meta.contains("\"quoted\""), "{meta}");
     }
 
     #[test]

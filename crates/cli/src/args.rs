@@ -8,6 +8,9 @@ use std::collections::HashMap;
 pub struct Cli {
     /// The subcommand (first positional argument).
     pub command: Option<String>,
+    /// Positional arguments after the subcommand (e.g. the `save` in
+    /// `cover save`).
+    positionals: Vec<String>,
     /// All `--key value` pairs (last occurrence wins).
     options: HashMap<String, String>,
     /// Bare `--flag`s with no value.
@@ -36,6 +39,8 @@ impl Cli {
             } else {
                 if cli.command.is_none() {
                     cli.command = Some(args[i].clone());
+                } else {
+                    cli.positionals.push(args[i].clone());
                 }
                 i += 1;
             }
@@ -68,6 +73,11 @@ impl Cli {
     pub fn require(&self, key: &str) -> Result<&str, String> {
         self.get_str(key)
             .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// The `i`-th positional argument after the subcommand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(|s| s.as_str())
     }
 
     /// True if `--flag` was given (with no value).
@@ -148,6 +158,16 @@ mod tests {
         let cli = parse("stats --verbose");
         assert!(cli.has_flag("verbose"));
         assert_eq!(cli.command.as_deref(), Some("stats"));
+    }
+
+    #[test]
+    fn extra_positionals_are_kept_in_order() {
+        let cli = parse("cover save --input g.edges extra");
+        assert_eq!(cli.command.as_deref(), Some("cover"));
+        assert_eq!(cli.positional(0), Some("save"));
+        assert_eq!(cli.positional(1), Some("extra"));
+        assert_eq!(cli.positional(2), None);
+        assert_eq!(cli.get_str("input"), Some("g.edges"));
     }
 
     #[test]

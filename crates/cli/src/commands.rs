@@ -6,6 +6,7 @@
 //! are errors listing the valid options rather than silently ignored.
 
 use crate::args::Cli;
+use oca::{CStrategy, LocalConfig, LocalDetector, SearchConfig};
 use oca_api::{registry, DetectContext, DetectorOptions, Progress};
 use oca_gen::{
     barabasi_albert, daisy_tree, gnp, lfr, rmat, wiki_like, DaisyParams, LfrParams, RmatParams,
@@ -15,8 +16,11 @@ use oca_graph::io::{read_edge_list_path, write_edge_list_path};
 use oca_graph::{read_cover_path, write_cover_path, Cover, CsrGraph, GraphStats};
 use oca_hierarchy::Summary;
 use oca_metrics::{average_f1, extended_modularity, overlapping_nmi, theta};
+use oca_serve::{load_cover_path, save_cover_path, RecomputeFn, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Top-level dispatch; returns an error message on failure.
 pub fn run(cli: &Cli) -> Result<(), String> {
@@ -30,6 +34,8 @@ pub fn run(cli: &Cli) -> Result<(), String> {
         Some("eval") => eval(cli),
         Some("stats") => stats(cli),
         Some("summarize") => summarize(cli),
+        Some("serve") => serve(cli),
+        Some("cover") => cover(cli),
         Some("help") | None => {
             print!("{}", usage());
             Ok(())
@@ -54,10 +60,21 @@ COMMANDS:
   eval       --input G.edges --truth T.cover --found C.cover
   stats      --input G.edges
   summarize  --input G.edges --cover C.cover
+  serve      --input G.edges [--addr HOST:PORT] [--workers N] [--seed S]
+             [--cover C.bin] [--save-cover C.bin] [--recompute-secs F]
+             [--algorithm NAME] [--fixed-c F] [--max-seconds F]
+  cover      save --input G.edges --cover C.cover --output C.bin [--fixed-c F]
+             load --input G.edges --binary C.bin [--output C.cover]
   help
 
 `detect --list-algorithms` lists every registered algorithm with its
 options.
+
+`serve` answers `query`/`local`/`topk`/`snapshot`/`stats`/`health` as
+one-line JSON over TCP (try `nc` and type `query 0`). `--cover` warm-starts
+from a binary cover instead of detecting at startup; `--recompute-secs`
+republishes fresh epochs in the background. Send `shutdown` (or set
+`--max-seconds`) for a graceful drain and a final stats line.
 "
     .to_string()
 }
@@ -284,6 +301,175 @@ fn summarize(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+const SERVE_OPTIONS: [&str; 10] = [
+    "input",
+    "addr",
+    "workers",
+    "seed",
+    "cover",
+    "save-cover",
+    "recompute-secs",
+    "algorithm",
+    "fixed-c",
+    "max-seconds",
+];
+
+/// Builds the initial cover for `serve`: a warm start from a binary cover
+/// file when `--cover` is given, otherwise a full detection run with the
+/// chosen algorithm's tuned preset.
+fn initial_cover(cli: &Cli, graph: &CsrGraph, algorithm: &str, seed: u64) -> Result<Cover, String> {
+    if let Some(path) = cli.get_str("cover") {
+        let (cover, _) = load_cover_path(path, Some(graph.node_count()))
+            .map_err(|e| format!("loading {path}: {e}"))?;
+        println!("warm start: {} communities from {path}", cover.len());
+        return Ok(cover);
+    }
+    let reg = registry();
+    let spec = reg.get(algorithm).map_err(|e| e.to_string())?;
+    let detector = spec
+        .build_tuned(graph, &DetectorOptions::new())
+        .map_err(|e| e.to_string())?;
+    let detection = detector
+        .detect(graph, &mut DetectContext::new(seed))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "initial detection ({}): {} communities in {:.2}s",
+        detector.name(),
+        detection.cover.len(),
+        detection.elapsed.as_secs_f64()
+    );
+    Ok(detection.cover)
+}
+
+fn serve(cli: &Cli) -> Result<(), String> {
+    cli.ensure_known(&SERVE_OPTIONS, &[])?;
+    let graph = Arc::new(load_graph(cli)?);
+    let addr = cli.get_str("addr").unwrap_or("127.0.0.1:7010").to_string();
+    let workers: usize = cli.get_strict("workers", 4)?;
+    let seed: u64 = cli.get_strict("seed", 42)?;
+    let recompute_secs: f64 = cli.get_strict("recompute-secs", 0.0)?;
+    let max_seconds: f64 = cli.get_strict("max-seconds", 0.0)?;
+    let algorithm = cli.get_str("algorithm").unwrap_or("oca").to_string();
+
+    let mut local = LocalConfig {
+        // The serving default: a scaled move budget so a hub query cannot
+        // stall a worker.
+        search: SearchConfig {
+            budget_factor: 64.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    if let Some(c) = cli.get_str("fixed-c") {
+        let c: f64 = c
+            .parse()
+            .map_err(|_| format!("invalid value for --fixed-c: {c:?}"))?;
+        local.c = CStrategy::Fixed(c);
+    }
+
+    let initial = initial_cover(cli, &graph, &algorithm, seed)?;
+    let config = ServeConfig {
+        workers,
+        seed,
+        recompute_interval: (recompute_secs > 0.0).then(|| Duration::from_secs_f64(recompute_secs)),
+        max_duration: (max_seconds > 0.0).then(|| Duration::from_secs_f64(max_seconds)),
+        local,
+    };
+    let recompute: Option<Box<RecomputeFn>> = if recompute_secs > 0.0 {
+        Some(Box::new(move |graph, seed, cancel| {
+            let reg = registry();
+            let spec = reg.get(&algorithm).ok()?;
+            let detector = spec.build_tuned(graph, &DetectorOptions::new()).ok()?;
+            let mut ctx = DetectContext::new(seed).with_cancel(cancel.clone());
+            detector.detect(graph, &mut ctx).ok().map(|d| d.cover)
+        }))
+    } else {
+        None
+    };
+
+    let server =
+        Server::new(Arc::clone(&graph), initial, config, recompute).map_err(|e| e.to_string())?;
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!(
+        "serving {} nodes / {} edges on {bound} ({} workers); send `shutdown` to drain",
+        graph.node_count(),
+        graph.edge_count(),
+        workers
+    );
+    let report = server.run(listener).map_err(|e| format!("serving: {e}"))?;
+    if let Some(path) = cli.get_str("save-cover") {
+        let snapshot = server.store().load();
+        save_cover_path(path, &snapshot.cover, snapshot.c)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {path} (epoch {}, {} communities)",
+            snapshot.epoch,
+            snapshot.cover.len()
+        );
+    }
+    println!("{}", report.summary_line());
+    Ok(())
+}
+
+fn cover(cli: &Cli) -> Result<(), String> {
+    match cli.positional(0) {
+        Some("save") => cover_save(cli),
+        Some("load") => cover_load(cli),
+        Some(other) => Err(format!(
+            "unknown cover action {other:?}; expected `cover save` or `cover load`"
+        )),
+        None => Err("missing cover action; expected `cover save` or `cover load`".to_string()),
+    }
+}
+
+/// `cover save`: text cover in, versioned checksummed binary out. The
+/// stored interaction strength is spectral by default so a later
+/// `serve --cover` warm-starts with the exact same `c`.
+fn cover_save(cli: &Cli) -> Result<(), String> {
+    cli.ensure_known(&["input", "cover", "output", "fixed-c"], &[])?;
+    let graph = load_graph(cli)?;
+    let cover_path = cli.require("cover")?;
+    let output = cli.require("output")?;
+    let cover = read_cover_path(graph.node_count(), cover_path)
+        .map_err(|e| format!("reading {cover_path}: {e}"))?;
+    let c = match cli.get_str("fixed-c") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --fixed-c: {v:?}"))?,
+        None => LocalDetector::default_detector().resolve_c(&graph),
+    };
+    save_cover_path(output, &cover, c).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "wrote {output} ({} communities, {} nodes, c = {c:.6})",
+        cover.len(),
+        cover.node_count()
+    );
+    Ok(())
+}
+
+/// `cover load`: verifies and summarizes a binary cover against a graph;
+/// `--output` converts it back to the text format.
+fn cover_load(cli: &Cli) -> Result<(), String> {
+    cli.ensure_known(&["input", "binary", "output"], &[])?;
+    let graph = load_graph(cli)?;
+    let binary = cli.require("binary")?;
+    let (cover, c) = load_cover_path(binary, Some(graph.node_count()))
+        .map_err(|e| format!("loading {binary}: {e}"))?;
+    println!(
+        "{binary}: {} communities, coverage {:.3}, {} overlap nodes, c = {c:.6}",
+        cover.len(),
+        cover.coverage(),
+        cover.overlap_node_count()
+    );
+    if let Some(path) = cli.get_str("output") {
+        write_cover_path(&cover, path).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +604,89 @@ mod tests {
             )))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn cover_round_trips_through_the_binary_format() {
+        let dir = tmpdir();
+        let g = dir.join("g4.edges");
+        let text = dir.join("c4.cover");
+        let bin = dir.join("c4.bin");
+        let back = dir.join("c4_back.cover");
+        run(&cli(&format!(
+            "generate --family lfr --nodes 150 --mu 0.2 --output {} --truth {}",
+            g.display(),
+            text.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "cover save --input {} --cover {} --output {} --fixed-c 0.7",
+            g.display(),
+            text.display(),
+            bin.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "cover load --input {} --binary {} --output {}",
+            g.display(),
+            bin.display(),
+            back.display()
+        )))
+        .unwrap();
+        let original = read_cover_path(150, text.to_str().unwrap()).unwrap();
+        let round = read_cover_path(150, back.to_str().unwrap()).unwrap();
+        assert_eq!(original, round);
+        // Loading against the wrong graph is a typed mismatch error.
+        let g2 = dir.join("g5.edges");
+        run(&cli(&format!(
+            "generate --family gnp --nodes 70 --output {}",
+            g2.display()
+        )))
+        .unwrap();
+        let err = run(&cli(&format!(
+            "cover load --input {} --binary {}",
+            g2.display(),
+            bin.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("150-node"), "{err}");
+        // Bad actions are named.
+        let err = run(&cli("cover frobnicate")).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        assert!(run(&cli("cover")).is_err());
+    }
+
+    #[test]
+    fn serve_runs_detects_and_saves_a_warm_start_cover() {
+        let dir = tmpdir();
+        let g = dir.join("g6.edges");
+        let bin = dir.join("c6.bin");
+        run(&cli(&format!(
+            "generate --family lfr --nodes 150 --mu 0.2 --output {}",
+            g.display()
+        )))
+        .unwrap();
+        // Cold start: detect, serve briefly, save the cover on shutdown.
+        run(&cli(&format!(
+            "serve --input {} --addr 127.0.0.1:0 --workers 2 --max-seconds 0.2 \
+             --fixed-c 0.6 --save-cover {}",
+            g.display(),
+            bin.display()
+        )))
+        .unwrap();
+        // Warm start from the saved binary cover.
+        run(&cli(&format!(
+            "serve --input {} --addr 127.0.0.1:0 --workers 1 --max-seconds 0.2 --cover {}",
+            g.display(),
+            bin.display()
+        )))
+        .unwrap();
+        // Typo'd options are rejected with the valid set.
+        let err = run(&cli(&format!("serve --input {} --worker 2", g.display()))).unwrap_err();
+        assert!(
+            err.contains("--worker") && err.contains("--workers"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod config;
 pub mod detector;
 pub mod fitness;
 pub mod halting;
+pub mod local;
 pub mod postprocess;
 pub mod runner;
 pub mod search;
@@ -44,11 +45,12 @@ pub use config::{CStrategy, OcaConfig};
 pub use detector::OcaDetector;
 pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi, SqrtTable};
 pub use halting::{AscentStopStats, HaltReason, HaltingConfig, HaltingState};
+pub use local::{LocalConfig, LocalDetection, LocalDetector};
 pub use postprocess::{assign_orphans, merge_similar};
 pub use runner::{run_default, CoverageBitmap, Oca, OcaResult, PhaseNanos};
 pub use search::{
-    ascend, local_search, AscentOutcome, AscentStop, MoveRule, SearchConfig, SearchOutcome,
-    MIN_MOVE_BUDGET,
+    ascend, ascend_cancellable, local_search, AscentOutcome, AscentStop, MoveRule, SearchConfig,
+    SearchOutcome, MIN_MOVE_BUDGET,
 };
 pub use seed::{initial_set, ticket_seed, SeedStrategy};
 pub use state::CommunityState;

@@ -15,7 +15,7 @@
 //! scale-free graphs (DESIGN.md §2a).
 
 use crate::state::CommunityState;
-use oca_graph::{Community, NodeId};
+use oca_graph::{CancelToken, Community, NodeId};
 
 /// Floor of the scaled per-ascent move budget: even a singleton seed may
 /// spend this many moves, so tiny seeds can still grow a real community.
@@ -52,6 +52,18 @@ pub enum AscentStop {
     /// The penalized rule went [`SearchConfig::plateau_moves`] moves
     /// without a new best fitness and returned the best-so-far set.
     Plateau,
+}
+
+impl AscentStop {
+    /// Stable lowercase label (used in telemetry and the serve protocol).
+    pub fn label(self) -> &'static str {
+        match self {
+            AscentStop::Converged => "converged",
+            AscentStop::MoveCap => "move-cap",
+            AscentStop::MoveBudget => "move-budget",
+            AscentStop::Plateau => "plateau",
+        }
+    }
 }
 
 /// Tunables of one ascent.
@@ -186,6 +198,31 @@ pub fn ascend(
     initial: &[NodeId],
     config: &SearchConfig,
 ) -> AscentOutcome {
+    ascend_cancellable(state, initial, config, None).0
+}
+
+/// How many moves pass between cancellation polls inside an ascent. A
+/// relaxed atomic load is cheap but not free; polling every 32 moves keeps
+/// the overhead unmeasurable while bounding the cancellation latency of
+/// even a hub-sized ascent to microseconds.
+const CANCEL_POLL_MASK: usize = 31;
+
+/// Like [`ascend`], but polls `cancel` every few moves and stops early
+/// when it fires. Returns the outcome plus whether the ascent was
+/// interrupted: an interrupted ascent reports `converged: false` and the
+/// cap-style stop of its configuration (the ascent was externally bounded
+/// while applicable moves may have remained), and the state holds the
+/// partial set — under the penalized rule, the best set seen so far (the
+/// unwind still runs), so the partial result is always the most useful one.
+///
+/// With `cancel: None` this is exactly [`ascend`]: the poll never fires
+/// and the move sequence is bit-identical.
+pub fn ascend_cancellable(
+    state: &mut CommunityState<'_>,
+    initial: &[NodeId],
+    config: &SearchConfig,
+    cancel: Option<&CancelToken>,
+) -> (AscentOutcome, bool) {
     state.set_penalized(config.move_rule == MoveRule::Penalized);
     state.reset();
     for &v in initial {
@@ -200,8 +237,17 @@ pub fn ascend(
         AscentStop::MoveCap
     };
     match config.move_rule {
-        MoveRule::Greedy => ascend_greedy(state, config, cap, over_cap),
-        MoveRule::Penalized => ascend_penalized(state, config, cap, over_cap),
+        MoveRule::Greedy => ascend_greedy(state, config, cap, over_cap, cancel),
+        MoveRule::Penalized => ascend_penalized(state, config, cap, over_cap, cancel),
+    }
+}
+
+/// True when the ascent should stop for cancellation at move `moves`.
+#[inline]
+fn cancel_fires(cancel: Option<&CancelToken>, moves: usize) -> bool {
+    match cancel {
+        Some(token) => moves & CANCEL_POLL_MASK == 0 && token.is_cancelled(),
+        None => false,
     }
 }
 
@@ -214,12 +260,18 @@ fn ascend_greedy(
     config: &SearchConfig,
     cap: usize,
     over_cap: AscentStop,
-) -> AscentOutcome {
+    cancel: Option<&CancelToken>,
+) -> (AscentOutcome, bool) {
     let mut moves = 0usize;
+    let mut interrupted = false;
     let stop = loop {
         match best_move(state) {
             Some((gain, v, is_add)) if gain > config.min_gain => {
                 if moves >= cap {
+                    break over_cap;
+                }
+                if cancel_fires(cancel, moves) {
+                    interrupted = true;
                     break over_cap;
                 }
                 if is_add {
@@ -232,12 +284,15 @@ fn ascend_greedy(
             _ => break AscentStop::Converged,
         }
     };
-    AscentOutcome {
-        fitness: state.fitness(),
-        moves,
-        converged: stop == AscentStop::Converged,
-        stop,
-    }
+    (
+        AscentOutcome {
+            fitness: state.fitness(),
+            moves,
+            converged: stop == AscentStop::Converged,
+            stop,
+        },
+        interrupted,
+    )
 }
 
 /// The tabu/penalty ascent: accepts the best move even when non-improving
@@ -251,17 +306,23 @@ fn ascend_penalized(
     config: &SearchConfig,
     cap: usize,
     over_cap: AscentStop,
-) -> AscentOutcome {
+    cancel: Option<&CancelToken>,
+) -> (AscentOutcome, bool) {
     let tenure = config.tabu_tenure.max(1);
     let mut moves = 0usize;
     let mut best_fitness = state.fitness();
     let mut since_best = 0usize;
+    let mut interrupted = false;
     // Moves applied since the best set was current, for the unwind.
     let mut undo: Vec<(NodeId, bool)> = Vec::new();
     // Tabu entries in expiry order (tenure is constant, so push order is
     // expiry order); front expires first.
     let mut tabu: std::collections::VecDeque<(usize, NodeId)> = std::collections::VecDeque::new();
     let stop = loop {
+        if cancel_fires(cancel, moves) {
+            interrupted = true;
+            break over_cap;
+        }
         while let Some(&(expiry, v)) = tabu.front() {
             if expiry > moves {
                 break;
@@ -321,12 +382,15 @@ fn ascend_penalized(
             "unwind must restore the best set exactly"
         );
     }
-    AscentOutcome {
-        fitness: state.fitness(),
-        moves,
-        converged: stop == AscentStop::Converged,
-        stop,
-    }
+    (
+        AscentOutcome {
+            fitness: state.fitness(),
+            moves,
+            converged: stop == AscentStop::Converged,
+            stop,
+        },
+        interrupted,
+    )
 }
 
 /// Runs the ascent from `initial` on a (reset) state. The state is left
@@ -611,6 +675,43 @@ mod tests {
         );
         let raw: Vec<u32> = out.community.members().iter().map(|v| v.raw()).collect();
         assert_eq!(raw, vec![0, 1, 2, 3]);
+    }
+
+    /// A pre-cancelled token stops the ascent before any move, and the
+    /// outcome reports an interruption rather than convergence.
+    #[test]
+    fn pre_cancelled_token_interrupts_before_any_move() {
+        let g = two_cliques();
+        let mut st = CommunityState::new(&g, 0.9);
+        let token = CancelToken::new();
+        token.cancel();
+        for rule in [MoveRule::Greedy, MoveRule::Penalized] {
+            let cfg = SearchConfig {
+                move_rule: rule,
+                ..Default::default()
+            };
+            let (out, interrupted) = ascend_cancellable(&mut st, &[NodeId(0)], &cfg, Some(&token));
+            assert!(interrupted, "{rule:?}: cancellation not observed");
+            assert!(!out.converged);
+            assert_eq!(out.moves, 0);
+            assert_eq!(st.len(), 1, "{rule:?}: partial set should be the seed");
+        }
+    }
+
+    /// Without a token (or with an unfired one) the cancellable entry point
+    /// is bit-identical to the plain ascent.
+    #[test]
+    fn unfired_token_matches_plain_ascend() {
+        let g = two_cliques();
+        let mut st = CommunityState::new(&g, 0.9);
+        let cfg = SearchConfig::default();
+        let plain = local_search(&mut st, &[NodeId(0)], &cfg);
+        let token = CancelToken::new();
+        let (out, interrupted) = ascend_cancellable(&mut st, &[NodeId(0)], &cfg, Some(&token));
+        assert!(!interrupted);
+        assert_eq!(out.moves, plain.moves);
+        assert_eq!(out.fitness, plain.fitness);
+        assert_eq!(st.to_community(), plain.community);
     }
 
     /// Reusing one state across rules may not leak penalties, tabus or

@@ -131,6 +131,21 @@ impl Community {
         let possible = s * (s - 1) / 2;
         self.internal_edges(graph) as f64 / possible as f64
     }
+
+    /// How many members lie in the *closed* neighborhood of `v` (its
+    /// neighbors plus `v` itself) — the overlap score the query service's
+    /// `topk` endpoint ranks communities by. Runs in
+    /// `O(deg(v) · log |C|)`, so it is cheap even against large
+    /// communities.
+    pub fn neighborhood_overlap(&self, graph: &CsrGraph, v: NodeId) -> usize {
+        let mut count = usize::from(self.contains(v));
+        for &u in graph.neighbors(v) {
+            if self.contains(u) {
+                count += 1;
+            }
+        }
+        count
+    }
 }
 
 impl FromIterator<NodeId> for Community {
@@ -247,6 +262,25 @@ impl Cover {
             .count()
     }
 
+    /// The `k` communities with the largest overlap with the closed
+    /// neighborhood of `v`, as `(community index, overlap)` pairs sorted
+    /// by descending overlap (ties broken by ascending index, so the
+    /// ranking is deterministic). Zero-overlap communities are never
+    /// reported. This is the straightforward O(cover) reference; the serve
+    /// index answers the same query from the inverted node→community map.
+    pub fn top_overlapping(&self, graph: &CsrGraph, v: NodeId, k: usize) -> Vec<(u32, usize)> {
+        let mut scored: Vec<(u32, usize)> = self
+            .communities
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| (ci as u32, c.neighborhood_overlap(graph, v)))
+            .filter(|&(_, overlap)| overlap > 0)
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
     /// Community size statistics `(min, max, mean)`; `None` if empty.
     pub fn size_stats(&self) -> Option<(usize, usize, f64)> {
         if self.communities.is_empty() {
@@ -331,6 +365,46 @@ mod tests {
     fn cover_drops_empty_communities() {
         let cover = Cover::new(3, vec![c(&[]), c(&[0])]);
         assert_eq!(cover.len(), 1);
+    }
+
+    #[test]
+    fn neighborhood_overlap_counts_the_closed_neighborhood() {
+        // Triangle 0-1-2 plus pendant 2-3.
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let tri = c(&[0, 1, 2]);
+        assert_eq!(
+            tri.neighborhood_overlap(&g, NodeId(0)),
+            3,
+            "member: itself + 2"
+        );
+        assert_eq!(
+            tri.neighborhood_overlap(&g, NodeId(3)),
+            1,
+            "outsider adjacent to 2"
+        );
+        assert_eq!(
+            tri.neighborhood_overlap(&g, NodeId(4)),
+            0,
+            "isolated outsider"
+        );
+    }
+
+    #[test]
+    fn top_overlapping_ranks_deterministically() {
+        let g = from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let cover = Cover::new(6, vec![c(&[0, 1, 2]), c(&[2, 3, 4]), c(&[5])]);
+        // Node 2's closed neighborhood is {0, 1, 2, 3, 4}: full overlap
+        // with both triangles, none with the singleton.
+        let top = cover.top_overlapping(&g, NodeId(2), 10);
+        assert_eq!(top, vec![(0, 3), (1, 3)], "tie broken by index");
+        let top1 = cover.top_overlapping(&g, NodeId(2), 1);
+        assert_eq!(top1, vec![(0, 3)]);
+        // Node 0 overlaps the first triangle fully, the second only at 2.
+        assert_eq!(
+            cover.top_overlapping(&g, NodeId(0), 10),
+            vec![(0, 3), (1, 1)]
+        );
+        assert!(cover.top_overlapping(&g, NodeId(5), 10) == vec![(2, 1)]);
     }
 
     #[test]

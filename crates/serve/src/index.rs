@@ -1,0 +1,173 @@
+//! The inverted node→community index: `query v` in O(memberships of v).
+//!
+//! A [`Cover`] stores communities as sorted member lists — answering
+//! "which communities contain v?" from it means a binary search in every
+//! community. The index inverts that once per cover into a CSR-shaped
+//! `(offsets, community_ids)` pair, the same two-flat-array layout the
+//! graph itself uses: the communities of node `v` are the slice
+//! `community_ids[offsets[v] .. offsets[v + 1]]`, in ascending community
+//! order. Build cost is one counting pass plus one fill pass over the
+//! cover's members; memory is one `u32` per membership plus one per node.
+
+use oca_graph::{Cover, CsrGraph, EpochCounters, NodeId};
+
+/// Immutable inverted index from node id to the communities containing it.
+#[derive(Debug, Clone)]
+pub struct CoverIndex {
+    /// `offsets[v] .. offsets[v + 1]` bounds node v's memberships; length
+    /// `node_count + 1`.
+    offsets: Vec<u32>,
+    /// Community indices, grouped by node, ascending within each node.
+    community_ids: Vec<u32>,
+}
+
+impl CoverIndex {
+    /// Builds the index for `cover` with two passes over its membership
+    /// lists (count, then fill — the classic CSR construction).
+    pub fn build(cover: &Cover) -> Self {
+        let n = cover.node_count();
+        let mut offsets = vec![0u32; n + 1];
+        for c in cover.communities() {
+            for &v in c.members() {
+                offsets[v.index() + 1] += 1;
+            }
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut community_ids = vec![0u32; offsets[n] as usize];
+        // Communities are visited in ascending index order and each member
+        // list is sorted, so every node's slice comes out ascending.
+        for (ci, c) in cover.communities().iter().enumerate() {
+            for &v in c.members() {
+                let slot = cursor[v.index()];
+                community_ids[slot as usize] = ci as u32;
+                cursor[v.index()] = slot + 1;
+            }
+        }
+        CoverIndex {
+            offsets,
+            community_ids,
+        }
+    }
+
+    /// Number of nodes the index covers.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of (node, community) memberships.
+    pub fn membership_count(&self) -> usize {
+        self.community_ids.len()
+    }
+
+    /// The communities containing `v`, as ascending cover indices. Empty
+    /// for orphans. Panics if `v` is out of bounds — callers validate
+    /// against [`CoverIndex::node_count`] first (the server's protocol
+    /// layer turns that into a typed error).
+    pub fn communities_of(&self, v: NodeId) -> &[u32] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.community_ids[lo..hi]
+    }
+
+    /// The `k` communities with the largest overlap with the closed
+    /// neighborhood of `v`, as `(community index, overlap)` sorted by
+    /// descending overlap then ascending index — the indexed counterpart
+    /// of [`Cover::top_overlapping`]. Instead of scoring every community,
+    /// it bumps a counter per membership of `v` and its neighbors
+    /// (`O(deg(v) · avg memberships)`), so the cost tracks the query
+    /// node's degree, not the cover size. `counters` is caller-owned
+    /// scratch (length ≥ the cover's community count) so sustained query
+    /// loops never allocate.
+    pub fn top_overlapping(
+        &self,
+        graph: &CsrGraph,
+        v: NodeId,
+        k: usize,
+        counters: &mut EpochCounters,
+    ) -> Vec<(u32, usize)> {
+        counters.begin();
+        for &ci in self.communities_of(v) {
+            counters.bump(ci);
+        }
+        for &u in graph.neighbors(v) {
+            for &ci in self.communities_of(u) {
+                counters.bump(ci);
+            }
+        }
+        let mut scored: Vec<(u32, usize)> = counters
+            .touched()
+            .iter()
+            .map(|&ci| (ci, counters.get(ci) as usize))
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Approximate heap footprint in bytes (the two flat arrays).
+    pub fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.community_ids.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::{from_edges, Community};
+
+    fn c(ids: &[u32]) -> Community {
+        Community::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn index_inverts_the_cover() {
+        let cover = Cover::new(6, vec![c(&[0, 1, 2]), c(&[2, 3]), c(&[5])]);
+        let idx = CoverIndex::build(&cover);
+        assert_eq!(idx.node_count(), 6);
+        assert_eq!(idx.membership_count(), 6);
+        assert_eq!(idx.communities_of(NodeId(0)), &[0]);
+        assert_eq!(idx.communities_of(NodeId(2)), &[0, 1], "overlap, ascending");
+        assert_eq!(idx.communities_of(NodeId(4)), &[] as &[u32], "orphan");
+        assert_eq!(idx.communities_of(NodeId(5)), &[2]);
+    }
+
+    #[test]
+    fn index_agrees_with_membership_index() {
+        let cover = Cover::new(
+            8,
+            vec![c(&[0, 1, 2, 3]), c(&[2, 3, 4, 5]), c(&[0, 7]), c(&[3])],
+        );
+        let idx = CoverIndex::build(&cover);
+        for (v, expect) in cover.membership_index().into_iter().enumerate() {
+            assert_eq!(idx.communities_of(NodeId(v as u32)), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_cover_indexes_every_node_as_orphan() {
+        let idx = CoverIndex::build(&Cover::empty(4));
+        assert_eq!(idx.node_count(), 4);
+        assert_eq!(idx.membership_count(), 0);
+        assert!(idx.communities_of(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn indexed_topk_matches_the_cover_reference() {
+        let g = from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let cover = Cover::new(6, vec![c(&[0, 1, 2]), c(&[2, 3, 4]), c(&[5])]);
+        let idx = CoverIndex::build(&cover);
+        let mut counters = EpochCounters::new(cover.len());
+        for v in 0..6u32 {
+            for k in [1usize, 2, 10] {
+                assert_eq!(
+                    idx.top_overlapping(&g, NodeId(v), k, &mut counters),
+                    cover.top_overlapping(&g, NodeId(v), k),
+                    "node {v}, k {k}"
+                );
+            }
+        }
+    }
+}

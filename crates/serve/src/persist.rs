@@ -1,0 +1,383 @@
+//! Binary cover persistence: save a detected cover once, warm-start the
+//! server from it after a restart instead of re-running detection.
+//!
+//! The format is deliberately dumb and versioned (hand-rolled — the
+//! workspace has no serialization dependency):
+//!
+//! ```text
+//! magic      8  b"OCACOVER"
+//! version    4  u32 LE (currently 1)
+//! node_count 8  u64 LE
+//! count      8  u64 LE    number of communities
+//! c          8  f64 LE    interaction strength the cover was detected with
+//! per community:
+//!   len      4  u32 LE
+//!   members  4·len u32 LE (sorted node ids)
+//! checksum   8  u64 LE    FNV-1a over every preceding byte
+//! ```
+//!
+//! Loading validates the magic, version, checksum, and every node id
+//! against the expected graph size, surfacing each failure as a distinct
+//! [`PersistError`] — a cover saved against one graph cannot be silently
+//! served against another.
+
+use oca_graph::{Community, Cover};
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic of the binary cover format.
+pub const MAGIC: [u8; 8] = *b"OCACOVER";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors of the binary cover format.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file ends before its declared contents do.
+    Truncated,
+    /// The trailing checksum does not match the contents.
+    ChecksumMismatch,
+    /// The cover was saved for a graph of a different size.
+    NodeCountMismatch {
+        /// Node count of the graph being served.
+        expected: usize,
+        /// Node count recorded in the file.
+        found: usize,
+    },
+    /// A member id exceeds the file's own declared node count.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: u32,
+        /// The file's declared node count.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "cover file I/O error: {e}"),
+            PersistError::BadMagic => write!(f, "not a cover file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "cover file version {v} not supported (max {VERSION})")
+            }
+            PersistError::Truncated => write!(f, "cover file is truncated"),
+            PersistError::ChecksumMismatch => write!(f, "cover file checksum mismatch"),
+            PersistError::NodeCountMismatch { expected, found } => write!(
+                f,
+                "cover file is for a {found}-node graph, the loaded graph has {expected} nodes"
+            ),
+            PersistError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "cover file names node {node} but declares only {node_count} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// FNV-1a over `bytes` — fast, dependency-free, and plenty for detecting
+/// truncation and bit rot (this is an integrity check, not authentication).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes `cover` (detected with interaction strength `c`) to `writer`.
+pub fn save_cover<W: Write>(writer: &mut W, cover: &Cover, c: f64) -> Result<(), PersistError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(64);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(cover.node_count() as u64).to_le_bytes());
+    buf.extend_from_slice(&(cover.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&c.to_le_bytes());
+    for community in cover.communities() {
+        buf.extend_from_slice(&(community.len() as u32).to_le_bytes());
+        for &v in community.members() {
+            buf.extend_from_slice(&v.raw().to_le_bytes());
+        }
+    }
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Saves `cover` to a file at `path`.
+pub fn save_cover_path<P: AsRef<Path>>(path: P, cover: &Cover, c: f64) -> Result<(), PersistError> {
+    let mut file = File::create(path)?;
+    save_cover(&mut file, cover, c)
+}
+
+/// A little-endian cursor over the loaded file body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.at.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Deserializes a cover from `reader`, validating magic, version, checksum
+/// and node-id bounds. When `expected_node_count` is given (the serving
+/// path — the graph is already loaded), a file saved for a different graph
+/// size is rejected with [`PersistError::NodeCountMismatch`].
+pub fn load_cover<R: Read>(
+    reader: &mut R,
+    expected_node_count: Option<usize>,
+) -> Result<(Cover, f64), PersistError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 + 8 + 8 {
+        // Distinguish "not our format" from "our format, cut short" by
+        // however much of the magic survives.
+        let have = bytes.len().min(MAGIC.len());
+        return Err(if bytes[..have] == MAGIC[..have] {
+            PersistError::Truncated
+        } else {
+            PersistError::BadMagic
+        });
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut cur = Cursor { bytes: body, at: 0 };
+    if cur.take(MAGIC.len())? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    let node_count = cur.u64()? as usize;
+    let community_count = cur.u64()? as usize;
+    let c = cur.f64()?;
+    if let Some(expected) = expected_node_count {
+        if expected != node_count {
+            return Err(PersistError::NodeCountMismatch {
+                expected,
+                found: node_count,
+            });
+        }
+    }
+    let mut communities = Vec::with_capacity(community_count.min(1 << 20));
+    for _ in 0..community_count {
+        let len = cur.u32()? as usize;
+        let raw = cur.take(len * 4)?;
+        let mut ids = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(4) {
+            let id = u32::from_le_bytes(chunk.try_into().unwrap());
+            if id as usize >= node_count {
+                return Err(PersistError::NodeOutOfBounds {
+                    node: id,
+                    node_count,
+                });
+            }
+            ids.push(id);
+        }
+        communities.push(Community::from_raw(ids));
+    }
+    if cur.at != body.len() {
+        // Trailing garbage would have broken the checksum already, but be
+        // explicit: the declared community count must consume the body.
+        return Err(PersistError::Truncated);
+    }
+    Ok((Cover::new(node_count, communities), c))
+}
+
+/// Loads a cover from a file at `path`.
+pub fn load_cover_path<P: AsRef<Path>>(
+    path: P,
+    expected_node_count: Option<usize>,
+) -> Result<(Cover, f64), PersistError> {
+    let mut file = File::open(path)?;
+    load_cover(&mut file, expected_node_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::NodeId;
+
+    fn sample_cover() -> Cover {
+        Cover::new(
+            10,
+            vec![
+                Community::from_raw([0, 1, 2, 3]),
+                Community::from_raw([3, 4, 5]),
+                Community::from_raw([9]),
+            ],
+        )
+    }
+
+    fn save_to_vec(cover: &Cover, c: f64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_cover(&mut buf, cover, c).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let cover = sample_cover();
+        let bytes = save_to_vec(&cover, 0.375);
+        let (loaded, c) = load_cover(&mut bytes.as_slice(), Some(10)).unwrap();
+        assert_eq!(loaded, cover);
+        assert_eq!(c, 0.375);
+        assert!(loaded.communities()[0].contains(NodeId(2)));
+    }
+
+    #[test]
+    fn empty_cover_round_trips() {
+        let cover = Cover::empty(5);
+        let bytes = save_to_vec(&cover, 0.5);
+        let (loaded, _) = load_cover(&mut bytes.as_slice(), None).unwrap();
+        assert_eq!(loaded, cover);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = save_to_vec(&sample_cover(), 0.5);
+        bytes[0] = b'X';
+        assert!(matches!(
+            load_cover(&mut bytes.as_slice(), None),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = save_to_vec(&sample_cover(), 0.5);
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            load_cover(&mut bytes.as_slice(), None),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn flipped_bit_breaks_the_checksum() {
+        let mut bytes = save_to_vec(&sample_cover(), 0.5);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            load_cover(&mut bytes.as_slice(), None),
+            Err(PersistError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = save_to_vec(&sample_cover(), 0.5);
+        for cut in [bytes.len() - 1, bytes.len() - 9, 20, 1] {
+            let err = load_cover(&mut &bytes[..cut], None).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated | PersistError::ChecksumMismatch
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_graph_size_is_a_typed_error() {
+        let bytes = save_to_vec(&sample_cover(), 0.5);
+        match load_cover(&mut bytes.as_slice(), Some(11)).unwrap_err() {
+            PersistError::NodeCountMismatch { expected, found } => {
+                assert_eq!((expected, found), (11, 10));
+            }
+            other => panic!("expected NodeCountMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_member_is_rejected_even_with_valid_checksum() {
+        // Forge a file whose declared node count is too small for its own
+        // members: rebuild the checksum so only the bounds check can fire.
+        let cover = sample_cover();
+        let mut bytes = save_to_vec(&cover, 0.5);
+        bytes.truncate(bytes.len() - 8);
+        bytes[12..20].copy_from_slice(&4u64.to_le_bytes());
+        let checksum = super::fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        match load_cover(&mut bytes.as_slice(), None).unwrap_err() {
+            PersistError::NodeOutOfBounds { node, node_count } => {
+                assert!(node as usize >= node_count);
+            }
+            other => panic!("expected NodeOutOfBounds, got {other}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("oca-serve-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cover.bin");
+        let cover = sample_cover();
+        save_cover_path(&path, &cover, 0.25).unwrap();
+        let (loaded, c) = load_cover_path(&path, Some(10)).unwrap();
+        assert_eq!(loaded, cover);
+        assert_eq!(c, 0.25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_display_the_problem() {
+        let e = PersistError::NodeCountMismatch {
+            expected: 5,
+            found: 7,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('7'));
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,679 @@
+//! The long-running query server: TCP accept loop, worker-thread pool,
+//! background recompute, graceful shutdown, and the bundled [`Client`].
+//!
+//! Threading model: the caller's thread runs the accept loop; accepted
+//! connections are queued over an mpsc channel to a fixed pool of worker
+//! threads (each owning its reusable [`CommunityState`] and scratch
+//! counters, so steady-state queries allocate only their response string).
+//! An optional recompute thread periodically re-detects the cover and
+//! publishes it through the [`SnapshotStore`] — readers keep answering
+//! from their pinned snapshot throughout. Shutdown is cooperative via the
+//! shared [`CancelToken`]: the acceptor stops accepting and closes the
+//! queue, workers finish the request in flight (plus any queued
+//! connections) and exit, and the recompute thread aborts its in-flight
+//! detection through the same token.
+
+use crate::protocol::{push_id_array, ProtocolError, Request};
+use crate::snapshot::SnapshotStore;
+use oca::{ticket_seed, CommunityState, LocalConfig, LocalDetector};
+use oca_graph::{CancelToken, Cover, CsrGraph, DetectContext, DetectError, EpochCounters, NodeId};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, ErrorKind, Write as _};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks on an idle connection before re-checking the
+/// cancellation token.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Rebuilds the cover for a new epoch: `(graph, seed, cancel)` to a cover,
+/// or `None` to skip publication (detection failed or was cancelled).
+/// Implementations should wire `cancel` into their [`DetectContext`] so
+/// server shutdown aborts an in-flight recompute promptly.
+pub type RecomputeFn = dyn Fn(&CsrGraph, u64, &CancelToken) -> Option<Cover> + Send + Sync;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (= maximum concurrently served connections).
+    pub workers: usize,
+    /// Master seed: `local <v>` answers derive from
+    /// `ticket_seed(seed, v)`, so they are identical whichever worker
+    /// serves them; recompute round `r` runs with `ticket_seed(seed, r)`.
+    pub seed: u64,
+    /// Publish a recomputed cover this often (`None` disables recompute).
+    pub recompute_interval: Option<Duration>,
+    /// Auto-shutdown after this long (testing/benchmarks); `None` runs
+    /// until `shutdown` or external cancellation.
+    pub max_duration: Option<Duration>,
+    /// Configuration of the `local` endpoint's detector. Its
+    /// interaction-strength strategy is resolved once at server start —
+    /// `c` is a property of the (static) graph, not of any cover.
+    pub local: LocalConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            seed: 0x0CA,
+            recompute_interval: None,
+            max_duration: None,
+            local: LocalConfig::default(),
+        }
+    }
+}
+
+/// A log₂-bucketed latency histogram with lock-free recording. Bucket `b`
+/// covers `[2^b, 2^(b+1))` nanoseconds; quantiles report the upper bound
+/// of the matched bucket, i.e. within 2× of the true value — plenty for a
+/// `stats` endpoint (benchmarks measure client-side with exact timings).
+#[derive(Debug)]
+struct Histogram {
+    buckets: [AtomicU64; 40],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&self, nanos: u64) {
+        let bucket = (63 - (nanos | 1).leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile in microseconds (0 when nothing was recorded).
+    fn quantile_us(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (bucket, &count) in counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                return (1u64 << (bucket + 1)) as f64 / 1_000.0;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// One endpoint's counters.
+#[derive(Debug, Default)]
+struct OpStats {
+    count: AtomicU64,
+    hist: Histogram,
+}
+
+impl OpStats {
+    fn record(&self, elapsed: Duration) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.hist.record(elapsed.as_nanos() as u64);
+    }
+}
+
+/// Server-wide counters, shared across workers.
+#[derive(Debug, Default)]
+struct ServeStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    recomputes: AtomicU64,
+    query: OpStats,
+    local: OpStats,
+    topk: OpStats,
+}
+
+/// Latency summary of one endpoint in the final [`ServeReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpLatency {
+    /// Requests served.
+    pub count: u64,
+    /// Median latency in microseconds (log-bucket upper bound).
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds (log-bucket upper bound).
+    pub p99_us: f64,
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`]
+/// after shutdown completes (the CLI renders this as the final stats
+/// line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests served (including ones answered with protocol errors).
+    pub requests: u64,
+    /// Requests answered with an error object.
+    pub errors: u64,
+    /// Cover recomputes published.
+    pub recomputes: u64,
+    /// Epoch at shutdown.
+    pub final_epoch: u64,
+    /// `query` endpoint latency.
+    pub query: OpLatency,
+    /// `local` endpoint latency.
+    pub local: OpLatency,
+    /// `topk` endpoint latency.
+    pub topk: OpLatency,
+}
+
+impl ServeReport {
+    /// The one-line summary the CLI prints at shutdown.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "served {} requests over {} connections (errors {}, recomputes {}, final epoch {}); \
+             query p50/p99 {:.1}/{:.1}us over {}, local p50/p99 {:.1}/{:.1}us over {}, \
+             topk p50/p99 {:.1}/{:.1}us over {}",
+            self.requests,
+            self.connections,
+            self.errors,
+            self.recomputes,
+            self.final_epoch,
+            self.query.p50_us,
+            self.query.p99_us,
+            self.query.count,
+            self.local.p50_us,
+            self.local.p99_us,
+            self.local.count,
+            self.topk.p50_us,
+            self.topk.p99_us,
+            self.topk.count,
+        )
+    }
+}
+
+/// Per-worker reusable scratch: the `CommunityState` (O(n) to build, so
+/// built once per worker) and the `topk` overlap counters.
+struct WorkerScratch<'g> {
+    state: CommunityState<'g>,
+    counters: EpochCounters,
+}
+
+/// The query server. Construct with [`Server::new`], then call
+/// [`Server::run`] with a bound listener; `run` blocks until shutdown and
+/// returns the [`ServeReport`].
+pub struct Server {
+    graph: std::sync::Arc<CsrGraph>,
+    store: SnapshotStore,
+    config: ServeConfig,
+    detector: LocalDetector,
+    c: f64,
+    cancel: CancelToken,
+    stats: ServeStats,
+    recompute: Option<Box<RecomputeFn>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("node_count", &self.graph.node_count())
+            .field("epoch", &self.store.epoch())
+            .field("workers", &self.config.workers)
+            .field("has_recompute", &self.recompute.is_some())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Builds a server warm-started with `cover` (epoch 1). `recompute`
+    /// (if given, together with `config.recompute_interval`) periodically
+    /// rebuilds the cover and publishes the next epoch.
+    pub fn new(
+        graph: std::sync::Arc<CsrGraph>,
+        cover: Cover,
+        config: ServeConfig,
+        recompute: Option<Box<RecomputeFn>>,
+    ) -> Result<Server, DetectError> {
+        if config.workers < 1 {
+            return Err(DetectError::InvalidConfig {
+                algorithm: "serve",
+                message: "need at least one worker thread".to_string(),
+            });
+        }
+        if cover.node_count() != graph.node_count() {
+            return Err(DetectError::InvalidConfig {
+                algorithm: "serve",
+                message: format!(
+                    "cover is over {} nodes but the graph has {}",
+                    cover.node_count(),
+                    graph.node_count()
+                ),
+            });
+        }
+        let detector = LocalDetector::new(config.local.clone())?;
+        let c = detector.resolve_c(&graph);
+        Ok(Server {
+            store: SnapshotStore::new(cover, c),
+            graph,
+            config,
+            detector,
+            c,
+            cancel: CancelToken::new(),
+            stats: ServeStats::default(),
+            recompute,
+            started: Instant::now(),
+        })
+    }
+
+    /// A clone of the shutdown token — cancel it (e.g. from a signal
+    /// handler or a test) to begin graceful shutdown.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The snapshot store (the bench reads epochs through this).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Serves until shutdown (a `shutdown` request, cancellation of
+    /// [`Server::cancel_token`], or `config.max_duration` elapsing), then
+    /// drains and returns the lifetime report.
+    pub fn run(&self, listener: TcpListener) -> std::io::Result<ServeReport> {
+        listener.set_nonblocking(true)?;
+        let deadline = self.config.max_duration.map(|d| Instant::now() + d);
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Mutex::new(conn_rx);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers {
+                scope.spawn(|| self.worker_loop(&conn_rx));
+            }
+            if let (Some(interval), Some(recompute)) =
+                (self.config.recompute_interval, self.recompute.as_deref())
+            {
+                scope.spawn(move || self.recompute_loop(interval, recompute));
+            }
+            // Accept loop on the calling thread.
+            loop {
+                if self.cancel.is_cancelled() {
+                    break;
+                }
+                if let Some(deadline) = deadline {
+                    if Instant::now() >= deadline {
+                        self.cancel.cancel();
+                        break;
+                    }
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        // A send can only fail after all workers exited,
+                        // which only happens once cancellation fired.
+                        let _ = conn_tx.send(stream);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            // Closing the channel lets workers drain queued connections
+            // and exit; the scope then joins everything.
+            drop(conn_tx);
+        });
+        Ok(self.report())
+    }
+
+    /// The lifetime report so far.
+    fn report(&self) -> ServeReport {
+        let op = |s: &OpStats| OpLatency {
+            count: s.count.load(Ordering::Relaxed),
+            p50_us: s.hist.quantile_us(0.50),
+            p99_us: s.hist.quantile_us(0.99),
+        };
+        ServeReport {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            recomputes: self.stats.recomputes.load(Ordering::Relaxed),
+            final_epoch: self.store.epoch(),
+            query: op(&self.stats.query),
+            local: op(&self.stats.local),
+            topk: op(&self.stats.topk),
+        }
+    }
+
+    fn worker_loop(&self, conn_rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+        let mut scratch = WorkerScratch {
+            state: CommunityState::new(&self.graph, self.c),
+            counters: EpochCounters::new(0),
+        };
+        loop {
+            // Hold the lock only while waiting for the next connection;
+            // a disconnected channel (acceptor exited) ends the worker
+            // after the queue is drained.
+            let stream = match conn_rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+                Ok(stream) => stream,
+                Err(_) => break,
+            };
+            let _ = self.serve_connection(stream, &mut scratch);
+        }
+    }
+
+    /// Serves one connection until the peer closes it, an I/O error, or
+    /// shutdown. Requests already received are always answered.
+    fn serve_connection(
+        &self,
+        stream: TcpStream,
+        scratch: &mut WorkerScratch<'_>,
+    ) -> std::io::Result<()> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(READ_POLL))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let response = self.respond(line.trim(), scratch);
+                    writer.write_all(response.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    line.clear();
+                    if self.cancel.is_cancelled() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // Idle connection: just re-check the shutdown flag.
+                    // A partially read line stays in `line` and completes
+                    // on a later pass.
+                    if self.cancel.is_cancelled() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::InvalidData => {
+                    // Non-UTF-8 input: the offending line was consumed, so
+                    // answer with a typed error and keep the connection.
+                    self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let response =
+                        ProtocolError::bad_request("request was not valid UTF-8").to_json();
+                    writer.write_all(response.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    line.clear();
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the JSON response line for one request line.
+    fn respond(&self, line: &str, scratch: &mut WorkerScratch<'_>) -> String {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return e.to_json();
+            }
+        };
+        let timed = Instant::now();
+        let result = match request {
+            Request::Query(v) => {
+                let r = self.do_query(v);
+                self.stats.query.record(timed.elapsed());
+                r
+            }
+            Request::Local(v) => {
+                let r = self.do_local(v, scratch);
+                self.stats.local.record(timed.elapsed());
+                r
+            }
+            Request::TopK(v, k) => {
+                let r = self.do_topk(v, k, scratch);
+                self.stats.topk.record(timed.elapsed());
+                r
+            }
+            Request::Snapshot => Ok(self.do_snapshot()),
+            Request::Stats => Ok(self.do_stats()),
+            Request::Health => Ok(format!(
+                "{{\"ok\":true,\"op\":\"health\",\"epoch\":{}}}",
+                self.store.epoch()
+            )),
+            Request::Shutdown => {
+                self.cancel.cancel();
+                Ok(format!(
+                    "{{\"ok\":true,\"op\":\"shutdown\",\"epoch\":{},\"draining\":true}}",
+                    self.store.epoch()
+                ))
+            }
+        };
+        match result {
+            Ok(json) => json,
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                e.to_json()
+            }
+        }
+    }
+
+    fn check_node(&self, v: u32) -> Result<NodeId, ProtocolError> {
+        let n = self.graph.node_count();
+        if (v as usize) < n {
+            Ok(NodeId(v))
+        } else {
+            Err(ProtocolError::out_of_bounds(v, n))
+        }
+    }
+
+    fn do_query(&self, v: u32) -> Result<String, ProtocolError> {
+        let node = self.check_node(v)?;
+        let snapshot = self.store.load();
+        let ids = snapshot.index.communities_of(node);
+        let mut out = String::with_capacity(64 + ids.len() * 32);
+        let _ = write!(
+            out,
+            "{{\"ok\":true,\"op\":\"query\",\"epoch\":{},\"node\":{v},\"count\":{},\"communities\":[",
+            snapshot.epoch,
+            ids.len()
+        );
+        for (i, &ci) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let community = &snapshot.cover.communities()[ci as usize];
+            let _ = write!(
+                out,
+                "{{\"id\":{ci},\"size\":{},\"members\":",
+                community.len()
+            );
+            push_id_array(&mut out, community.members().iter().map(|m| m.raw()));
+            out.push('}');
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    fn do_local(&self, v: u32, scratch: &mut WorkerScratch<'_>) -> Result<String, ProtocolError> {
+        let node = self.check_node(v)?;
+        let ctx = DetectContext::new(self.config.seed).with_cancel(self.cancel.clone());
+        let found = self
+            .detector
+            .detect_with(&self.graph, &mut scratch.state, self.c, &[node], &ctx)
+            .map_err(|e| match e {
+                DetectError::Cancelled { .. } => ProtocolError {
+                    kind: "cancelled",
+                    message: "server is shutting down".to_string(),
+                },
+                other => ProtocolError {
+                    kind: "internal",
+                    message: other.to_string(),
+                },
+            })?;
+        let mut out = String::with_capacity(96 + found.community.len() * 8);
+        let _ = write!(
+            out,
+            "{{\"ok\":true,\"op\":\"local\",\"epoch\":{},\"node\":{v},\"size\":{},\
+             \"fitness\":{:.6},\"moves\":{},\"converged\":{},\"stop\":\"{}\",\"members\":",
+            self.store.epoch(),
+            found.community.len(),
+            found.fitness,
+            found.moves,
+            found.converged,
+            found.stop.label()
+        );
+        push_id_array(&mut out, found.community.members().iter().map(|m| m.raw()));
+        out.push('}');
+        Ok(out)
+    }
+
+    fn do_topk(
+        &self,
+        v: u32,
+        k: usize,
+        scratch: &mut WorkerScratch<'_>,
+    ) -> Result<String, ProtocolError> {
+        let node = self.check_node(v)?;
+        let snapshot = self.store.load();
+        if scratch.counters.len() < snapshot.cover.len() {
+            scratch.counters = EpochCounters::new(snapshot.cover.len());
+        }
+        let top = snapshot
+            .index
+            .top_overlapping(&self.graph, node, k, &mut scratch.counters);
+        let mut out = String::with_capacity(64 + top.len() * 32);
+        let _ = write!(
+            out,
+            "{{\"ok\":true,\"op\":\"topk\",\"epoch\":{},\"node\":{v},\"k\":{k},\"results\":[",
+            snapshot.epoch
+        );
+        for (i, &(ci, overlap)) in top.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let size = snapshot.cover.communities()[ci as usize].len();
+            let _ = write!(out, "{{\"id\":{ci},\"overlap\":{overlap},\"size\":{size}}}");
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    fn do_snapshot(&self) -> String {
+        let snapshot = self.store.load();
+        format!(
+            "{{\"ok\":true,\"op\":\"snapshot\",\"epoch\":{},\"node_count\":{},\
+             \"communities\":{},\"memberships\":{},\"coverage\":{:.4},\"c\":{:.6},\
+             \"index_bytes\":{}}}",
+            snapshot.epoch,
+            snapshot.node_count(),
+            snapshot.cover.len(),
+            snapshot.index.membership_count(),
+            snapshot.cover.coverage(),
+            snapshot.c,
+            snapshot.index.memory_bytes()
+        )
+    }
+
+    fn do_stats(&self) -> String {
+        let op = |s: &OpStats| {
+            format!(
+                "{{\"count\":{},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+                s.count.load(Ordering::Relaxed),
+                s.hist.quantile_us(0.50),
+                s.hist.quantile_us(0.99)
+            )
+        };
+        format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"epoch\":{},\"uptime_ms\":{},\
+             \"connections\":{},\"requests\":{},\"errors\":{},\"recomputes\":{},\
+             \"latency\":{{\"query\":{},\"local\":{},\"topk\":{}}}}}",
+            self.store.epoch(),
+            self.started.elapsed().as_millis(),
+            self.stats.connections.load(Ordering::Relaxed),
+            self.stats.requests.load(Ordering::Relaxed),
+            self.stats.errors.load(Ordering::Relaxed),
+            self.stats.recomputes.load(Ordering::Relaxed),
+            op(&self.stats.query),
+            op(&self.stats.local),
+            op(&self.stats.topk)
+        )
+    }
+
+    fn recompute_loop(&self, interval: Duration, recompute: &RecomputeFn) {
+        let mut round = 0u64;
+        'rounds: loop {
+            // Sleep the interval in short slices so shutdown is prompt.
+            let until = Instant::now() + interval;
+            while Instant::now() < until {
+                if self.cancel.is_cancelled() {
+                    break 'rounds;
+                }
+                std::thread::sleep(Duration::from_millis(20).min(interval));
+            }
+            round += 1;
+            let seed = ticket_seed(self.config.seed, round);
+            if let Some(cover) = recompute(&self.graph, seed, &self.cancel) {
+                if cover.node_count() == self.graph.node_count() {
+                    self.store.publish(cover, self.c);
+                    self.stats.recomputes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if self.cancel.is_cancelled() {
+                break;
+            }
+        }
+    }
+}
+
+/// A minimal line-protocol client for tests, CI smoke checks and the
+/// latency benchmark: one blocking request–response exchange per call.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and returns the (trimmed) JSON response
+    /// line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}

@@ -1,0 +1,111 @@
+//! Concurrency contract of [`SnapshotStore`]: readers pin complete,
+//! internally consistent snapshots and observe epochs monotonically, while
+//! a writer publishes new covers as fast as it can.
+
+use oca_graph::{Community, Cover, NodeId};
+use oca_serve::SnapshotStore;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const NODES: usize = 64;
+
+/// A cover whose shape encodes its generation: `gen` communities, each a
+/// contiguous run starting at `gen`, so a torn read (cover from one epoch,
+/// count from another) is detectable.
+fn cover_for(generation: u64) -> Cover {
+    let gen = generation as usize;
+    let communities = (0..gen)
+        .map(|i| {
+            let start = (gen + i * 3) % (NODES - 4);
+            Community::from_raw((start as u32)..(start as u32 + 4))
+        })
+        .collect();
+    Cover::new(NODES, communities)
+}
+
+fn check_snapshot(snapshot: &oca_serve::CoverSnapshot) {
+    let generation = snapshot.epoch as usize;
+    assert_eq!(
+        snapshot.cover.len(),
+        generation,
+        "epoch {generation} must carry exactly {generation} communities"
+    );
+    // The index was built from this exact cover, never a neighbor epoch.
+    let expected: usize = snapshot
+        .cover
+        .communities()
+        .iter()
+        .map(Community::len)
+        .sum();
+    assert_eq!(snapshot.index.membership_count(), expected);
+    let reference = snapshot.cover.membership_index();
+    for (v, expected_ids) in reference.iter().enumerate() {
+        let ids = snapshot.index.communities_of(NodeId(v as u32));
+        assert_eq!(
+            ids,
+            expected_ids.as_slice(),
+            "node {v} at epoch {generation}"
+        );
+    }
+}
+
+#[test]
+fn readers_only_observe_complete_monotone_epochs() {
+    let store = Arc::new(SnapshotStore::new(cover_for(1), 0.5));
+    let done = Arc::new(AtomicBool::new(false));
+    const PUBLICATIONS: u64 = 200;
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut last = 0u64;
+                let mut observed = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    let snapshot = store.load();
+                    assert!(snapshot.epoch >= last, "epoch went backwards");
+                    last = snapshot.epoch;
+                    check_snapshot(&snapshot);
+                    observed += 1;
+                }
+                assert!(observed > 0);
+            });
+        }
+        // Writer: publish as fast as possible.
+        for generation in 2..=PUBLICATIONS {
+            let epoch = store.publish(cover_for(generation), 0.5);
+            assert_eq!(epoch, generation, "epochs advance by exactly one");
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(store.epoch(), PUBLICATIONS);
+    check_snapshot(&store.load());
+}
+
+#[test]
+fn a_pinned_snapshot_is_immutable_across_publications() {
+    let store = SnapshotStore::new(cover_for(3), 0.5);
+    let pinned = store.load();
+    // Note: epoch 1 holds cover_for(3); the shape invariant above only
+    // applies to the concurrent test's numbering scheme.
+    let members_before: Vec<Vec<u32>> = pinned
+        .cover
+        .communities()
+        .iter()
+        .map(|c| c.members().iter().map(|m| m.raw()).collect())
+        .collect();
+    for generation in 4..40 {
+        store.publish(cover_for(generation), 0.5);
+    }
+    let members_after: Vec<Vec<u32>> = pinned
+        .cover
+        .communities()
+        .iter()
+        .map(|c| c.members().iter().map(|m| m.raw()).collect())
+        .collect();
+    assert_eq!(members_before, members_after);
+    assert_eq!(pinned.epoch, 1);
+    assert_eq!(store.load().epoch, 37);
+}

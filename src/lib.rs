@@ -26,6 +26,7 @@ pub use oca_gen as gen;
 pub use oca_graph as graph;
 pub use oca_hierarchy as hierarchy;
 pub use oca_metrics as metrics;
+pub use oca_serve as serve;
 pub use oca_spectral as spectral;
 
 /// Convenience prelude: the types most programs need.
@@ -35,11 +36,15 @@ pub use oca_spectral as spectral;
 /// is the primary entry point; the concrete `Oca` runner remains available
 /// for code that wants OCA-specific telemetry.
 pub mod prelude {
-    pub use oca::{Oca, OcaConfig, OcaDetector, OcaResult, SeedStrategy};
+    pub use oca::{
+        LocalConfig, LocalDetection, LocalDetector, Oca, OcaConfig, OcaDetector, OcaResult,
+        SeedStrategy,
+    };
     pub use oca_api::{registry, DetectorOptions, DetectorRegistry, DetectorSpec};
     pub use oca_graph::{
         CancelToken, CommunityDetector, DetectContext, DetectError, Detection, Progress,
     };
     pub use oca_graph::{Community, Cover, CsrGraph, GraphBuilder, GraphError, NodeId};
     pub use oca_metrics::{rho, theta};
+    pub use oca_serve::{Client, CoverSnapshot, ServeConfig, Server, SnapshotStore};
 }

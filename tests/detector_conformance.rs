@@ -271,7 +271,16 @@ fn oca_relabeling_passes_the_edge_case_contracts() {
 #[test]
 fn disconnected_cliques_are_found_separately() {
     let (_, disconnected) = edge_case_graphs().remove(2);
-    for (name, detector) in all_detectors(&disconnected) {
+    let mut checked = 0;
+    for spec in registry().iter() {
+        // Point-query detectors (a `seed-node` option) answer for one
+        // node, so one community is the *correct* cover here — the
+        // whole-graph contract applies to global detectors only.
+        if spec.option_keys().contains(&"seed-node") {
+            continue;
+        }
+        checked += 1;
+        let (name, detector) = (spec.name(), spec.experiment(&disconnected));
         let detection = detector
             .detect(&disconnected, &mut DetectContext::new(1))
             .unwrap();
@@ -281,6 +290,42 @@ fn disconnected_cliques_are_found_separately() {
             detection.cover.len()
         );
         assert_eq!(detection.cover.overlap_node_count(), 0, "{name}");
+    }
+    assert!(checked >= 5, "the global detectors must stay covered");
+}
+
+/// The query-centric entry point: with `seed-node` pinned, every run of
+/// `oca-local` answers with exactly one community containing the query,
+/// identically across seeds of the surrounding context only when the
+/// context seed is fixed (the seed drives the neighborhood expansion).
+#[test]
+fn oca_local_answers_for_the_pinned_query_node() {
+    let (_, disconnected) = edge_case_graphs().remove(2);
+    let reg = registry();
+    for query in ["0", "5"] {
+        let detector = reg
+            .build(
+                "oca-local",
+                &DetectorOptions::new()
+                    .with("seed-node", query)
+                    .with("fixed-c", "0.9"),
+            )
+            .unwrap();
+        let a = detector
+            .detect(&disconnected, &mut DetectContext::new(9))
+            .unwrap();
+        let b = detector
+            .detect(&disconnected, &mut DetectContext::new(9))
+            .unwrap();
+        assert_eq!(a.cover, b.cover, "query {query}: not deterministic");
+        assert_eq!(a.cover.len(), 1, "query {query}: expected one community");
+        let q: u32 = query.parse().unwrap();
+        let community = &a.cover.communities()[0];
+        assert!(community.contains(NodeId(q)), "query {query} not answered");
+        // Disjoint cliques: the answer is exactly the query's own clique.
+        let base = (q / 4) * 4;
+        let members: Vec<u32> = community.members().iter().map(|v| v.raw()).collect();
+        assert_eq!(members, (base..base + 4).collect::<Vec<_>>());
     }
 }
 

@@ -2,7 +2,8 @@
 //! algorithm invariants.
 
 use oca::{fitness, fitness_from_definition, local_search, CommunityState, MoveRule, SearchConfig};
-use oca_graph::{from_edges, Community, Cover, CsrGraph, NodeId, UnionFind};
+use oca_api::{registry, DetectorOptions};
+use oca_graph::{from_edges, Community, Cover, CsrGraph, DetectContext, NodeId, UnionFind};
 use oca_metrics::{omega_index, overlapping_nmi, rho, theta};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -558,6 +559,57 @@ proptest! {
             deeper.fitness >= first_plateau.fitness - 1e-9,
             "patience {} lost fitness: {} < {}", patience, deeper.fitness, first_plateau.fitness
         );
+    }
+
+    /// A point query must agree with the whole-graph detection: on a
+    /// graph of disjoint cliques (sizes 3–7), `oca-local` pinned to any
+    /// node the global `oca` cover assigns somewhere returns exactly the
+    /// community the global cover placed that node in. Both run with the
+    /// same fixed `c`, for which the full clique is the fitness optimum,
+    /// so the seeded ascent and the global sweep must land on the same
+    /// answer.
+    #[test]
+    fn local_query_agrees_with_the_global_cover_on_disjoint_cliques(
+        sizes in prop::collection::vec(3u32..=7, 1..4),
+        query_pick in 0usize..64,
+        c in 0.6f64..0.9,
+    ) {
+        let n: u32 = sizes.iter().sum();
+        let mut edges = Vec::new();
+        let mut base = 0u32;
+        for &s in &sizes {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    edges.push((base + i, base + j));
+                }
+            }
+            base += s;
+        }
+        let g = from_edges(n as usize, edges);
+        let c_opt = format!("{c}");
+        let reg = registry();
+        let global = reg
+            .build("oca", &DetectorOptions::new().with("fixed-c", &c_opt))
+            .unwrap()
+            .detect(&g, &mut DetectContext::new(5))
+            .unwrap();
+        let membership = global.cover.membership_index();
+        let query = query_pick % n as usize;
+        prop_assume!(!membership[query].is_empty());
+        let local = reg
+            .build(
+                "oca-local",
+                &DetectorOptions::new()
+                    .with("seed-node", &query.to_string())
+                    .with("fixed-c", &c_opt),
+            )
+            .unwrap()
+            .detect(&g, &mut DetectContext::new(5))
+            .unwrap();
+        prop_assert_eq!(local.cover.len(), 1, "a point query answers with one community");
+        let got = local.cover.communities()[0].members();
+        let want = global.cover.communities()[membership[query][0] as usize].members();
+        prop_assert_eq!(got, want);
     }
 
     #[test]

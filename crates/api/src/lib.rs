@@ -34,9 +34,11 @@
 
 pub mod options;
 pub mod registry;
+pub mod source;
 
 pub use options::DetectorOptions;
 pub use registry::{registry, DetectorRegistry, DetectorSpec};
+pub use source::{GraphSource, LoadedGraph};
 
 // The detection API itself lives in `oca-graph`; re-export it so `oca-api`
 // is a one-stop dependency for driving detectors.

@@ -32,7 +32,7 @@ use oca::{
     initial_set, local_search, ticket_seed, CommunityState, HaltingConfig, Oca, OcaConfig,
     SearchConfig, SeedStrategy,
 };
-use oca_bench::{results_dir, Args, Table};
+use oca_bench::{peak_rss_bytes, results_dir, Args, Table};
 use oca_gen::{barabasi_albert, daisy_tree, lfr, DaisyParams, LfrParams};
 use oca_graph::{Cover, CsrGraph, NodeId};
 use oca_metrics::{omega_index, theta};
@@ -193,21 +193,6 @@ fn bench_end_to_end(graph: &CsrGraph, seed: u64, search: SearchConfig) -> (EndTo
 /// would dominate wall-clock (it is the multi-minute regime the budgets
 /// exist to avoid), so the quality fields come from the smaller cases.
 const QUALITY_REF_MAX_NODES: usize = 30_000;
-
-/// Peak resident set size of this process in bytes (`VmHWM` on Linux;
-/// 0 where the proc filesystem is unavailable).
-fn peak_rss_bytes() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
-                l.split_whitespace()
-                    .nth(1)
-                    .and_then(|kb| kb.parse::<u64>().ok())
-            })
-        })
-        .map_or(0, |kb| kb * 1024)
-}
 
 /// The graph families of the bench. Daisy scales by *flower count*
 /// (200-node flowers in a daisy tree), keeping community size constant as

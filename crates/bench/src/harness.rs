@@ -194,6 +194,23 @@ pub fn run_meta_json(graph: &str) -> String {
     )
 }
 
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where unavailable. The high-water mark is
+/// monotone for the lifetime of the process, so benches that want
+/// per-phase peaks must isolate phases in subprocesses.
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
 /// The `results/` directory next to the workspace root (falls back to cwd).
 pub fn results_dir() -> PathBuf {
     let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));

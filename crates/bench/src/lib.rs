@@ -13,6 +13,6 @@
 pub mod harness;
 
 pub use harness::{
-    display_name, results_dir, run_algorithm, run_detector, run_meta_json, secs,
+    display_name, peak_rss_bytes, results_dir, run_algorithm, run_detector, run_meta_json, secs,
     shared_postprocess, Args, RunOutput, Table, QUALITY_ALGORITHMS,
 };

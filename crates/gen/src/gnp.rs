@@ -44,13 +44,25 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
 /// (Bernoulli clique), streaming into an existing builder. Used by the
 /// daisy generator for petal and core wiring.
 pub fn sprinkle_clique<R: Rng + ?Sized>(b: &mut GraphBuilder, nodes: &[u32], p: f64, rng: &mut R) {
+    sprinkle_clique_with(nodes, p, rng, |u, v| b.add_edge(u, v));
+}
+
+/// Closure-sink form of [`sprinkle_clique`]: identical RNG consumption
+/// (it is the same loop), edges go to `emit` instead of a builder, so
+/// streamed and in-RAM composite generators stay bit-identical.
+pub fn sprinkle_clique_with<R: Rng + ?Sized>(
+    nodes: &[u32],
+    p: f64,
+    rng: &mut R,
+    mut emit: impl FnMut(u32, u32),
+) {
     if p <= 0.0 || nodes.len() < 2 {
         return;
     }
     if p >= 1.0 {
         for (i, &u) in nodes.iter().enumerate() {
             for &v in &nodes[i + 1..] {
-                b.add_edge(u, v);
+                emit(u, v);
             }
         }
         return;
@@ -67,7 +79,7 @@ pub fn sprinkle_clique<R: Rng + ?Sized>(b: &mut GraphBuilder, nodes: &[u32], p: 
             break;
         }
         let (i, j) = unflatten(idx as usize, k);
-        b.add_edge(nodes[i], nodes[j]);
+        emit(nodes[i], nodes[j]);
     }
 }
 

@@ -35,5 +35,5 @@ pub use gnp::gnp;
 pub use lfr::{lfr, lfr_overlapping, realized_mixing, LfrBenchmark, LfrParams};
 pub use planted::{planted_partition, PlantedPartition};
 pub use powerlaw::PowerLaw;
-pub use rmat::{rmat, rmat_edges_into, RmatParams};
-pub use wiki_like::{wiki_like, WikiLikeBenchmark, WikiLikeParams};
+pub use rmat::{rmat, rmat_edges, rmat_edges_into, RmatParams};
+pub use wiki_like::{wiki_like, wiki_like_edges, WikiLikeBenchmark, WikiLikeParams};

@@ -64,6 +64,22 @@ pub fn rmat_edges_into<R: Rng + ?Sized>(
     builder: &mut GraphBuilder,
     rng: &mut R,
 ) {
+    rmat_edges(params, rng, |u, v| builder.add_edge(u, v));
+}
+
+/// Streams R-MAT edges to a closure, consuming the RNG exactly as
+/// [`rmat_edges_into`] does (it is the same loop), so a streamed build and
+/// an in-RAM build from the same seeded RNG see identical edges. This is
+/// what lets the external-memory `.ocg` builder generate 100M+-edge
+/// graphs without materializing the edge list.
+///
+/// # Panics
+/// Panics if probabilities are invalid.
+pub fn rmat_edges<R: Rng + ?Sized>(
+    params: &RmatParams,
+    rng: &mut R,
+    mut emit: impl FnMut(u32, u32),
+) {
     let d = params.d();
     assert!(
         params.a >= 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= -1e-9,
@@ -95,7 +111,7 @@ pub fn rmat_edges_into<R: Rng + ?Sized>(
             }
         }
         if u != v {
-            builder.add_edge(u as u32, v as u32);
+            emit(u as u32, v as u32);
         }
     }
 }

@@ -9,8 +9,8 @@
 //! with planted dense communities covering a small fraction of the nodes.
 //! See DESIGN.md §3 for the substitution argument.
 
-use crate::gnp::sprinkle_clique;
-use crate::rmat::{rmat_edges_into, RmatParams};
+use crate::gnp::sprinkle_clique_with;
+use crate::rmat::{rmat_edges, RmatParams};
 use oca_graph::{Community, Cover, CsrGraph, GraphBuilder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -59,15 +59,30 @@ pub struct WikiLikeBenchmark {
 
 /// Generates a Wikipedia-like graph.
 pub fn wiki_like(params: &WikiLikeParams) -> WikiLikeBenchmark {
+    let n = 1usize << params.scale;
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(
+        n * params.edge_factor + (n as f64 * params.community_fraction) as usize * 20,
+    );
+    let planted = wiki_like_edges(params, |u, v| builder.add_edge(u, v));
+    WikiLikeBenchmark {
+        graph: builder.build(),
+        planted,
+    }
+}
+
+/// Streams the Wikipedia-like edge sequence to a closure and returns the
+/// planted cover (in the emitted node-id space). [`wiki_like`] is this
+/// function with a [`GraphBuilder`] as the sink, so a streamed build —
+/// e.g. feeding the external-memory `.ocg` builder at scales where the
+/// edge list cannot live in RAM — sees exactly the same edges for the
+/// same parameters.
+pub fn wiki_like_edges(params: &WikiLikeParams, mut emit: impl FnMut(u32, u32)) -> Cover {
     assert!((0.0..=1.0).contains(&params.community_fraction));
     assert!((0.0..=1.0).contains(&params.internal_density));
     assert!(params.community_size.0 >= 2 && params.community_size.0 <= params.community_size.1);
     let mut rng = StdRng::seed_from_u64(params.seed);
     let n = 1usize << params.scale;
-    let mut builder = GraphBuilder::new(n).with_edge_capacity(
-        n * params.edge_factor + (n as f64 * params.community_fraction) as usize * 20,
-    );
-    rmat_edges_into(
+    rmat_edges(
         &RmatParams {
             a: 0.57,
             b: 0.19,
@@ -75,8 +90,8 @@ pub fn wiki_like(params: &WikiLikeParams) -> WikiLikeBenchmark {
             scale: params.scale,
             edge_factor: params.edge_factor,
         },
-        &mut builder,
         &mut rng,
+        &mut emit,
     );
 
     // Plant dense cores on a random node subset.
@@ -91,15 +106,11 @@ pub fn wiki_like(params: &WikiLikeParams) -> WikiLikeBenchmark {
             .min(budget - used)
             .max(2);
         let members = &nodes[used..used + size];
-        sprinkle_clique(&mut builder, members, params.internal_density, &mut rng);
+        sprinkle_clique_with(members, params.internal_density, &mut rng, &mut emit);
         communities.push(Community::from_raw(members.iter().copied()));
         used += size;
     }
-
-    WikiLikeBenchmark {
-        graph: builder.build(),
-        planted: Cover::new(n, communities),
-    }
+    Cover::new(n, communities)
 }
 
 #[cfg(test)]
@@ -150,6 +161,17 @@ mod tests {
             (b.graph.max_degree() as f64) > 5.0 * b.graph.average_degree(),
             "expected hub-heavy background"
         );
+    }
+
+    #[test]
+    fn streamed_edges_match_built_graph() {
+        let params = small();
+        let built = wiki_like(&params);
+        let n = 1usize << params.scale;
+        let mut b = GraphBuilder::new(n);
+        let planted = wiki_like_edges(&params, |u, v| b.add_edge(u, v));
+        assert_eq!(b.build(), built.graph);
+        assert_eq!(planted, built.planted);
     }
 
     #[test]

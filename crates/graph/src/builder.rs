@@ -10,6 +10,18 @@ use crate::error::{GraphError, Result};
 use crate::node::NodeId;
 use crate::relabel::Relabeling;
 
+/// What normalization dropped while building a graph: counts of self-loops
+/// and duplicate edges in the raw input. Surfaced by
+/// [`GraphBuilder::try_build_report`] and the edge-list ingestion paths so
+/// CLI users can see how much of their input was discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildReport {
+    /// Raw edges with `u == v`, dropped during normalization.
+    pub self_loops: u64,
+    /// Raw edges beyond the first occurrence of each undirected pair.
+    pub duplicates: u64,
+}
+
 /// Builds a [`CsrGraph`] from an edge stream.
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
@@ -117,16 +129,30 @@ impl GraphBuilder {
     /// deduplication) overflows the `u32` offsets of [`CsrGraph`] with
     /// [`GraphError::TooManyEdges`].
     pub fn try_build(self) -> Result<CsrGraph> {
+        self.try_build_report().map(|(g, _)| g)
+    }
+
+    /// Like [`GraphBuilder::try_build`], also returning a [`BuildReport`]
+    /// with the self-loop and duplicate counts normalization dropped.
+    pub fn try_build_report(self) -> Result<(CsrGraph, BuildReport)> {
         let n = self.node_count;
+        // The growable path can push node_count past the u32 id space
+        // without going through `try_new` — fail here, before the O(n)
+        // allocations below.
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes { requested: n });
+        }
         if self.edges.len() > (u32::MAX / 2) as usize {
             return Err(GraphError::TooManyEdges {
                 requested: self.edges.len(),
             });
         }
+        let mut report = BuildReport::default();
         // Pass 1: count directed degree (both directions per edge).
         let mut counts = vec![0u32; n + 1];
         for &(u, v) in &self.edges {
             if u == v {
+                report.self_loops += 1;
                 continue;
             }
             counts[u as usize + 1] += 1;
@@ -151,6 +177,7 @@ impl GraphBuilder {
         }
         drop(cursor);
         // Pass 3: sort rows and deduplicate in place.
+        let directed_total = *offsets.last().unwrap() as usize;
         let mut write = 0usize;
         let mut new_offsets = Vec::with_capacity(n + 1);
         new_offsets.push(0u32);
@@ -174,7 +201,10 @@ impl GraphBuilder {
             new_offsets.push(write as u32);
         }
         neighbors.truncate(write);
-        Ok(CsrGraph::from_parts(new_offsets, neighbors))
+        // Each duplicate undirected edge contributed two directed entries
+        // that pass 3's dedup discarded.
+        report.duplicates = ((directed_total - write) / 2) as u64;
+        Ok((CsrGraph::from_parts(new_offsets, neighbors), report))
     }
 
     /// Like [`GraphBuilder::build`], followed by a degree-ordered
@@ -290,6 +320,37 @@ mod tests {
             .collect();
         hub_row.sort_unstable();
         assert_eq!(hub_row, vec![1, 2, 3], "original neighbors of node 0");
+    }
+
+    #[test]
+    fn build_report_counts_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        // 2 self-loops; {0,1} appears 3 times (2 duplicates, once reversed);
+        // {1,2} appears once.
+        b.extend_edges([(0, 1), (1, 0), (0, 1), (2, 2), (1, 2), (0, 0)]);
+        let (g, report) = b.try_build_report().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(report.self_loops, 2);
+        assert_eq!(report.duplicates, 2);
+    }
+
+    #[test]
+    fn clean_input_reports_zero_drops() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(0, 1), (1, 2)]);
+        let (_, report) = b.try_build_report().unwrap();
+        assert_eq!(report, BuildReport::default());
+    }
+
+    #[test]
+    fn growable_builder_rejects_u32_boundary_ids_before_allocating() {
+        // An edge touching id u32::MAX needs 2^32 nodes, which overflows
+        // the id space; this must fail with a typed error *before* the
+        // builder allocates its O(n) counting arrays.
+        let mut b = GraphBuilder::new_growable();
+        b.add_edge(u32::MAX, 0);
+        let err = b.try_build().unwrap_err();
+        assert!(matches!(err, GraphError::TooManyNodes { .. }), "{err}");
     }
 
     #[test]

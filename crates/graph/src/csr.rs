@@ -13,6 +13,7 @@
 //! largest experiment — enforced by [`crate::builder::GraphBuilder`].
 
 use crate::node::NodeId;
+use crate::storage::{NodeSlab, U32Slab};
 
 /// A simple undirected graph in CSR form.
 ///
@@ -20,12 +21,25 @@ use crate::node::NodeId;
 /// * `offsets.len() == node_count + 1`, `offsets[0] == 0`, non-decreasing;
 /// * each neighbor row is strictly sorted (no duplicates, no self-loops);
 /// * adjacency is symmetric: `v ∈ N(u)` iff `u ∈ N(v)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+///
+/// The two arrays live in `storage` slabs: owned `Vec`s for graphs
+/// built in RAM, read-only windows of a memory-mapped `.ocg` file for graphs
+/// opened via [`crate::ocg::open_ocg_path`]. Every accessor goes through the
+/// same slice view either way, so consumers cannot tell the difference.
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
-    offsets: Vec<u32>,
-    neighbors: Vec<NodeId>,
+    offsets: U32Slab,
+    neighbors: NodeSlab,
 }
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets_slice() == other.offsets_slice()
+            && self.neighbors_slice() == other.neighbors_slice()
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl CsrGraph {
     /// Builds a CSR graph from raw parts.
@@ -48,27 +62,74 @@ impl CsrGraph {
             neighbors.len(),
             "last offset must equal neighbor array length"
         );
+        CsrGraph {
+            offsets: U32Slab::Owned(offsets),
+            neighbors: NodeSlab::Owned(neighbors),
+        }
+    }
+
+    /// Assembles a graph directly from storage slabs (mmap-backed loads).
+    /// Same O(1) structural asserts as [`CsrGraph::from_parts`].
+    pub(crate) fn from_slabs(offsets: U32Slab, neighbors: NodeSlab) -> Self {
+        {
+            let off = offsets.as_slice();
+            assert!(!off.is_empty(), "offsets must have at least one entry");
+            assert_eq!(off[0], 0, "offsets[0] must be 0");
+            assert_eq!(
+                *off.last().unwrap() as usize,
+                neighbors.as_slice().len(),
+                "last offset must equal neighbor array length"
+            );
+        }
         CsrGraph { offsets, neighbors }
     }
 
     /// An empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
         CsrGraph {
-            offsets: vec![0; n + 1],
-            neighbors: Vec::new(),
+            offsets: U32Slab::Owned(vec![0; n + 1]),
+            neighbors: NodeSlab::Owned(Vec::new()),
         }
+    }
+
+    /// The raw offsets array (`node_count + 1` entries).
+    #[inline]
+    pub(crate) fn offsets_slice(&self) -> &[u32] {
+        self.offsets.as_slice()
+    }
+
+    /// The raw directed neighbor array.
+    #[inline]
+    pub(crate) fn neighbors_slice(&self) -> &[NodeId] {
+        self.neighbors.as_slice()
+    }
+
+    /// True if this graph's arrays are windows of a mapped file rather than
+    /// owned heap memory.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.offsets, U32Slab::Mapped { .. })
+    }
+
+    /// A deep copy whose arrays are owned heap `Vec`s regardless of this
+    /// graph's backing — the way to materialize a mapped graph fully in
+    /// RAM (e.g. to compare the mmap path against in-memory behavior).
+    pub fn to_owned_storage(&self) -> CsrGraph {
+        CsrGraph::from_parts(
+            self.offsets_slice().to_vec(),
+            self.neighbors_slice().to_vec(),
+        )
     }
 
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.as_slice().len() - 1
     }
 
     /// Number of undirected edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.neighbors.len() / 2
+        self.neighbors.as_slice().len() / 2
     }
 
     /// True if the graph has no nodes.
@@ -81,14 +142,16 @@ impl CsrGraph {
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
         let i = v.index();
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+        let offsets = self.offsets.as_slice();
+        (offsets[i + 1] - offsets[i]) as usize
     }
 
     /// Sorted neighbor slice of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let i = v.index();
-        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        let offsets = self.offsets.as_slice();
+        &self.neighbors.as_slice()[offsets[i] as usize..offsets[i + 1] as usize]
     }
 
     /// True if `{u, v}` is an edge. `O(log deg)`; probes the smaller row.
@@ -130,7 +193,7 @@ impl CsrGraph {
         if self.is_empty() {
             0.0
         } else {
-            (self.neighbors.len() as f64) / (self.node_count() as f64)
+            (self.neighbors.as_slice().len() as f64) / (self.node_count() as f64)
         }
     }
 
@@ -187,17 +250,18 @@ impl CsrGraph {
 
     /// Checks all CSR invariants; returns a description of the first failure.
     pub fn validate(&self) -> Result<(), String> {
-        if self.offsets.is_empty() {
+        let offsets = self.offsets.as_slice();
+        if offsets.is_empty() {
             return Err("offsets must have at least one entry".into());
         }
-        if self.offsets[0] != 0 {
+        if offsets[0] != 0 {
             return Err("offsets[0] must be 0".into());
         }
-        if *self.offsets.last().unwrap() as usize != self.neighbors.len() {
+        if *offsets.last().unwrap() as usize != self.neighbors.as_slice().len() {
             return Err("last offset must equal neighbor array length".into());
         }
         let n = self.node_count();
-        for w in self.offsets.windows(2) {
+        for w in offsets.windows(2) {
             if w[0] > w[1] {
                 return Err("offsets must be non-decreasing".into());
             }
@@ -312,19 +376,18 @@ mod tests {
     #[test]
     fn validate_catches_asymmetry() {
         // 0 -> 1 but not 1 -> 0.
-        let g = CsrGraph {
-            offsets: vec![0, 1, 1],
-            neighbors: vec![NodeId(1)],
-        };
+        let g = CsrGraph::from_parts(vec![0, 1, 1], vec![NodeId(1)]);
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_catches_self_loop() {
-        let g = CsrGraph {
-            offsets: vec![0, 1],
-            neighbors: vec![NodeId(0)],
-        };
+        let g = CsrGraph::from_parts(vec![0, 1], vec![NodeId(0)]);
         assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn owned_graphs_are_not_mapped() {
+        assert!(!triangle_plus_pendant().is_mapped());
     }
 }

@@ -34,6 +34,33 @@ pub enum GraphError {
         /// The raw (pre-deduplication) undirected edge count.
         requested: usize,
     },
+    /// A binary graph file (`.ocg`) was malformed or failed verification.
+    InvalidFormat {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An error annotated with the file path it came from.
+    WithPath {
+        /// The offending file.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: Box<GraphError>,
+    },
+}
+
+impl GraphError {
+    /// Annotates `self` with the file path it originated from. An error
+    /// already carrying a path is returned unchanged, so nested helpers
+    /// can all call this without double-wrapping.
+    pub fn with_path(self, path: impl Into<std::path::PathBuf>) -> GraphError {
+        match self {
+            GraphError::WithPath { .. } => self,
+            other => GraphError::WithPath {
+                path: path.into(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -57,6 +84,12 @@ impl fmt::Display for GraphError {
                     "graphs are limited to 2^31 - 1 undirected edges, got {requested}"
                 )
             }
+            GraphError::InvalidFormat { message } => {
+                write!(f, "invalid graph file: {message}")
+            }
+            GraphError::WithPath { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -65,6 +98,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::WithPath { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -106,6 +140,16 @@ mod tests {
         use std::error::Error;
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e = GraphError::from(io);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn with_path_annotates_once() {
+        use std::error::Error;
+        let e = GraphError::EmptyGraph.with_path("a.txt").with_path("b.txt");
+        let msg = e.to_string();
+        assert!(msg.contains("a.txt"), "kept the original path: {msg}");
+        assert!(!msg.contains("b.txt"), "no double wrapping: {msg}");
         assert!(e.source().is_some());
     }
 }

@@ -3,6 +3,11 @@
 //! Format: one `u v` pair per line, whitespace separated; `#`- or `%`-prefixed
 //! lines are comments. This covers SNAP-style and Pajek-ish exports, which is
 //! how graphs like the paper's Wikipedia snapshot are normally distributed.
+//!
+//! The path-based readers transparently decompress gzip input (detected by
+//! magic bytes, so the extension does not matter) and annotate every error
+//! with the offending file path. For graphs too large to build in RAM, the
+//! same parser feeds the external-memory builder in [`crate::ocg_build`].
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
@@ -10,15 +15,31 @@ use crate::error::{GraphError, Result};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-/// Reads an edge list from any reader.
-pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph> {
-    let mut b = GraphBuilder::new_growable();
-    let mut buf = BufReader::new(reader);
+/// What edge-list ingestion saw: how many edge lines were parsed and how
+/// many of them normalization dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Parsed (non-comment, non-blank) edge lines.
+    pub edges_read: u64,
+    /// Edges with `u == v`, dropped.
+    pub self_loops: u64,
+    /// Edges beyond the first occurrence of each undirected pair, dropped.
+    pub duplicates: u64,
+}
+
+/// Streams every `(u, v)` pair of an edge list to `f`, in file order.
+/// Returns the number of edge lines parsed. Shared by the in-RAM readers
+/// below and the external-memory `.ocg` builder.
+pub(crate) fn for_each_edge<R: BufRead>(
+    mut reader: R,
+    mut f: impl FnMut(u32, u32) -> Result<()>,
+) -> Result<u64> {
     let mut line = String::new();
     let mut lineno = 0usize;
+    let mut edges = 0u64;
     loop {
         line.clear();
-        if buf.read_line(&mut line)? == 0 {
+        if reader.read_line(&mut line)? == 0 {
             break;
         }
         lineno += 1;
@@ -29,9 +50,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph> {
         let mut it = trimmed.split_whitespace();
         let u = parse_field(it.next(), lineno)?;
         let v = parse_field(it.next(), lineno)?;
-        b.add_edge(u, v);
+        edges += 1;
+        f(u, v)?;
     }
-    Ok(b.build())
+    Ok(edges)
 }
 
 fn parse_field(field: Option<&str>, line: usize) -> Result<u32> {
@@ -45,9 +67,58 @@ fn parse_field(field: Option<&str>, line: usize) -> Result<u32> {
     })
 }
 
-/// Reads an edge list from a file path.
+/// Reads an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph> {
+    read_edge_list_report(reader).map(|(g, _)| g)
+}
+
+/// Reads an edge list from any reader, also reporting how many edge lines
+/// were parsed and how many self-loops/duplicates were dropped.
+pub fn read_edge_list_report<R: Read>(reader: R) -> Result<(CsrGraph, IngestReport)> {
+    let mut b = GraphBuilder::new_growable();
+    let edges_read = for_each_edge(BufReader::new(reader), |u, v| {
+        b.add_edge(u, v);
+        Ok(())
+    })?;
+    let (graph, build) = b.try_build_report()?;
+    Ok((
+        graph,
+        IngestReport {
+            edges_read,
+            self_loops: build.self_loops,
+            duplicates: build.duplicates,
+        },
+    ))
+}
+
+/// Opens `path` for edge-list reading, transparently decompressing gzip
+/// input (detected by the `1f 8b` magic bytes, not the file extension).
+pub(crate) fn open_edge_list_reader(path: &Path) -> Result<Box<dyn BufRead>> {
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let is_gzip = {
+        let head = reader.fill_buf()?;
+        head.len() >= 2 && head[0] == 0x1f && head[1] == 0x8b
+    };
+    Ok(if is_gzip {
+        Box::new(BufReader::new(crate::gzip::GzDecoder::new(reader)))
+    } else {
+        Box::new(reader)
+    })
+}
+
+/// Reads an edge list from a file path (gzip detected automatically).
+/// Errors are annotated with `path`.
 pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
-    read_edge_list(std::fs::File::open(path)?)
+    read_edge_list_report_path(path).map(|(g, _)| g)
+}
+
+/// Reads an edge list with an [`IngestReport`] from a file path (gzip
+/// detected automatically). Errors are annotated with `path`.
+pub fn read_edge_list_report_path<P: AsRef<Path>>(path: P) -> Result<(CsrGraph, IngestReport)> {
+    let path = path.as_ref();
+    open_edge_list_reader(path)
+        .and_then(read_edge_list_report)
+        .map_err(|e| e.with_path(path))
 }
 
 /// Writes a graph as an edge list (`u v` per line, `u < v`).
@@ -105,6 +176,61 @@ mod tests {
 
         let err = read_edge_list("0\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn ingest_report_counts_drops() {
+        let text = "# six raw lines\n0 1\n1 0\n0 1\n2 2\n1 2\n3 3\n";
+        let (g, report) = read_edge_list_report(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(report.edges_read, 6);
+        assert_eq!(report.self_loops, 2);
+        assert_eq!(report.duplicates, 2);
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs_build_empty_graphs() {
+        let (g, report) = read_edge_list_report("".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(report, IngestReport::default());
+
+        let (g, report) = read_edge_list_report("# nothing\n% here\n\n".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(report.edges_read, 0);
+    }
+
+    #[test]
+    fn u32_boundary_ids_fail_with_typed_errors() {
+        // Largest id that parses: u32::MAX. It implies 2^32 nodes, one
+        // past the id space, so ingestion reports TooManyNodes rather
+        // than silently mis-counting (and without allocating O(2^32)).
+        let text = format!("0 {}\n", u32::MAX);
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyNodes { .. }), "{err}");
+
+        // One past u32::MAX fails at parse time, with the line number.
+        let text = format!("0 {}\n", u32::MAX as u64 + 1);
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn path_errors_carry_the_offending_path() {
+        let dir = std::env::temp_dir().join(format!("oca_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("does_not_exist.edges");
+        let err = read_edge_list_path(&missing).unwrap_err();
+        assert!(err.to_string().contains("does_not_exist.edges"), "{err}");
+
+        let bad = dir.join("bad.edges");
+        std::fs::write(&bad, "0 1\noops\n").unwrap();
+        let err = read_edge_list_path(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad.edges"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

@@ -40,16 +40,20 @@ pub mod detect;
 pub mod distances;
 pub mod epoch;
 pub mod error;
+pub mod gzip;
 pub mod io;
 pub mod kcore;
 pub mod node;
+pub mod ocg;
+pub mod ocg_build;
 pub mod relabel;
 pub mod stats;
+mod storage;
 pub mod subgraph;
 pub mod traversal;
 pub mod union_find;
 
-pub use builder::{from_edges, GraphBuilder};
+pub use builder::{from_edges, BuildReport, GraphBuilder};
 pub use community::{Community, Cover};
 pub use components::{is_connected, Components};
 pub use cover_io::{read_cover, read_cover_path, write_cover, write_cover_path};
@@ -58,9 +62,17 @@ pub use detect::{CancelToken, CommunityDetector, DetectContext, DetectError, Det
 pub use distances::{bfs_distances, double_sweep_diameter, eccentricity};
 pub use epoch::EpochCounters;
 pub use error::{GraphError, Result};
-pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
+pub use io::{
+    read_edge_list, read_edge_list_path, read_edge_list_report, read_edge_list_report_path,
+    write_edge_list, write_edge_list_path, IngestReport,
+};
 pub use kcore::CoreDecomposition;
 pub use node::NodeId;
+pub use ocg::{open_ocg_path, payload_checksum, read_ocg_info, verify_ocg_path, write_ocg_path};
+pub use ocg::{OcgGraph, OcgInfo};
+pub use ocg_build::{
+    build_ocg_from_edges, build_ocg_from_emitter, build_ocg_from_path, BuildOptions, BuildStats,
+};
 pub use relabel::Relabeling;
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;

@@ -117,6 +117,33 @@ impl Relabeling {
                 .collect(),
         )
     }
+
+    /// Maps a community of original ids into the relabeled (compact)
+    /// space — the inverse of [`Relabeling::community_to_original`].
+    pub fn community_to_compact(&self, community: &Community) -> Community {
+        Community::new(
+            community
+                .members()
+                .iter()
+                .map(|&v| self.to_compact(v))
+                .collect(),
+        )
+    }
+
+    /// Maps a cover expressed in original ids onto the relabeled graph —
+    /// the inverse of [`Relabeling::cover_to_original`]. Used to bring
+    /// ground-truth or warm-start covers (stored in input ids) into the
+    /// id space detection runs in.
+    pub fn cover_to_compact(&self, cover: &Cover) -> Cover {
+        Cover::new(
+            cover.node_count(),
+            cover
+                .communities()
+                .iter()
+                .map(|c| self.community_to_compact(c))
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +221,8 @@ mod tests {
         let mapped = r.cover_to_original(&cover);
         assert_eq!(mapped.communities()[0].members(), &[NodeId(1), NodeId(2)]);
         assert_eq!(mapped.node_count(), 5);
+        // The inverse crossing round-trips.
+        assert_eq!(r.cover_to_compact(&mapped), cover);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Storage backends for the CSR arrays: owned heap vectors or a read-only
+//! memory-mapped file.
+//!
+//! [`crate::csr::CsrGraph`] does not own `Vec`s directly anymore; its
+//! `offsets` and `neighbors` arrays live in [`U32Slab`]/[`NodeSlab`]s. A
+//! slab is either an owned vector (every graph built in RAM) or a window
+//! into a shared [`MappedFile`] (graphs opened from a `.ocg` file, see
+//! [`crate::ocg`]). The accessors return plain slices either way, so every
+//! consumer of `CsrGraph` — the ascent hot path included — is oblivious to
+//! where the bytes physically live, and the mapped variant adds no
+//! allocation and no per-access work beyond one predictable branch.
+//!
+//! ## Safety argument for the mapped variant
+//!
+//! The only `unsafe` in this crate lives here, in two places:
+//!
+//! 1. the `mmap(2)`/`munmap(2)` FFI (64-bit Unix only; other targets read
+//!    the file into an aligned heap buffer instead), and
+//! 2. reinterpreting the mapped bytes as `&[u32]` / `&[NodeId]`.
+//!
+//! Both are sound under the following conditions, all enforced at open
+//! time by [`crate::ocg`]:
+//!
+//! * the mapping is `PROT_READ` + `MAP_PRIVATE`: nothing in this process
+//!   can write through it, so shared `&[u32]` views cannot alias a
+//!   mutation;
+//! * every typed window is bounds-checked against the mapping length and
+//!   4-byte aligned (the mapping is page-aligned and the `.ocg` header is
+//!   64 bytes, so all array sections start on a 4-byte boundary);
+//! * `NodeId` is `#[repr(transparent)]` over `u32`, and any `u32` bit
+//!   pattern is a valid `NodeId`, so the reinterpretation cannot create
+//!   an invalid value.
+//!
+//! What mmap cannot protect against is another *process* truncating the
+//! file while it is mapped (reads would then fault). That is the standard
+//! trust model of every mmap-based store: `.ocg` files are treated as
+//! local, immutable build artifacts, the same way the binary cover files
+//! already are.
+
+use crate::node::NodeId;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A read-only byte store backing mapped slabs: an `mmap`ed file on 64-bit
+/// Unix, an aligned heap copy of the file elsewhere.
+#[derive(Debug)]
+pub(crate) struct MappedFile {
+    inner: raw::Mapping,
+}
+
+impl MappedFile {
+    /// Maps (or, on targets without `mmap`, reads) `path` read-only.
+    pub(crate) fn open(path: &Path) -> std::io::Result<MappedFile> {
+        Ok(MappedFile {
+            inner: raw::Mapping::open(path)?,
+        })
+    }
+
+    /// Total length in bytes.
+    pub(crate) fn byte_len(&self) -> usize {
+        self.inner.byte_len()
+    }
+
+    /// The whole store as raw bytes.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        self.inner.bytes()
+    }
+
+    /// A `count`-element `u32` window starting at `byte_start`.
+    ///
+    /// # Panics
+    /// Panics when the window is out of bounds or misaligned; `.ocg`
+    /// loading validates both before constructing slabs.
+    pub(crate) fn u32s(&self, byte_start: usize, count: usize) -> &[u32] {
+        self.inner.u32s(byte_start, count)
+    }
+
+    /// Like [`MappedFile::u32s`] but typed as node ids.
+    pub(crate) fn node_ids(&self, byte_start: usize, count: usize) -> &[NodeId] {
+        raw::u32s_as_node_ids(self.inner.u32s(byte_start, count))
+    }
+}
+
+/// An `offsets`-style array: owned or a window of a shared mapping.
+#[derive(Debug, Clone)]
+pub(crate) enum U32Slab {
+    /// Heap-allocated storage (graphs built in RAM).
+    Owned(Vec<u32>),
+    /// A window into a mapped `.ocg` file.
+    Mapped {
+        /// The shared mapping (one per open file, shared by both slabs).
+        file: Arc<MappedFile>,
+        /// First byte of the window inside the mapping.
+        byte_start: usize,
+        /// Window length in elements.
+        len: usize,
+    },
+}
+
+impl U32Slab {
+    /// The backing array as a slice.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u32] {
+        match self {
+            U32Slab::Owned(v) => v,
+            U32Slab::Mapped {
+                file,
+                byte_start,
+                len,
+            } => file.u32s(*byte_start, *len),
+        }
+    }
+}
+
+/// A `neighbors`-style array: owned or a window of a shared mapping.
+#[derive(Debug, Clone)]
+pub(crate) enum NodeSlab {
+    /// Heap-allocated storage (graphs built in RAM).
+    Owned(Vec<NodeId>),
+    /// A window into a mapped `.ocg` file.
+    Mapped {
+        /// The shared mapping (one per open file, shared by both slabs).
+        file: Arc<MappedFile>,
+        /// First byte of the window inside the mapping.
+        byte_start: usize,
+        /// Window length in elements.
+        len: usize,
+    },
+}
+
+impl NodeSlab {
+    /// The backing array as a slice.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[NodeId] {
+        match self {
+            NodeSlab::Owned(v) => v,
+            NodeSlab::Mapped {
+                file,
+                byte_start,
+                len,
+            } => file.node_ids(*byte_start, *len),
+        }
+    }
+}
+
+/// The unsafe core: the mapping itself and the byte→`u32` reinterpretation.
+/// Everything outside this module is safe code over the slices it hands
+/// out; the module docs carry the soundness argument.
+mod raw {
+    #![allow(unsafe_code)]
+
+    use crate::node::NodeId;
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    use std::io::Read;
+    use std::path::Path;
+
+    /// Backing storage: a real mapping where available, an aligned heap
+    /// buffer elsewhere (or for empty files, which `mmap` rejects).
+    #[derive(Debug)]
+    pub(super) enum Mapping {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        Mmap { ptr: *const u8, len: usize },
+        /// `Vec<u32>` rather than `Vec<u8>` so the buffer is 4-byte
+        /// aligned and the typed views below stay valid.
+        Heap { words: Vec<u32>, len: usize },
+    }
+
+    // SAFETY: the mapping is created PROT_READ/MAP_PRIVATE and never
+    // written through; it behaves as an immutable byte slice for its whole
+    // lifetime, which is exactly the contract `Send`/`Sync` need.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    unsafe impl Send for Mapping {}
+    // SAFETY: as above — shared read-only access to immutable memory.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    unsafe impl Sync for Mapping {}
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    mod sys {
+        use std::os::raw::{c_int, c_void};
+
+        pub const PROT_READ: c_int = 1;
+        pub const MAP_PRIVATE: c_int = 2;
+
+        extern "C" {
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: c_int,
+                flags: c_int,
+                fd: c_int,
+                offset: i64,
+            ) -> *mut c_void;
+            pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        }
+    }
+
+    impl Mapping {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        pub(super) fn open(path: &Path) -> std::io::Result<Mapping> {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if len > usize::MAX as u64 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "file too large to map",
+                ));
+            }
+            let len = len as usize;
+            if len == 0 {
+                return Ok(Mapping::Heap {
+                    words: Vec::new(),
+                    len: 0,
+                });
+            }
+            // SAFETY: fd is a valid open file descriptor for `len` bytes;
+            // we request a fresh read-only private mapping (addr = null,
+            // offset = 0) and check for MAP_FAILED. The file handle may be
+            // dropped afterwards: the mapping keeps its own reference to
+            // the underlying object.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Mapping::Mmap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        pub(super) fn open(path: &Path) -> std::io::Result<Mapping> {
+            let mut file = std::fs::File::open(path)?;
+            let mut bytes = Vec::new();
+            file.read_to_end(&mut bytes)?;
+            Ok(Self::from_bytes(&bytes))
+        }
+
+        /// Copies raw bytes into an aligned heap buffer (fallback targets
+        /// and tests).
+        #[cfg_attr(all(unix, target_pointer_width = "64"), allow(dead_code))]
+        pub(super) fn from_bytes(bytes: &[u8]) -> Mapping {
+            let len = bytes.len();
+            let mut words = vec![0u32; len.div_ceil(4)];
+            // SAFETY: `words` owns at least `len` bytes of 4-byte-aligned
+            // storage; u32 has no invalid bit patterns, so writing raw
+            // bytes into it is fine.
+            let dst = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
+            dst.copy_from_slice(bytes);
+            Mapping::Heap { words, len }
+        }
+
+        pub(super) fn byte_len(&self) -> usize {
+            match self {
+                #[cfg(all(unix, target_pointer_width = "64"))]
+                Mapping::Mmap { len, .. } => *len,
+                Mapping::Heap { len, .. } => *len,
+            }
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            match self {
+                #[cfg(all(unix, target_pointer_width = "64"))]
+                Mapping::Mmap { ptr, len } => {
+                    // SAFETY: ptr/len describe a live PROT_READ mapping
+                    // owned by self; the borrow cannot outlive the mapping.
+                    unsafe { std::slice::from_raw_parts(*ptr, *len) }
+                }
+                Mapping::Heap { words, len } => {
+                    // SAFETY: `words` owns at least `len` bytes; any u32 is
+                    // a valid byte source.
+                    unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, *len) }
+                }
+            }
+        }
+
+        #[inline]
+        pub(super) fn u32s(&self, byte_start: usize, count: usize) -> &[u32] {
+            let bytes = self.bytes();
+            let byte_len = count.checked_mul(4).expect("u32 window overflows");
+            let end = byte_start.checked_add(byte_len).expect("window overflows");
+            assert!(end <= bytes.len(), "u32 window out of bounds");
+            let ptr = bytes[byte_start..].as_ptr();
+            assert_eq!(ptr as usize % 4, 0, "u32 window misaligned");
+            // SAFETY: bounds and 4-byte alignment checked just above; the
+            // memory is immutable for the lifetime of the borrow and every
+            // bit pattern is a valid u32. Reads are little-endian on every
+            // supported target (the `.ocg` format is LE; see crate::ocg).
+            unsafe { std::slice::from_raw_parts(ptr as *const u32, count) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            if let Mapping::Mmap { ptr, len } = self {
+                // SAFETY: ptr/len came from a successful mmap and are
+                // unmapped exactly once, here.
+                unsafe {
+                    sys::munmap(*ptr as *mut std::os::raw::c_void, *len);
+                }
+            }
+        }
+    }
+
+    /// Reinterprets a `u32` slice as node ids.
+    #[inline]
+    pub(super) fn u32s_as_node_ids(words: &[u32]) -> &[NodeId] {
+        // SAFETY: NodeId is #[repr(transparent)] over u32, so the slices
+        // have identical layout and every u32 is a valid NodeId.
+        unsafe { std::slice::from_raw_parts(words.as_ptr() as *const NodeId, words.len()) }
+    }
+
+    #[cfg(test)]
+    pub(super) fn heap_mapping_from_bytes(bytes: &[u8]) -> Mapping {
+        Mapping::from_bytes(bytes)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn heap_mapping_round_trips_bytes_and_words() {
+            let mut bytes = Vec::new();
+            for w in [1u32, 0xdead_beef, 42] {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            bytes.push(7); // trailing partial word
+            let m = heap_mapping_from_bytes(&bytes);
+            assert_eq!(m.byte_len(), 13);
+            assert_eq!(m.bytes(), &bytes[..]);
+            assert_eq!(m.u32s(0, 3), &[1, 0xdead_beef, 42]);
+            assert_eq!(m.u32s(4, 2), &[0xdead_beef, 42]);
+        }
+
+        #[test]
+        #[should_panic(expected = "out of bounds")]
+        fn out_of_bounds_window_panics() {
+            let m = heap_mapping_from_bytes(&[0u8; 8]);
+            m.u32s(4, 2);
+        }
+
+        #[test]
+        #[should_panic(expected = "misaligned")]
+        fn misaligned_window_panics() {
+            let m = heap_mapping_from_bytes(&[0u8; 12]);
+            m.u32s(2, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapped_file_over_a_real_file() {
+        let dir = std::env::temp_dir().join(format!("oca_storage_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("words.bin");
+        let mut bytes = Vec::new();
+        for w in 0u32..64 {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.byte_len(), 256);
+        assert_eq!(map.bytes()[..4], [0, 0, 0, 0]);
+        assert_eq!(map.u32s(0, 64)[63], 63);
+        assert_eq!(map.node_ids(16, 2), &[NodeId(4), NodeId(5)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_store() {
+        let dir = std::env::temp_dir().join(format!("oca_storage_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.byte_len(), 0);
+        assert!(map.bytes().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slabs_expose_owned_and_mapped_storage_identically() {
+        let owned = U32Slab::Owned(vec![0, 2, 4]);
+        assert_eq!(owned.as_slice(), &[0, 2, 4]);
+        let nodes = NodeSlab::Owned(vec![NodeId(1), NodeId(0)]);
+        assert_eq!(nodes.as_slice(), &[NodeId(1), NodeId(0)]);
+
+        let dir = std::env::temp_dir().join(format!("oca_storage_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slab.bin");
+        let mut bytes = Vec::new();
+        for w in [0u32, 2, 4, 1, 0] {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let file = Arc::new(MappedFile::open(&path).unwrap());
+        let mapped = U32Slab::Mapped {
+            file: Arc::clone(&file),
+            byte_start: 0,
+            len: 3,
+        };
+        assert_eq!(mapped.as_slice(), owned.as_slice());
+        let mapped_nodes = NodeSlab::Mapped {
+            file,
+            byte_start: 12,
+            len: 2,
+        };
+        assert_eq!(mapped_nodes.as_slice(), nodes.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -16,7 +16,9 @@
 use crate::protocol::{push_id_array, ProtocolError, Request};
 use crate::snapshot::SnapshotStore;
 use oca::{ticket_seed, CommunityState, LocalConfig, LocalDetector};
-use oca_graph::{CancelToken, Cover, CsrGraph, DetectContext, DetectError, EpochCounters, NodeId};
+use oca_graph::{
+    CancelToken, Cover, CsrGraph, DetectContext, DetectError, EpochCounters, NodeId, Relabeling,
+};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, ErrorKind, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -219,6 +221,7 @@ pub struct Server {
     cancel: CancelToken,
     stats: ServeStats,
     recompute: Option<Box<RecomputeFn>>,
+    relabeling: Option<Relabeling>,
     started: Instant,
 }
 
@@ -270,8 +273,38 @@ impl Server {
             cancel: CancelToken::new(),
             stats: ServeStats::default(),
             recompute,
+            relabeling: None,
             started: Instant::now(),
         })
+    }
+
+    /// Serves a relabeled (e.g. degree-ordered `.ocg`) graph under its
+    /// *input* id space: request node ids are translated to compact ids
+    /// before dispatch, and member arrays in responses are translated
+    /// back, so clients never see the storage layout. The warm-start
+    /// cover passed to [`Server::new`] must already be in compact ids.
+    pub fn with_relabeling(mut self, relabeling: Relabeling) -> Result<Server, DetectError> {
+        if relabeling.len() != self.graph.node_count() {
+            return Err(DetectError::InvalidConfig {
+                algorithm: "serve",
+                message: format!(
+                    "relabeling covers {} nodes but the graph has {}",
+                    relabeling.len(),
+                    self.graph.node_count()
+                ),
+            });
+        }
+        self.relabeling = (!relabeling.is_identity()).then_some(relabeling);
+        Ok(self)
+    }
+
+    /// Maps a compact node id back to the id space clients speak.
+    #[inline]
+    fn external_id(&self, v: NodeId) -> u32 {
+        match &self.relabeling {
+            Some(r) => r.to_original(v).raw(),
+            None => v.raw(),
+        }
     }
 
     /// A clone of the shutdown token — cancel it (e.g. from a signal
@@ -475,7 +508,10 @@ impl Server {
     fn check_node(&self, v: u32) -> Result<NodeId, ProtocolError> {
         let n = self.graph.node_count();
         if (v as usize) < n {
-            Ok(NodeId(v))
+            Ok(match &self.relabeling {
+                Some(r) => r.to_compact(NodeId(v)),
+                None => NodeId(v),
+            })
         } else {
             Err(ProtocolError::out_of_bounds(v, n))
         }
@@ -502,7 +538,10 @@ impl Server {
                 "{{\"id\":{ci},\"size\":{},\"members\":",
                 community.len()
             );
-            push_id_array(&mut out, community.members().iter().map(|m| m.raw()));
+            push_id_array(
+                &mut out,
+                community.members().iter().map(|&m| self.external_id(m)),
+            );
             out.push('}');
         }
         out.push_str("]}");
@@ -537,7 +576,14 @@ impl Server {
             found.converged,
             found.stop.label()
         );
-        push_id_array(&mut out, found.community.members().iter().map(|m| m.raw()));
+        push_id_array(
+            &mut out,
+            found
+                .community
+                .members()
+                .iter()
+                .map(|&m| self.external_id(m)),
+        );
         out.push('}');
         Ok(out)
     }

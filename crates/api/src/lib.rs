@@ -33,10 +33,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod options;
+pub mod recompute;
 pub mod registry;
 pub mod source;
 
 pub use options::DetectorOptions;
+pub use recompute::registry_recompute;
 pub use registry::{registry, DetectorRegistry, DetectorSpec};
 pub use source::{GraphSource, LoadedGraph};
 

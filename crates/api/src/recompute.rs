@@ -1,0 +1,72 @@
+//! Registry-backed recompute closures for the serving layer.
+//!
+//! `oca-serve` periodically rebuilds its cover through a plain closure
+//! (`Fn(&CsrGraph, u64, &CancelToken) -> Result<Cover, String>`), so it
+//! does not depend on this crate; this module is the other direction — a
+//! one-liner for drivers (the CLI `serve` command, benchmarks) that want
+//! that closure to run a registered algorithm's tuned preset. Errors come
+//! back as strings because the serving layer only logs and counts them:
+//! a failing recompute degrades the server, it never stops it.
+
+use crate::options::DetectorOptions;
+use crate::registry::registry;
+use oca_graph::{CancelToken, Cover, CsrGraph, DetectContext};
+
+/// A recompute closure running `algorithm`'s tuned preset: each round
+/// resolves the algorithm from the global [`registry`], builds the
+/// detector scaled to `graph`, and detects under `seed` with `cancel`
+/// wired into the context (so server shutdown aborts the round promptly).
+/// Every failure — unknown algorithm, construction, detection, and
+/// cancellation — is rendered as the `Err` message.
+pub fn registry_recompute(
+    algorithm: impl Into<String>,
+) -> impl Fn(&CsrGraph, u64, &CancelToken) -> Result<Cover, String> + Send + Sync + 'static {
+    let algorithm = algorithm.into();
+    move |graph, seed, cancel| {
+        let reg = registry();
+        let spec = reg
+            .get(&algorithm)
+            .map_err(|e| format!("resolving {algorithm:?}: {e}"))?;
+        let detector = spec
+            .build_tuned(graph, &DetectorOptions::new())
+            .map_err(|e| format!("building {algorithm:?}: {e}"))?;
+        let mut ctx = DetectContext::new(seed).with_cancel(cancel.clone());
+        detector
+            .detect(graph, &mut ctx)
+            .map(|d| d.cover)
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oca_graph::from_edges;
+
+    #[test]
+    fn recompute_runs_the_named_algorithm() {
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let recompute = registry_recompute("oca");
+        let cover = recompute(&g, 42, &CancelToken::new()).unwrap();
+        assert_eq!(cover.node_count(), 5);
+        assert!(!cover.is_empty());
+        // Same seed, same cover — the closure is deterministic.
+        let again = recompute(&g, 42, &CancelToken::new()).unwrap();
+        assert_eq!(again, cover);
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error_message_not_a_panic() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let err = registry_recompute("no-such-thing")(&g, 1, &CancelToken::new()).unwrap_err();
+        assert!(err.contains("no-such-thing"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_rounds_surface_as_errors() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(registry_recompute("oca")(&g, 7, &token).is_err());
+    }
+}

@@ -109,6 +109,7 @@ fn main() {
             },
             ..Default::default()
         },
+        ..Default::default()
     };
     // The background refresh: a seed-capped OCA pass with the same fixed
     // c as the serving config — c is a property of the static graph, so
@@ -125,9 +126,12 @@ fn main() {
             c: CStrategy::Fixed(fixed_c),
             ..Default::default()
         };
-        let detector = OcaDetector::new(config).ok()?;
+        let detector = OcaDetector::new(config).map_err(|e| e.to_string())?;
         let mut ctx = DetectContext::new(seed).with_cancel(cancel.clone());
-        detector.detect(graph, &mut ctx).ok().map(|d| d.cover)
+        detector
+            .detect(graph, &mut ctx)
+            .map(|d| d.cover)
+            .map_err(|e| e.to_string())
     });
 
     let server = Server::new(
@@ -169,7 +173,7 @@ fn main() {
                 } else {
                     out.query_ns.push(nanos);
                 }
-                if response.starts_with("{\"error\"") {
+                if response.contains("\"ok\":false") {
                     out.errors += 1;
                 }
             }

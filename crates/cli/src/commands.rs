@@ -68,7 +68,8 @@ COMMANDS:
   serve      (--input G.edges | --graph G.ocg) [--addr HOST:PORT]
              [--workers N] [--seed S] [--cover C.bin] [--save-cover C.bin]
              [--recompute-secs F] [--algorithm NAME] [--fixed-c F]
-             [--max-seconds F]
+             [--max-seconds F] [--deadline-ms N] [--max-pending N]
+             [--idle-secs F] [--max-line-bytes N]
   cover      save --input G.edges --cover C.cover --output C.bin [--fixed-c F]
              load --input G.edges --binary C.bin [--output C.cover]
   graph      build --input G.edges[.gz] --output G.ocg [--chunk-edges N]
@@ -90,9 +91,15 @@ input's own node ids.
 
 `serve` answers `query`/`local`/`topk`/`snapshot`/`stats`/`health` as
 one-line JSON over TCP (try `nc` and type `query 0`). `--cover` warm-starts
-from a binary cover instead of detecting at startup; `--recompute-secs`
-republishes fresh epochs in the background. Send `shutdown` (or set
-`--max-seconds`) for a graceful drain and a final stats line.
+from a binary cover instead of detecting at startup (a corrupt file falls
+back to a cold start); `--recompute-secs` republishes fresh epochs in the
+background, retrying with backoff on failure while the last good epoch
+keeps serving. Overload and abuse controls: `--max-pending` bounds the
+connection queue (typed `overloaded` beyond it), `--deadline-ms` caps
+`local`/`topk` time (typed `deadline-exceeded` partial results),
+`--idle-secs` reaps silent connections, `--max-line-bytes` caps request
+lines. Send `shutdown` (or set `--max-seconds`) for a graceful drain and a
+final stats line.
 "
     .to_string()
 }
@@ -363,7 +370,7 @@ fn summarize(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-const SERVE_OPTIONS: [&str; 11] = [
+const SERVE_OPTIONS: [&str; 15] = [
     "input",
     "graph",
     "addr",
@@ -375,11 +382,19 @@ const SERVE_OPTIONS: [&str; 11] = [
     "algorithm",
     "fixed-c",
     "max-seconds",
+    "deadline-ms",
+    "max-pending",
+    "idle-secs",
+    "max-line-bytes",
 ];
 
 /// Builds the initial cover for `serve`: a warm start from a binary cover
 /// file when `--cover` is given, otherwise a full detection run with the
-/// chosen algorithm's tuned preset.
+/// chosen algorithm's tuned preset. A warm-start file that fails its
+/// integrity checks (truncated by a crash mid-save, bit rot) is not fatal
+/// — the reason is logged and detection runs cold instead; files that are
+/// *valid but wrong* (different graph, unknown version) still abort,
+/// because they signal operator error rather than damage.
 fn initial_cover(
     cli: &Cli,
     loaded: &LoadedGraph,
@@ -388,12 +403,18 @@ fn initial_cover(
 ) -> Result<Cover, String> {
     let graph = &loaded.graph;
     if let Some(path) = cli.get_str("cover") {
-        let (cover, _) = load_cover_path(path, Some(graph.node_count()))
-            .map_err(|e| format!("loading {path}: {e}"))?;
-        println!("warm start: {} communities from {path}", cover.len());
-        // Saved covers are in input ids; the server detects and indexes
-        // in the graph's compact space.
-        return Ok(loaded.cover_to_compact(&cover));
+        match load_cover_path(path, Some(graph.node_count())) {
+            Ok((cover, _)) => {
+                println!("warm start: {} communities from {path}", cover.len());
+                // Saved covers are in input ids; the server detects and
+                // indexes in the graph's compact space.
+                return Ok(loaded.cover_to_compact(&cover));
+            }
+            Err(e) if e.is_corruption() => {
+                println!("warm start skipped: {path} is damaged ({e}); detecting from cold");
+            }
+            Err(e) => return Err(format!("loading {path}: {e}")),
+        }
     }
     let reg = registry();
     let spec = reg.get(algorithm).map_err(|e| e.to_string())?;
@@ -420,6 +441,10 @@ fn serve(cli: &Cli) -> Result<(), String> {
     let seed: u64 = cli.get_strict("seed", 42)?;
     let recompute_secs: f64 = cli.get_strict("recompute-secs", 0.0)?;
     let max_seconds: f64 = cli.get_strict("max-seconds", 0.0)?;
+    let deadline_ms: u64 = cli.get_strict("deadline-ms", 0)?;
+    let max_pending: usize = cli.get_strict("max-pending", 128)?;
+    let idle_secs: f64 = cli.get_strict("idle-secs", 120.0)?;
+    let max_line_bytes: usize = cli.get_strict("max-line-bytes", 64 * 1024)?;
     let algorithm = cli.get_str("algorithm").unwrap_or("oca").to_string();
 
     let mut local = LocalConfig {
@@ -447,18 +472,14 @@ fn serve(cli: &Cli) -> Result<(), String> {
         recompute_interval: (recompute_secs > 0.0).then(|| Duration::from_secs_f64(recompute_secs)),
         max_duration: (max_seconds > 0.0).then(|| Duration::from_secs_f64(max_seconds)),
         local,
+        max_pending,
+        max_line_bytes,
+        request_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        idle_timeout: (idle_secs > 0.0).then(|| Duration::from_secs_f64(idle_secs)),
+        ..Default::default()
     };
-    let recompute: Option<Box<RecomputeFn>> = if recompute_secs > 0.0 {
-        Some(Box::new(move |graph, seed, cancel| {
-            let reg = registry();
-            let spec = reg.get(&algorithm).ok()?;
-            let detector = spec.build_tuned(graph, &DetectorOptions::new()).ok()?;
-            let mut ctx = DetectContext::new(seed).with_cancel(cancel.clone());
-            detector.detect(graph, &mut ctx).ok().map(|d| d.cover)
-        }))
-    } else {
-        None
-    };
+    let recompute: Option<Box<RecomputeFn>> = (recompute_secs > 0.0)
+        .then(|| Box::new(oca_api::registry_recompute(algorithm)) as Box<RecomputeFn>);
 
     let mut server =
         Server::new(Arc::clone(&graph), initial, config, recompute).map_err(|e| e.to_string())?;

@@ -64,14 +64,32 @@ use crate::error::GraphError;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The shared state behind a [`CancelToken`]: the flag itself, an optional
+/// wall-clock deadline, and an optional parent token whose cancellation is
+/// inherited.
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<CancelToken>,
+}
 
 /// A cooperative cancellation token shared between a detector run and the
 /// code controlling it (another thread, a signal handler, a progress
 /// callback). Cloning is cheap; all clones observe the same flag.
+///
+/// Beyond the plain flag, a token can carry a wall-clock **deadline**
+/// ([`CancelToken::with_deadline`]) after which it reports cancelled on its
+/// own, and it can be **linked** to a parent ([`CancelToken::child`]) so
+/// that cancelling the parent cancels the child but not vice versa. A
+/// serving layer uses both together: one parent token for process shutdown,
+/// one short-lived child per request carrying that request's deadline —
+/// a single `is_cancelled` poll inside the hot loop observes either.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    inner: Arc<CancelInner>,
 }
 
 impl CancelToken {
@@ -80,16 +98,74 @@ impl CancelToken {
         CancelToken::default()
     }
 
+    /// A fresh token that reports cancelled once `deadline` passes, even if
+    /// [`CancelToken::cancel`] is never called.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                deadline: Some(deadline),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// A child token: cancelled whenever `self` is, but cancelling the
+    /// child leaves `self` untouched.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                parent: Some(self.clone()),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// A child token with its own deadline: cancelled when the parent is
+    /// cancelled *or* `deadline` passes. [`CancelToken::deadline_exceeded`]
+    /// distinguishes the two after the fact.
+    pub fn child_with_deadline(&self, deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                deadline: Some(deadline),
+                parent: Some(self.clone()),
+                ..Default::default()
+            }),
+        }
+    }
+
     /// Requests cancellation. Detectors poll the flag at their outer loops
     /// (per ascent, per clique, per sweep) and return
     /// [`DetectError::Cancelled`] with whatever partial result they hold.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        self.inner.flag.store(true, Ordering::Relaxed);
     }
 
-    /// True once [`CancelToken::cancel`] has been called on any clone.
+    /// True once [`CancelToken::cancel`] has been called on any clone, the
+    /// deadline (if any) has passed, or a linked parent is cancelled.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                // Latch, so later polls skip the clock read.
+                self.inner.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        match &self.inner.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// True when this token's *own* deadline has passed — regardless of
+    /// whether the flag was also set. Lets a caller that handed out a
+    /// deadline child distinguish "timed out" from "shut down".
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
     }
 }
 

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod atomic;
 pub mod builder;
 pub mod community;
 pub mod components;
@@ -53,6 +54,7 @@ pub mod subgraph;
 pub mod traversal;
 pub mod union_find;
 
+pub use atomic::atomic_write_path;
 pub use builder::{from_edges, BuildReport, GraphBuilder};
 pub use community::{Community, Cover};
 pub use components::{is_connected, Components};

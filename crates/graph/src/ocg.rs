@@ -484,24 +484,24 @@ fn write_ocg_inner(
         report.duplicates,
         checksum,
     );
-    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(&header)?;
-    let mut fnv = Fnv1a::new();
-    write_words(&mut w, &mut fnv, graph.offsets_slice().iter().copied())?;
-    write_words(
-        &mut w,
-        &mut fnv,
-        graph.neighbors_slice().iter().map(|v| v.raw()),
-    )?;
-    if let Some(r) = relabeling {
-        write_words(
-            &mut w,
-            &mut fnv,
-            (0..r.len() as u32).map(|i| r.to_original(NodeId(i)).raw()),
-        )?;
-    }
-    debug_assert_eq!(fnv.finish(), checksum);
-    w.flush()?;
+    // Crash-safe replacement: a SIGKILL (or full disk) mid-write leaves
+    // the previous file — if any — untouched; the new name only appears
+    // once its payload is complete and fsynced.
+    crate::atomic::atomic_write_path(path, |w| {
+        w.write_all(&header)?;
+        let mut fnv = Fnv1a::new();
+        write_words(w, &mut fnv, graph.offsets_slice().iter().copied())?;
+        write_words(w, &mut fnv, graph.neighbors_slice().iter().map(|v| v.raw()))?;
+        if let Some(r) = relabeling {
+            write_words(
+                w,
+                &mut fnv,
+                (0..r.len() as u32).map(|i| r.to_original(NodeId(i)).raw()),
+            )?;
+        }
+        debug_assert_eq!(fnv.finish(), checksum);
+        Ok(())
+    })?;
     Ok(())
 }
 

@@ -465,7 +465,21 @@ where
     if options.relabel {
         flags |= OCG_FLAG_RELABELED;
     }
-    let mut w = BufWriter::with_capacity(SPILL_BUF, File::create(output)?);
+    // Stream into a same-directory temp file and rename only once the
+    // header is patched and the payload fsynced: a crash mid-build leaves
+    // a previous .ocg at `output` (if any) complete and untouched.
+    let final_tmp = crate::atomic::temp_path_for(output);
+    // Any error between here and the commit removes the temp file.
+    struct RemoveOnDrop(Option<std::path::PathBuf>);
+    impl Drop for RemoveOnDrop {
+        fn drop(&mut self) {
+            if let Some(p) = self.0.take() {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+    let mut final_guard = RemoveOnDrop(Some(final_tmp.clone()));
+    let mut w = BufWriter::with_capacity(SPILL_BUF, File::create(&final_tmp)?);
     w.write_all(&[0u8; crate::ocg::OCG_HEADER_LEN])?;
     let mut fnv = Fnv1a::new();
     write_words(&mut w, &mut fnv, offsets.iter().copied())?;
@@ -515,6 +529,8 @@ where
     file.write_all(&header)?;
     file.sync_all()?;
     drop(file);
+    crate::atomic::commit_temp_path(&final_tmp, output)?;
+    final_guard.0 = None;
     drop(tmp);
 
     if options.verify {

@@ -9,7 +9,13 @@
 //! order. Build cost is one counting pass plus one fill pass over the
 //! cover's members; memory is one `u32` per membership plus one per node.
 
-use oca_graph::{Cover, CsrGraph, EpochCounters, NodeId};
+use oca_graph::{CancelToken, Cover, CsrGraph, EpochCounters, NodeId};
+
+/// How often `top_overlapping_cancellable` polls its token: every
+/// `CANCEL_POLL_MASK + 1` neighbors (a power of two so the check is a
+/// mask). Polling is cheap (one relaxed load when not cancelled) but not
+/// free per neighbor at hub degrees.
+const CANCEL_POLL_MASK: usize = 1023;
 
 /// Immutable inverted index from node id to the communities containing it.
 #[derive(Debug, Clone)]
@@ -88,11 +94,37 @@ impl CoverIndex {
         k: usize,
         counters: &mut EpochCounters,
     ) -> Vec<(u32, usize)> {
+        let (scored, interrupted) = self.top_overlapping_cancellable(graph, v, k, counters, None);
+        debug_assert!(!interrupted);
+        scored
+    }
+
+    /// [`CoverIndex::top_overlapping`] with a cancellation point every
+    /// 1024 neighbors scanned. Returns the scores
+    /// accumulated so far plus `true` when interrupted — a deadline that
+    /// fires mid-scan still yields a usable (if partial) ranking over the
+    /// neighbors seen, which the server labels as partial rather than
+    /// discarding.
+    pub fn top_overlapping_cancellable(
+        &self,
+        graph: &CsrGraph,
+        v: NodeId,
+        k: usize,
+        counters: &mut EpochCounters,
+        cancel: Option<&CancelToken>,
+    ) -> (Vec<(u32, usize)>, bool) {
         counters.begin();
         for &ci in self.communities_of(v) {
             counters.bump(ci);
         }
-        for &u in graph.neighbors(v) {
+        let mut interrupted = false;
+        for (seen, &u) in graph.neighbors(v).iter().enumerate() {
+            if seen & CANCEL_POLL_MASK == CANCEL_POLL_MASK
+                && cancel.is_some_and(CancelToken::is_cancelled)
+            {
+                interrupted = true;
+                break;
+            }
             for &ci in self.communities_of(u) {
                 counters.bump(ci);
             }
@@ -104,7 +136,7 @@ impl CoverIndex {
             .collect();
         scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
-        scored
+        (scored, interrupted)
     }
 
     /// Approximate heap footprint in bytes (the two flat arrays).
@@ -152,6 +184,35 @@ mod tests {
         assert_eq!(idx.node_count(), 4);
         assert_eq!(idx.membership_count(), 0);
         assert!(idx.communities_of(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn cancelled_topk_returns_partial_and_flags_it() {
+        // A hub with enough neighbors to cross the poll mask at least once.
+        let n = 3000u32;
+        let g = from_edges(n as usize, (1..n).map(|u| (0, u)));
+        let communities: Vec<Community> = (1..n).map(|u| c(&[0, u])).collect();
+        let cover = Cover::new(n as usize, communities);
+        let idx = CoverIndex::build(&cover);
+        let mut counters = EpochCounters::new(cover.len());
+        let token = CancelToken::new();
+        token.cancel();
+        let (scored, interrupted) =
+            idx.top_overlapping_cancellable(&g, NodeId(0), 10, &mut counters, Some(&token));
+        assert!(interrupted);
+        // Partial, not empty: the hub's own memberships and the neighbors
+        // scanned before the first poll are all counted.
+        assert!(!scored.is_empty());
+        // Uncancelled runs are never flagged and match the plain path.
+        let (full, flag) = idx.top_overlapping_cancellable(
+            &g,
+            NodeId(0),
+            10,
+            &mut counters,
+            Some(&CancelToken::new()),
+        );
+        assert!(!flag);
+        assert_eq!(full, idx.top_overlapping(&g, NodeId(0), 10, &mut counters));
     }
 
     #[test]

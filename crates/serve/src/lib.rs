@@ -16,7 +16,13 @@
 //! * [`Server`] — a line-protocol TCP server (see [`protocol`]) with a
 //!   worker-thread pool, per-worker reusable ascent state for `local`
 //!   queries, a background recompute thread, and cooperative graceful
-//!   shutdown; plus the matching [`Client`].
+//!   shutdown; plus the matching [`Client`];
+//! * fault containment throughout — request-level panic isolation with
+//!   worker respawn, bounded accept queue with typed `overloaded`
+//!   rejection, request-size caps, idle reaping, per-request deadlines,
+//!   and a recompute loop that degrades (keeps serving the last good
+//!   epoch, retries with backoff) instead of dying; [`FaultPlan`] injects
+//!   each failure deterministically for the chaos harness.
 //!
 //! ## Example: in-process round trip
 //!
@@ -54,12 +60,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 pub mod index;
 pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
+pub use faults::{FaultCounts, FaultPlan, FaultSpec};
 pub use index::CoverIndex;
 pub use persist::{load_cover, load_cover_path, save_cover, save_cover_path, PersistError};
 pub use protocol::{ProtocolError, Request};

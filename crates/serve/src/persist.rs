@@ -61,6 +61,22 @@ pub enum PersistError {
     },
 }
 
+impl PersistError {
+    /// True for errors that mean *this file's bytes are damaged* — a torn
+    /// write or bit rot — rather than a usage error (wrong path, wrong
+    /// graph, future version). The serving recovery path falls back to a
+    /// cold start on corruption, because the damage says nothing about the
+    /// operator's intent; mismatch errors still abort, because serving a
+    /// different graph than the cover was built for would be silent
+    /// nonsense.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            PersistError::Truncated | PersistError::ChecksumMismatch
+        )
+    }
+}
+
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -129,10 +145,18 @@ pub fn save_cover<W: Write>(writer: &mut W, cover: &Cover, c: f64) -> Result<(),
     Ok(())
 }
 
-/// Saves `cover` to a file at `path`.
+/// Saves `cover` to a file at `path`, atomically: the bytes go to a temp
+/// file that is fsynced and renamed over `path`, so a crash mid-save (even
+/// `SIGKILL`) leaves either the previous complete cover or the new one —
+/// never a truncated file that would fail its own checksum on warm start.
 pub fn save_cover_path<P: AsRef<Path>>(path: P, cover: &Cover, c: f64) -> Result<(), PersistError> {
-    let mut file = File::create(path)?;
-    save_cover(&mut file, cover, c)
+    oca_graph::atomic_write_path(path.as_ref(), |w| {
+        save_cover(w, cover, c).map_err(|e| match e {
+            PersistError::Io(io) => io,
+            other => std::io::Error::other(other.to_string()),
+        })
+    })?;
+    Ok(())
 }
 
 /// A little-endian cursor over the loaded file body.
@@ -368,6 +392,38 @@ mod tests {
         let (loaded, c) = load_cover_path(&path, Some(10)).unwrap();
         assert_eq!(loaded, cover);
         assert_eq!(c, 0.25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_classification_separates_damage_from_mismatch() {
+        assert!(PersistError::Truncated.is_corruption());
+        assert!(PersistError::ChecksumMismatch.is_corruption());
+        assert!(!PersistError::BadMagic.is_corruption());
+        assert!(!PersistError::UnsupportedVersion(9).is_corruption());
+        assert!(!PersistError::NodeCountMismatch {
+            expected: 1,
+            found: 2
+        }
+        .is_corruption());
+        assert!(!PersistError::Io(std::io::Error::other("disk")).is_corruption());
+    }
+
+    #[test]
+    fn save_leaves_no_temp_debris_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join(format!("oca-serve-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cover.bin");
+        save_cover_path(&path, &sample_cover(), 0.5).unwrap();
+        save_cover_path(&path, &Cover::empty(10), 0.5).unwrap();
+        let (loaded, _) = load_cover_path(&path, Some(10)).unwrap();
+        assert_eq!(loaded.len(), 0);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp debris: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -48,7 +48,7 @@ pub enum Request {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// Stable error class: `bad-request`, `out-of-bounds`, `cancelled`,
-    /// `internal`.
+    /// `deadline-exceeded`, `overloaded`, `shutting-down`, `internal`.
     pub kind: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -68,6 +68,39 @@ impl ProtocolError {
         ProtocolError {
             kind: "out-of-bounds",
             message: format!("node {node} out of bounds (graph has {node_count} nodes)"),
+        }
+    }
+
+    /// The server's pending-connection queue is full; retry with backoff.
+    pub fn overloaded() -> Self {
+        ProtocolError {
+            kind: "overloaded",
+            message: "server overloaded, retry later".to_string(),
+        }
+    }
+
+    /// The per-request deadline expired before the operation finished.
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        ProtocolError {
+            kind: "deadline-exceeded",
+            message: message.into(),
+        }
+    }
+
+    /// The server is draining connections for shutdown.
+    pub fn shutting_down() -> Self {
+        ProtocolError {
+            kind: "shutting-down",
+            message: "server is shutting down".to_string(),
+        }
+    }
+
+    /// A request whose handler panicked; the fault was isolated to this
+    /// request and the connection remains usable.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ProtocolError {
+            kind: "internal",
+            message: message.into(),
         }
     }
 
@@ -218,6 +251,20 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn robustness_error_kinds_are_stable() {
+        assert_eq!(ProtocolError::overloaded().kind, "overloaded");
+        assert_eq!(
+            ProtocolError::deadline_exceeded("local 3 timed out").kind,
+            "deadline-exceeded"
+        );
+        assert_eq!(ProtocolError::shutting_down().kind, "shutting-down");
+        assert_eq!(ProtocolError::internal("handler panicked").kind, "internal");
+        assert!(ProtocolError::overloaded()
+            .to_json()
+            .starts_with("{\"ok\":false"));
     }
 
     #[test]

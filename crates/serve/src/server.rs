@@ -2,17 +2,46 @@
 //! background recompute, graceful shutdown, and the bundled [`Client`].
 //!
 //! Threading model: the caller's thread runs the accept loop; accepted
-//! connections are queued over an mpsc channel to a fixed pool of worker
-//! threads (each owning its reusable [`CommunityState`] and scratch
+//! connections are queued over a **bounded** mpsc channel to a pool of
+//! worker threads (each owning its reusable [`CommunityState`] and scratch
 //! counters, so steady-state queries allocate only their response string).
 //! An optional recompute thread periodically re-detects the cover and
 //! publishes it through the [`SnapshotStore`] — readers keep answering
 //! from their pinned snapshot throughout. Shutdown is cooperative via the
-//! shared [`CancelToken`]: the acceptor stops accepting and closes the
-//! queue, workers finish the request in flight (plus any queued
+//! shared [`CancelToken`]: the acceptor stops queueing and closes the
+//! channel, workers finish the request in flight (plus any queued
 //! connections) and exit, and the recompute thread aborts its in-flight
 //! detection through the same token.
+//!
+//! ## Failure containment
+//!
+//! The server is built to stay up, answering, and honest about its state
+//! under partial failure:
+//!
+//! * **Panic isolation.** A panic inside request dispatch is caught at the
+//!   request boundary, answered with a typed `internal` error, and the
+//!   connection (and worker) keep serving with freshly rebuilt scratch. A
+//!   panic that unwinds a whole worker thread is swallowed at the thread
+//!   boundary and the accept loop respawns a replacement; both are counted
+//!   in `stats`.
+//! * **Overload protection.** The connection queue is bounded
+//!   ([`ServeConfig::max_pending`]); when full, new connections get a
+//!   one-line typed `overloaded` rejection instead of unbounded queueing.
+//!   Request lines are capped at [`ServeConfig::max_line_bytes`] (typed
+//!   `bad-request`, connection survives), idle connections are reaped
+//!   after [`ServeConfig::idle_timeout`], and `local`/`topk` honour a
+//!   per-request deadline ([`ServeConfig::request_deadline`]) by returning
+//!   a partial result labelled `deadline-exceeded`.
+//! * **Recompute resilience.** A failing or panicking recompute never
+//!   takes the serving path down: the last good epoch keeps serving,
+//!   retries back off exponentially (capped), and `health` reports the
+//!   pool as degraded until a recompute succeeds again.
+//!
+//! Failures can also be injected deterministically through
+//! [`crate::faults::FaultPlan`] — that is how the chaos harness and the
+//! robustness tests drive every path above.
 
+use crate::faults::FaultPlan;
 use crate::protocol::{push_id_array, ProtocolError, Request};
 use crate::snapshot::SnapshotStore;
 use oca::{ticket_seed, CommunityState, LocalConfig, LocalDetector};
@@ -20,10 +49,11 @@ use oca_graph::{
     CancelToken, Cover, CsrGraph, DetectContext, DetectError, EpochCounters, NodeId, Relabeling,
 };
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, ErrorKind, Write as _};
+use std::io::{BufRead, BufReader, ErrorKind, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -32,12 +62,22 @@ use std::time::{Duration, Instant};
 const READ_POLL: Duration = Duration::from_millis(100);
 /// How long the acceptor sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Longest the acceptor keeps answering late connections with a typed
+/// `shutting-down` line while workers drain. Workers notice cancellation
+/// within [`READ_POLL`], so this cap only matters if a worker is wedged in
+/// a long request.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+/// Recompute backoff cap: consecutive failures double the retry interval
+/// up to `interval << MAX_BACKOFF_SHIFT` (32×).
+const MAX_BACKOFF_SHIFT: u32 = 5;
 
 /// Rebuilds the cover for a new epoch: `(graph, seed, cancel)` to a cover,
-/// or `None` to skip publication (detection failed or was cancelled).
-/// Implementations should wire `cancel` into their [`DetectContext`] so
-/// server shutdown aborts an in-flight recompute promptly.
-pub type RecomputeFn = dyn Fn(&CsrGraph, u64, &CancelToken) -> Option<Cover> + Send + Sync;
+/// or an error message explaining why this round produced none (logged and
+/// counted; the server keeps serving the last good epoch and retries with
+/// backoff). Implementations should wire `cancel` into their
+/// [`DetectContext`] so server shutdown aborts an in-flight recompute
+/// promptly.
+pub type RecomputeFn = dyn Fn(&CsrGraph, u64, &CancelToken) -> Result<Cover, String> + Send + Sync;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -57,6 +97,23 @@ pub struct ServeConfig {
     /// interaction-strength strategy is resolved once at server start —
     /// `c` is a property of the (static) graph, not of any cover.
     pub local: LocalConfig,
+    /// Accepted connections waiting for a free worker beyond this are
+    /// rejected with a typed `overloaded` line instead of queueing
+    /// without bound.
+    pub max_pending: usize,
+    /// Longest accepted request line in bytes; longer lines are consumed
+    /// and answered with a typed `bad-request` (the connection survives).
+    pub max_line_bytes: usize,
+    /// Per-request deadline for `local` and `topk`. When it fires the
+    /// request returns what it has, labelled `deadline-exceeded`, instead
+    /// of holding a worker indefinitely. `None` disables deadlines.
+    pub request_deadline: Option<Duration>,
+    /// Connections with no traffic for this long are closed so slow or
+    /// abandoned clients cannot pin workers forever. `None` disables
+    /// reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Deterministic fault injection (chaos testing); defaults to off.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +124,11 @@ impl Default for ServeConfig {
             recompute_interval: None,
             max_duration: None,
             local: LocalConfig::default(),
+            max_pending: 128,
+            max_line_bytes: 64 * 1024,
+            request_deadline: None,
+            idle_timeout: Some(Duration::from_secs(120)),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -138,9 +200,33 @@ struct ServeStats {
     requests: AtomicU64,
     errors: AtomicU64,
     recomputes: AtomicU64,
+    // Robustness counters.
+    live_workers: AtomicU64,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    overloaded_rejects: AtomicU64,
+    oversized_lines: AtomicU64,
+    idle_reaped: AtomicU64,
+    deadline_hits: AtomicU64,
+    shutdown_rejects: AtomicU64,
+    recompute_failures: AtomicU64,
+    consecutive_recompute_failures: AtomicU64,
+    last_recovery_ms: AtomicU64,
+    last_recompute_error: parking_lot::Mutex<String>,
     query: OpStats,
     local: OpStats,
     topk: OpStats,
+}
+
+/// Decrements the live-worker gauge when its worker thread exits, however
+/// it exits — the counter was incremented by the spawner *before* the
+/// thread started, so the supervisor never observes a phantom worker.
+struct LiveWorkerGuard<'a>(&'a ServeStats);
+
+impl Drop for LiveWorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Latency summary of one endpoint in the final [`ServeReport`].
@@ -169,6 +255,25 @@ pub struct ServeReport {
     pub recomputes: u64,
     /// Epoch at shutdown.
     pub final_epoch: u64,
+    /// Panics caught (request handlers, worker threads, recompute).
+    pub panics: u64,
+    /// Worker threads respawned after dying.
+    pub respawns: u64,
+    /// Connections rejected with `overloaded`.
+    pub overloaded_rejects: u64,
+    /// Request lines rejected for exceeding the size cap.
+    pub oversized_lines: u64,
+    /// Idle connections reaped.
+    pub idle_reaped: u64,
+    /// Requests answered with a `deadline-exceeded` partial result.
+    pub deadline_hits: u64,
+    /// Requests rejected with `shutting-down` during drain.
+    pub shutdown_rejects: u64,
+    /// Recompute rounds that failed (error or panic).
+    pub recompute_failures: u64,
+    /// Whether the server was degraded (dead workers or a failing
+    /// recompute) at the moment of shutdown.
+    pub degraded: bool,
     /// `query` endpoint latency.
     pub query: OpLatency,
     /// `local` endpoint latency.
@@ -183,7 +288,9 @@ impl ServeReport {
         format!(
             "served {} requests over {} connections (errors {}, recomputes {}, final epoch {}); \
              query p50/p99 {:.1}/{:.1}us over {}, local p50/p99 {:.1}/{:.1}us over {}, \
-             topk p50/p99 {:.1}/{:.1}us over {}",
+             topk p50/p99 {:.1}/{:.1}us over {}; \
+             robustness: panics {}, respawns {}, overloaded {}, oversized {}, idle-reaped {}, \
+             deadline {}, shutdown-rejects {}, recompute-failures {}{}",
             self.requests,
             self.connections,
             self.errors,
@@ -198,6 +305,15 @@ impl ServeReport {
             self.topk.p50_us,
             self.topk.p99_us,
             self.topk.count,
+            self.panics,
+            self.respawns,
+            self.overloaded_rejects,
+            self.oversized_lines,
+            self.idle_reaped,
+            self.deadline_hits,
+            self.shutdown_rejects,
+            self.recompute_failures,
+            if self.degraded { " (degraded)" } else { "" },
         )
     }
 }
@@ -207,6 +323,15 @@ impl ServeReport {
 struct WorkerScratch<'g> {
     state: CommunityState<'g>,
     counters: EpochCounters,
+}
+
+/// Best-effort text of a panic payload for the typed `internal` response.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 /// The query server. Construct with [`Server::new`], then call
@@ -318,24 +443,70 @@ impl Server {
         &self.store
     }
 
+    /// The token governing one request: a child carrying the configured
+    /// deadline (so a timeout cancels the request, not the server), or
+    /// the shutdown token itself when deadlines are off.
+    fn request_token(&self) -> CancelToken {
+        match self.config.request_deadline {
+            Some(d) => self.cancel.child_with_deadline(Instant::now() + d),
+            None => self.cancel.clone(),
+        }
+    }
+
+    /// True when the server is running but impaired: dead (not yet
+    /// respawned) workers, or a recompute that is currently failing.
+    fn degraded_reason(&self) -> Option<String> {
+        let live = self.stats.live_workers.load(Ordering::Relaxed) as usize;
+        // The gauge only moves once `run` spawns the pool; a server that
+        // is not running yet is not degraded.
+        if live > 0 && live < self.config.workers {
+            return Some(format!("{live}/{} workers live", self.config.workers));
+        }
+        let fails = self
+            .stats
+            .consecutive_recompute_failures
+            .load(Ordering::Relaxed);
+        if fails > 0 {
+            return Some(format!("{fails} consecutive recompute failures"));
+        }
+        None
+    }
+
     /// Serves until shutdown (a `shutdown` request, cancellation of
     /// [`Server::cancel_token`], or `config.max_duration` elapsing), then
     /// drains and returns the lifetime report.
     pub fn run(&self, listener: TcpListener) -> std::io::Result<ServeReport> {
         listener.set_nonblocking(true)?;
         let deadline = self.config.max_duration.map(|d| Instant::now() + d);
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(self.config.max_pending.max(1));
         let conn_rx = Mutex::new(conn_rx);
+        let conn_rx = &conn_rx;
         std::thread::scope(|scope| {
+            // Spawning increments the gauge *before* the thread exists, so
+            // the supervisor below can never over-respawn; the guard
+            // decrements when the thread exits for any reason. A panic
+            // that unwinds the whole worker (not just a request) is
+            // swallowed here so the scope's implicit join cannot re-raise
+            // it on the accept thread.
+            let spawn_worker = || {
+                self.stats.live_workers.fetch_add(1, Ordering::Relaxed);
+                scope.spawn(move || {
+                    let _live = LiveWorkerGuard(&self.stats);
+                    if catch_unwind(AssertUnwindSafe(|| self.worker_loop(conn_rx))).is_err() {
+                        self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            };
             for _ in 0..self.config.workers {
-                scope.spawn(|| self.worker_loop(&conn_rx));
+                spawn_worker();
             }
             if let (Some(interval), Some(recompute)) =
                 (self.config.recompute_interval, self.recompute.as_deref())
             {
                 scope.spawn(move || self.recompute_loop(interval, recompute));
             }
-            // Accept loop on the calling thread.
+            // Accept loop on the calling thread; it doubles as the worker
+            // supervisor.
             loop {
                 if self.cancel.is_cancelled() {
                     break;
@@ -346,12 +517,25 @@ impl Server {
                         break;
                     }
                 }
+                let live = self.stats.live_workers.load(Ordering::Relaxed) as usize;
+                if live < self.config.workers {
+                    self.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                    spawn_worker();
+                }
                 match listener.accept() {
                     Ok((stream, _)) => {
                         self.stats.connections.fetch_add(1, Ordering::Relaxed);
-                        // A send can only fail after all workers exited,
-                        // which only happens once cancellation fired.
-                        let _ = conn_tx.send(stream);
+                        match conn_tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => self.reject(
+                                stream,
+                                &ProtocolError::overloaded(),
+                                &self.stats.overloaded_rejects,
+                            ),
+                            // The receiver lives in this frame, so a
+                            // disconnect is impossible; bail defensively.
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
@@ -360,11 +544,36 @@ impl Server {
                     Err(_) => std::thread::sleep(ACCEPT_POLL),
                 }
             }
-            // Closing the channel lets workers drain queued connections
-            // and exit; the scope then joins everything.
+            // Drain: closing the channel lets workers finish queued
+            // connections and exit. While they do, late connections get a
+            // typed `shutting-down` line rather than silence.
             drop(conn_tx);
+            let grace = Instant::now() + SHUTDOWN_GRACE;
+            while self.stats.live_workers.load(Ordering::Relaxed) > 0 && Instant::now() < grace {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        self.reject(
+                            stream,
+                            &ProtocolError::shutting_down(),
+                            &self.stats.shutdown_rejects,
+                        );
+                    }
+                    _ => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
         });
         Ok(self.report())
+    }
+
+    /// Answers a connection that will not be served (queue full, or
+    /// draining for shutdown) with a single typed error line, then closes
+    /// it. Best-effort: a peer that already vanished just loses the line.
+    fn reject(&self, mut stream: TcpStream, error: &ProtocolError, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.write_all(error.to_json().as_bytes());
+        let _ = stream.write_all(b"\n");
     }
 
     /// The lifetime report so far.
@@ -380,6 +589,19 @@ impl Server {
             errors: self.stats.errors.load(Ordering::Relaxed),
             recomputes: self.stats.recomputes.load(Ordering::Relaxed),
             final_epoch: self.store.epoch(),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            respawns: self.stats.respawns.load(Ordering::Relaxed),
+            overloaded_rejects: self.stats.overloaded_rejects.load(Ordering::Relaxed),
+            oversized_lines: self.stats.oversized_lines.load(Ordering::Relaxed),
+            idle_reaped: self.stats.idle_reaped.load(Ordering::Relaxed),
+            deadline_hits: self.stats.deadline_hits.load(Ordering::Relaxed),
+            shutdown_rejects: self.stats.shutdown_rejects.load(Ordering::Relaxed),
+            recompute_failures: self.stats.recompute_failures.load(Ordering::Relaxed),
+            degraded: self
+                .stats
+                .consecutive_recompute_failures
+                .load(Ordering::Relaxed)
+                > 0,
             query: op(&self.stats.query),
             local: op(&self.stats.local),
             topk: op(&self.stats.topk),
@@ -400,59 +622,134 @@ impl Server {
                 Err(_) => break,
             };
             let _ = self.serve_connection(stream, &mut scratch);
+            // Fail point: die *between* connections, unwinding the whole
+            // thread past the per-request isolation — this is what the
+            // supervisor's respawn path is for.
+            if self.config.faults.should_kill_worker() {
+                panic!("injected worker kill");
+            }
         }
     }
 
-    /// Serves one connection until the peer closes it, an I/O error, or
-    /// shutdown. Requests already received are always answered.
-    fn serve_connection(
-        &self,
+    /// Serves one connection until the peer closes it, an I/O error,
+    /// shutdown, or the idle reaper. Complete request lines are always
+    /// answered — with a typed error if oversized, non-UTF-8, received
+    /// during drain, or if their handler panicked.
+    fn serve_connection<'g>(
+        &'g self,
         stream: TcpStream,
-        scratch: &mut WorkerScratch<'_>,
+        scratch: &mut WorkerScratch<'g>,
     ) -> std::io::Result<()> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(READ_POLL))?;
         let mut writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
-        let mut line = String::new();
+        // Accumulates the current request line, bounded by
+        // `max_line_bytes`; once a line overflows, `discarding` swallows
+        // the remainder so one huge line costs one error response, not an
+        // unbounded buffer.
+        let mut line: Vec<u8> = Vec::new();
+        let mut discarding = false;
+        let mut last_activity = Instant::now();
+        let max_line = self.config.max_line_bytes.max(1);
         loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => break,
-                Ok(_) => {
-                    let response = self.respond(line.trim(), scratch);
-                    writer.write_all(response.as_bytes())?;
-                    writer.write_all(b"\n")?;
-                    writer.flush()?;
-                    line.clear();
-                    if self.cancel.is_cancelled() {
-                        break;
+            let (consumed, complete) = match reader.fill_buf() {
+                Ok([]) => break, // EOF
+                Ok(buf) => {
+                    last_activity = Instant::now();
+                    let newline = buf.iter().position(|&b| b == b'\n');
+                    let take = newline.unwrap_or(buf.len());
+                    if !discarding {
+                        if line.len() + take > max_line {
+                            discarding = true;
+                            line.clear();
+                        } else {
+                            line.extend_from_slice(&buf[..take]);
+                        }
+                    }
+                    match newline {
+                        Some(pos) => (pos + 1, true),
+                        None => (take, false),
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    // Idle connection: just re-check the shutdown flag.
-                    // A partially read line stays in `line` and completes
-                    // on a later pass.
+                    // Idle: a partially read line stays in `line` and
+                    // completes on a later pass.
                     if self.cancel.is_cancelled() {
                         break;
                     }
+                    if let Some(idle) = self.config.idle_timeout {
+                        if last_activity.elapsed() >= idle {
+                            self.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    continue;
                 }
-                Err(e) if e.kind() == ErrorKind::InvalidData => {
-                    // Non-UTF-8 input: the offending line was consumed, so
-                    // answer with a typed error and keep the connection.
-                    self.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let response =
-                        ProtocolError::bad_request("request was not valid UTF-8").to_json();
-                    writer.write_all(response.as_bytes())?;
-                    writer.write_all(b"\n")?;
-                    writer.flush()?;
-                    line.clear();
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
+            };
+            reader.consume(consumed);
+            if !complete {
+                continue;
+            }
+            let mut close_after = false;
+            let response = if discarding {
+                discarding = false;
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.stats.oversized_lines.fetch_add(1, Ordering::Relaxed);
+                ProtocolError::bad_request(format!("request line exceeds {max_line} bytes"))
+                    .to_json()
+            } else if self.cancel.is_cancelled() {
+                // Drain semantics: whatever was in flight when shutdown
+                // began has been answered; requests arriving after it get
+                // a typed rejection and the connection closes.
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.stats.shutdown_rejects.fetch_add(1, Ordering::Relaxed);
+                close_after = true;
+                ProtocolError::shutting_down().to_json()
+            } else {
+                match std::str::from_utf8(&line) {
+                    Ok(text) => self.respond_isolated(text.trim(), scratch),
+                    Err(_) => {
+                        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        ProtocolError::bad_request("request was not valid UTF-8").to_json()
+                    }
+                }
+            };
+            line.clear();
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if close_after {
+                break;
             }
         }
         Ok(())
+    }
+
+    /// [`Server::respond`] behind a panic boundary: a handler panic is
+    /// converted to a typed `internal` error and the worker's scratch is
+    /// rebuilt (the unwind may have left it mid-mutation), so the
+    /// connection — and the worker — keep serving.
+    fn respond_isolated<'g>(&'g self, line: &str, scratch: &mut WorkerScratch<'g>) -> String {
+        match catch_unwind(AssertUnwindSafe(|| self.respond(line, scratch))) {
+            Ok(response) => response,
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                scratch.state = CommunityState::new(&self.graph, self.c);
+                scratch.counters = EpochCounters::new(0);
+                ProtocolError::internal(format!(
+                    "request handler panicked: {}",
+                    panic_message(payload.as_ref())
+                ))
+                .to_json()
+            }
+        }
     }
 
     /// Produces the JSON response line for one request line.
@@ -465,6 +762,15 @@ impl Server {
                 return e.to_json();
             }
         };
+        // Fail point: panic inside dispatch of a data request, exercising
+        // the per-request isolation in `respond_isolated`.
+        if matches!(
+            request,
+            Request::Query(_) | Request::Local(_) | Request::TopK(_, _)
+        ) && self.config.faults.should_panic_request()
+        {
+            panic!("injected request panic");
+        }
         let timed = Instant::now();
         let result = match request {
             Request::Query(v) => {
@@ -484,10 +790,7 @@ impl Server {
             }
             Request::Snapshot => Ok(self.do_snapshot()),
             Request::Stats => Ok(self.do_stats()),
-            Request::Health => Ok(format!(
-                "{{\"ok\":true,\"op\":\"health\",\"epoch\":{}}}",
-                self.store.epoch()
-            )),
+            Request::Health => Ok(self.do_health()),
             Request::Shutdown => {
                 self.cancel.cancel();
                 Ok(format!(
@@ -550,20 +853,51 @@ impl Server {
 
     fn do_local(&self, v: u32, scratch: &mut WorkerScratch<'_>) -> Result<String, ProtocolError> {
         let node = self.check_node(v)?;
-        let ctx = DetectContext::new(self.config.seed).with_cancel(self.cancel.clone());
-        let found = self
-            .detector
-            .detect_with(&self.graph, &mut scratch.state, self.c, &[node], &ctx)
-            .map_err(|e| match e {
-                DetectError::Cancelled { .. } => ProtocolError {
-                    kind: "cancelled",
-                    message: "server is shutting down".to_string(),
-                },
-                other => ProtocolError {
-                    kind: "internal",
-                    message: other.to_string(),
-                },
-            })?;
+        let token = self.request_token();
+        // Fail point: stall after the deadline clock started, so the
+        // deadline observably fires mid-request.
+        if let Some(stall) = self.config.faults.request_stall() {
+            std::thread::sleep(stall);
+        }
+        let ctx = DetectContext::new(self.config.seed).with_cancel(token.clone());
+        let found =
+            match self
+                .detector
+                .detect_with(&self.graph, &mut scratch.state, self.c, &[node], &ctx)
+            {
+                Ok(found) => found,
+                Err(DetectError::Cancelled { partial })
+                    if token.deadline_exceeded() && !self.cancel.is_cancelled() =>
+                {
+                    // Deadline, not shutdown: return the community grown so
+                    // far, labelled as partial.
+                    self.stats.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                    let members: &[NodeId] = partial
+                        .cover
+                        .communities()
+                        .first()
+                        .map(|c| c.members())
+                        .unwrap_or(&[]);
+                    let mut out = String::with_capacity(128 + members.len() * 8);
+                    let _ = write!(
+                    out,
+                    "{{\"ok\":true,\"op\":\"local\",\"epoch\":{},\"node\":{v},\"partial\":true,\
+                     \"why\":\"deadline-exceeded\",\"size\":{},\"members\":",
+                    self.store.epoch(),
+                    members.len()
+                );
+                    push_id_array(&mut out, members.iter().map(|&m| self.external_id(m)));
+                    out.push('}');
+                    return Ok(out);
+                }
+                Err(DetectError::Cancelled { .. }) => {
+                    return Err(ProtocolError {
+                        kind: "cancelled",
+                        message: "server is shutting down".to_string(),
+                    });
+                }
+                Err(other) => return Err(ProtocolError::internal(other.to_string())),
+            };
         let mut out = String::with_capacity(96 + found.community.len() * 8);
         let _ = write!(
             out,
@@ -595,19 +929,44 @@ impl Server {
         scratch: &mut WorkerScratch<'_>,
     ) -> Result<String, ProtocolError> {
         let node = self.check_node(v)?;
+        let token = self.request_token();
+        if let Some(stall) = self.config.faults.request_stall() {
+            std::thread::sleep(stall);
+        }
         let snapshot = self.store.load();
         if scratch.counters.len() < snapshot.cover.len() {
             scratch.counters = EpochCounters::new(snapshot.cover.len());
         }
-        let top = snapshot
-            .index
-            .top_overlapping(&self.graph, node, k, &mut scratch.counters);
+        let (top, interrupted) = snapshot.index.top_overlapping_cancellable(
+            &self.graph,
+            node,
+            k,
+            &mut scratch.counters,
+            Some(&token),
+        );
+        let partial = if interrupted {
+            if token.deadline_exceeded() && !self.cancel.is_cancelled() {
+                self.stats.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                return Err(ProtocolError {
+                    kind: "cancelled",
+                    message: "server is shutting down".to_string(),
+                });
+            }
+        } else {
+            false
+        };
         let mut out = String::with_capacity(64 + top.len() * 32);
         let _ = write!(
             out,
-            "{{\"ok\":true,\"op\":\"topk\",\"epoch\":{},\"node\":{v},\"k\":{k},\"results\":[",
+            "{{\"ok\":true,\"op\":\"topk\",\"epoch\":{},\"node\":{v},\"k\":{k},",
             snapshot.epoch
         );
+        if partial {
+            out.push_str("\"partial\":true,\"why\":\"deadline-exceeded\",");
+        }
+        out.push_str("\"results\":[");
         for (i, &(ci, overlap)) in top.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -635,6 +994,20 @@ impl Server {
         )
     }
 
+    fn do_health(&self) -> String {
+        match self.degraded_reason() {
+            None => format!(
+                "{{\"ok\":true,\"op\":\"health\",\"epoch\":{},\"degraded\":false}}",
+                self.store.epoch()
+            ),
+            Some(reason) => format!(
+                "{{\"ok\":false,\"op\":\"health\",\"epoch\":{},\"degraded\":true,\"reason\":\"{}\"}}",
+                self.store.epoch(),
+                crate::protocol::json_escape(&reason)
+            ),
+        }
+    }
+
     fn do_stats(&self) -> String {
         let op = |s: &OpStats| {
             format!(
@@ -644,9 +1017,16 @@ impl Server {
                 s.hist.quantile_us(0.99)
             )
         };
+        let last_error = self.stats.last_recompute_error.lock().clone();
         format!(
             "{{\"ok\":true,\"op\":\"stats\",\"epoch\":{},\"uptime_ms\":{},\
              \"connections\":{},\"requests\":{},\"errors\":{},\"recomputes\":{},\
+             \"workers\":{{\"configured\":{},\"live\":{},\"panics\":{},\"respawns\":{}}},\
+             \"robustness\":{{\"overloaded_rejects\":{},\"oversized_lines\":{},\
+             \"idle_reaped\":{},\"deadline_hits\":{},\"shutdown_rejects\":{}}},\
+             \"recompute\":{{\"published\":{},\"failures\":{},\"consecutive_failures\":{},\
+             \"degraded\":{},\"last_recovery_ms\":{},\"last_error\":\"{}\",\
+             \"epoch_age_secs\":{:.3}}},\
              \"latency\":{{\"query\":{},\"local\":{},\"topk\":{}}}}}",
             self.store.epoch(),
             self.started.elapsed().as_millis(),
@@ -654,17 +1034,42 @@ impl Server {
             self.stats.requests.load(Ordering::Relaxed),
             self.stats.errors.load(Ordering::Relaxed),
             self.stats.recomputes.load(Ordering::Relaxed),
+            self.config.workers,
+            self.stats.live_workers.load(Ordering::Relaxed),
+            self.stats.panics.load(Ordering::Relaxed),
+            self.stats.respawns.load(Ordering::Relaxed),
+            self.stats.overloaded_rejects.load(Ordering::Relaxed),
+            self.stats.oversized_lines.load(Ordering::Relaxed),
+            self.stats.idle_reaped.load(Ordering::Relaxed),
+            self.stats.deadline_hits.load(Ordering::Relaxed),
+            self.stats.shutdown_rejects.load(Ordering::Relaxed),
+            self.stats.recomputes.load(Ordering::Relaxed),
+            self.stats.recompute_failures.load(Ordering::Relaxed),
+            self.stats
+                .consecutive_recompute_failures
+                .load(Ordering::Relaxed),
+            self.degraded_reason().is_some(),
+            self.stats.last_recovery_ms.load(Ordering::Relaxed),
+            crate::protocol::json_escape(&last_error),
+            self.store.load().age_secs(),
             op(&self.stats.query),
             op(&self.stats.local),
             op(&self.stats.topk)
         )
     }
 
+    /// The background recompute: failures (including panics) never stop
+    /// the loop or the server — the last good epoch keeps serving, the
+    /// retry interval doubles per consecutive failure (capped at 32×),
+    /// and the degraded flag clears on the first success.
     fn recompute_loop(&self, interval: Duration, recompute: &RecomputeFn) {
         let mut round = 0u64;
+        let mut consecutive: u32 = 0;
+        let mut first_failure_at: Option<Instant> = None;
         'rounds: loop {
+            let wait = interval * (1u32 << consecutive.min(MAX_BACKOFF_SHIFT));
             // Sleep the interval in short slices so shutdown is prompt.
-            let until = Instant::now() + interval;
+            let until = Instant::now() + wait;
             while Instant::now() < until {
                 if self.cancel.is_cancelled() {
                     break 'rounds;
@@ -673,18 +1078,73 @@ impl Server {
             }
             round += 1;
             let seed = ticket_seed(self.config.seed, round);
-            if let Some(cover) = recompute(&self.graph, seed, &self.cancel) {
-                if cover.node_count() == self.graph.node_count() {
+            let result = if self.config.faults.should_fail_recompute() {
+                Err("injected recompute failure".to_string())
+            } else {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    if self.config.faults.should_panic_recompute() {
+                        panic!("injected recompute panic");
+                    }
+                    recompute(&self.graph, seed, &self.cancel)
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        Err(format!(
+                            "recompute panicked: {}",
+                            panic_message(payload.as_ref())
+                        ))
+                    }
+                }
+            };
+            if self.cancel.is_cancelled() {
+                // An error produced by shutdown cancellation is not a
+                // failure of the recompute path.
+                break;
+            }
+            let failure = match result {
+                Ok(cover) if cover.node_count() == self.graph.node_count() => {
                     self.store.publish(cover, self.c);
                     self.stats.recomputes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(at) = first_failure_at.take() {
+                        self.stats
+                            .last_recovery_ms
+                            .store(at.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    }
+                    consecutive = 0;
+                    self.stats
+                        .consecutive_recompute_failures
+                        .store(0, Ordering::Relaxed);
+                    None
                 }
-            }
-            if self.cancel.is_cancelled() {
-                break;
+                Ok(cover) => Some(format!(
+                    "recompute produced a cover over {} nodes for a {}-node graph",
+                    cover.node_count(),
+                    self.graph.node_count()
+                )),
+                Err(message) => Some(message),
+            };
+            if let Some(message) = failure {
+                consecutive = consecutive.saturating_add(1);
+                first_failure_at.get_or_insert_with(Instant::now);
+                self.stats
+                    .recompute_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .consecutive_recompute_failures
+                    .store(u64::from(consecutive), Ordering::Relaxed);
+                *self.stats.last_recompute_error.lock() = message;
             }
         }
     }
 }
+
+/// Default cap on one response line read by [`Client::request`] — beyond
+/// this the server is assumed broken (or hostile) and the read fails with
+/// a typed error instead of buffering without bound. `query` responses on
+/// giant communities are the largest legitimate lines; 64 MiB covers a
+/// multi-million-member community with room to spare.
+pub const CLIENT_RESPONSE_CAP: usize = 64 << 20;
 
 /// A minimal line-protocol client for tests, CI smoke checks and the
 /// latency benchmark: one blocking request–response exchange per call.
@@ -692,6 +1152,7 @@ impl Server {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    response_cap: usize,
 }
 
 impl Client {
@@ -703,22 +1164,48 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            response_cap: CLIENT_RESPONSE_CAP,
         })
     }
 
+    /// Replaces the response-size cap (default [`CLIENT_RESPONSE_CAP`]).
+    pub fn with_response_cap(mut self, bytes: usize) -> Client {
+        self.response_cap = bytes.max(2);
+        self
+    }
+
     /// Sends one request line and returns the (trimmed) JSON response
-    /// line.
+    /// line. Rejects requests containing a newline (they would smuggle a
+    /// second request) and responses exceeding the configured cap.
     pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        if line.contains('\n') {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "request must be a single line",
+            ));
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
+        let n = (&mut self.reader)
+            .take(self.response_cap as u64)
+            .read_line(&mut response)?;
         if n == 0 {
             return Err(std::io::Error::new(
                 ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ));
+        }
+        if !response.ends_with('\n') {
+            return Err(if n >= self.response_cap {
+                std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("response exceeded the {}-byte cap", self.response_cap),
+                )
+            } else {
+                std::io::Error::new(ErrorKind::UnexpectedEof, "connection closed mid-response")
+            });
         }
         Ok(response.trim_end().to_string())
     }

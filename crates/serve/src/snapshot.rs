@@ -18,6 +18,7 @@ use oca_graph::Cover;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One immutable, versioned view of a cover: the cover, its inverted
 /// index, and the interaction strength it was detected with.
@@ -33,6 +34,10 @@ pub struct CoverSnapshot {
     /// Interaction strength `c` the cover was detected with (also used by
     /// `local` queries answered against this snapshot).
     pub c: f64,
+    /// When this snapshot was constructed. `stats` reports the current
+    /// snapshot's age from this — a growing age alongside recompute
+    /// failures is the operator's staleness signal.
+    pub published_at: Instant,
 }
 
 impl CoverSnapshot {
@@ -46,7 +51,13 @@ impl CoverSnapshot {
             cover,
             index,
             c,
+            published_at: Instant::now(),
         }
+    }
+
+    /// Seconds since this snapshot was constructed.
+    pub fn age_secs(&self) -> f64 {
+        self.published_at.elapsed().as_secs_f64()
     }
 
     /// Number of nodes of the underlying graph.

@@ -1,0 +1,416 @@
+//! Fault-containment tests of the serving layer: injected panics stay
+//! inside one request, dead workers respawn, oversized and post-shutdown
+//! requests get typed rejections, overload fast-rejects instead of
+//! queueing without bound, deadlines produce partial results, idle
+//! connections are reaped, and recompute failures degrade — then clear —
+//! the health signal without ever taking down the last good epoch.
+
+use oca::{CStrategy, LocalConfig};
+use oca_graph::{from_edges, Community, Cover, CsrGraph};
+use oca_serve::{Client, FaultPlan, FaultSpec, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Two 4-cliques joined by a single bridge edge.
+fn two_cliques() -> CsrGraph {
+    let mut edges = Vec::new();
+    for base in [0u32, 4] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    edges.push((3, 4));
+    from_edges(8, edges)
+}
+
+fn clique_cover() -> Cover {
+    Cover::new(
+        8,
+        vec![
+            Community::from_raw([0, 1, 2, 3]),
+            Community::from_raw([4, 5, 6, 7]),
+        ],
+    )
+}
+
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        seed: 42,
+        local: LocalConfig {
+            c: CStrategy::Fixed(0.9),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Cancels the server on drop so a panicking assertion in the test body
+/// cannot leave the scope joined on the accept loop forever.
+struct CancelOnDrop(oca_graph::CancelToken);
+
+impl Drop for CancelOnDrop {
+    fn drop(&mut self) {
+        self.0.cancel();
+    }
+}
+
+/// Serves `two_cliques` under `config`, runs `body`, shuts down, and
+/// returns the final report.
+fn with_server<F>(config: ServeConfig, body: F) -> oca_serve::ServeReport
+where
+    F: FnOnce(SocketAddr, &Server) + Send,
+{
+    let graph = Arc::new(two_cliques());
+    let recompute: Option<Box<oca_serve::RecomputeFn>> =
+        config
+            .recompute_interval
+            .is_some()
+            .then(|| -> Box<oca_serve::RecomputeFn> {
+                Box::new(|_graph, _seed, _cancel| Ok(clique_cover()))
+            });
+    let server = Server::new(graph, clique_cover(), config, recompute).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let token = server.cancel_token();
+    std::thread::scope(|scope| {
+        let _guard = CancelOnDrop(token.clone());
+        let handle = scope.spawn(|| server.run(listener).unwrap());
+        body(addr, &server);
+        token.cancel();
+        handle.join().unwrap()
+    })
+}
+
+/// Reads one `\n`-terminated line from a raw socket (2 s cap).
+fn read_line_raw(stream: &mut TcpStream) -> String {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+#[test]
+fn injected_panic_becomes_internal_error_and_connection_survives() {
+    let config = ServeConfig {
+        faults: FaultPlan::new(FaultSpec {
+            panic_request_every: 2,
+            ..Default::default()
+        }),
+        ..base_config()
+    };
+    let faults = config.faults.clone();
+    let report = with_server(config, |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let first = client.request("query 0").unwrap();
+        assert!(first.contains("\"ok\":true"), "{first}");
+        // The second data request hits the fail point; the panic must be
+        // contained as a typed `internal` error on the same connection.
+        let second = client.request("query 0").unwrap();
+        assert!(second.contains("\"ok\":false"), "{second}");
+        assert!(second.contains("\"kind\":\"internal\""), "{second}");
+        assert!(second.contains("panicked"), "{second}");
+        // ...and the connection (and worker) keep serving afterwards.
+        let third = client.request("query 0").unwrap();
+        assert!(third.contains("\"members\":[0,1,2,3]"), "{third}");
+        let stats = client.request("stats").unwrap();
+        assert!(stats.contains("\"panics\":1"), "{stats}");
+    });
+    assert_eq!(report.panics, 1, "{report:?}");
+    assert_eq!(faults.counts().request_panics, 1);
+    let line = report.summary_line();
+    assert!(line.contains("panics 1"), "{line}");
+}
+
+#[test]
+fn killed_workers_are_respawned_by_the_supervisor() {
+    let config = ServeConfig {
+        faults: FaultPlan::new(FaultSpec {
+            kill_worker_every_conns: 1,
+            ..Default::default()
+        }),
+        ..base_config()
+    };
+    let report = with_server(config, |addr, _| {
+        // Every finished connection unwinds its worker; each subsequent
+        // connection proves the supervisor put a replacement in place.
+        for round in 0..4 {
+            let mut client = Client::connect(addr).unwrap();
+            let a = client.request("query 4").unwrap();
+            assert!(a.contains("\"members\":[4,5,6,7]"), "round {round}: {a}");
+            drop(client);
+            // Give the unwound worker time to exit and the supervisor
+            // (accept loop) a pass to notice the gauge dip.
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+    assert!(report.respawns >= 3, "{report:?}");
+    assert!(report.panics >= 3, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+}
+
+#[test]
+fn oversized_lines_get_a_typed_error_without_killing_the_connection() {
+    let config = ServeConfig {
+        max_line_bytes: 64,
+        ..base_config()
+    };
+    let report = with_server(config, |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let huge = "x".repeat(500);
+        let response = client.request(&huge).unwrap();
+        assert!(response.contains("\"kind\":\"bad-request\""), "{response}");
+        assert!(response.contains("exceeds 64 bytes"), "{response}");
+        // The oversized line was fully discarded; the connection parses
+        // the next request cleanly.
+        let ok = client.request("query 0").unwrap();
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+    });
+    assert_eq!(report.oversized_lines, 1, "{report:?}");
+}
+
+#[test]
+fn overload_fast_rejects_with_a_typed_error() {
+    let config = ServeConfig {
+        workers: 1,
+        max_pending: 1,
+        ..base_config()
+    };
+    let report = with_server(config, |addr, _| {
+        // Occupy the only worker: a served connection holds it until EOF.
+        let mut held = Client::connect(addr).unwrap();
+        held.request("query 0").unwrap();
+        // Fill the one queue slot...
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // ...so the next connection must be fast-rejected, not parked.
+        let mut rejected = TcpStream::connect(addr).unwrap();
+        let line = read_line_raw(&mut rejected);
+        assert!(line.contains("\"kind\":\"overloaded\""), "{line}");
+        // The held connection is unaffected by the rejection.
+        let ok = held.request("query 0").unwrap();
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+    });
+    assert!(report.overloaded_rejects >= 1, "{report:?}");
+}
+
+#[test]
+fn expired_deadline_returns_a_partial_local_result() {
+    let config = ServeConfig {
+        request_deadline: Some(Duration::ZERO),
+        ..base_config()
+    };
+    let report = with_server(config, |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let local = client.request("local 5").unwrap();
+        assert!(local.contains("\"ok\":true"), "{local}");
+        assert!(local.contains("\"partial\":true"), "{local}");
+        assert!(local.contains("\"why\":\"deadline-exceeded\""), "{local}");
+        // Index lookups carry no deadline — they are O(memberships).
+        let query = client.request("query 5").unwrap();
+        assert!(query.contains("\"members\":[4,5,6,7]"), "{query}");
+    });
+    assert!(report.deadline_hits >= 1, "{report:?}");
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let config = ServeConfig {
+        workers: 1,
+        idle_timeout: Some(Duration::from_millis(50)),
+        ..base_config()
+    };
+    let report = with_server(config, |addr, _| {
+        let mut idler = Client::connect(addr).unwrap();
+        idler.request("query 0").unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        // The server closed the idle connection, freeing the worker
+        // (seen as EOF on read, or a broken pipe on the write)...
+        let err = idler.request("query 0").unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+            ),
+            "{err}"
+        );
+        // ...which is what lets a fresh client get served at all here
+        // (a single worker would otherwise still be parked on the idler).
+        let mut fresh = Client::connect(addr).unwrap();
+        let ok = fresh.request("query 0").unwrap();
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+    });
+    assert_eq!(report.idle_reaped, 1, "{report:?}");
+}
+
+#[test]
+fn requests_pipelined_behind_shutdown_get_a_typed_rejection() {
+    let report = with_server(base_config(), |addr, _| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Both lines land in one segment: `shutdown` is answered first,
+        // then the drain logic must answer — not drop — the request that
+        // was already sitting in the buffer behind it.
+        stream.write_all(b"shutdown\nquery 0\n").unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut bye = String::new();
+        reader.read_line(&mut bye).unwrap();
+        assert!(bye.contains("\"draining\":true"), "{bye}");
+        let mut late = String::new();
+        reader.read_line(&mut late).unwrap();
+        assert!(late.contains("\"kind\":\"shutting-down\""), "{late}");
+        // The server closes the connection after the rejection.
+        let mut eof = String::new();
+        assert_eq!(reader.read_line(&mut eof).unwrap(), 0);
+    });
+    assert!(report.shutdown_rejects >= 1, "{report:?}");
+    assert_eq!(report.requests, 2, "{report:?}");
+    let line = report.summary_line();
+    assert!(line.contains("shutdown-rejects 1"), "{line}");
+}
+
+#[test]
+fn persistent_recompute_failure_degrades_health_but_keeps_serving() {
+    let config = ServeConfig {
+        recompute_interval: Some(Duration::from_millis(10)),
+        faults: FaultPlan::new(FaultSpec {
+            fail_recompute_every: 1,
+            ..Default::default()
+        }),
+        ..base_config()
+    };
+    let report = with_server(config, |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let health = client.request("health").unwrap();
+            if health.contains("\"degraded\":true") {
+                assert!(health.contains("\"ok\":false"), "{health}");
+                assert!(health.contains("recompute failures"), "{health}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "never degraded: {health}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Degraded is an advisory state: the last good epoch still
+        // answers queries, and stats carry the error detail.
+        let q = client.request("query 0").unwrap();
+        assert!(q.contains("\"members\":[0,1,2,3]"), "{q}");
+        let stats = client.request("stats").unwrap();
+        assert!(stats.contains("\"degraded\":true"), "{stats}");
+        assert!(stats.contains("injected recompute failure"), "{stats}");
+    });
+    assert!(report.recompute_failures >= 1, "{report:?}");
+    assert!(report.degraded, "{report:?}");
+    assert_eq!(report.final_epoch, 1, "last good epoch kept: {report:?}");
+}
+
+#[test]
+fn recompute_recovers_after_transient_failures() {
+    let config = ServeConfig {
+        recompute_interval: Some(Duration::from_millis(10)),
+        // Rounds 2, 4, 6, ... panic; odd rounds succeed — the loop must
+        // keep publishing fresh epochs through the churn.
+        faults: FaultPlan::new(FaultSpec {
+            panic_recompute_every: 2,
+            ..Default::default()
+        }),
+        ..base_config()
+    };
+    let faults = config.faults.clone();
+    let report = with_server(config, |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = client.request("stats").unwrap();
+            let failures: u64 = stats
+                .split("\"failures\":")
+                .nth(1)
+                .map(|s| {
+                    s.chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                })
+                .and_then(|s| s.parse().ok())
+                .unwrap();
+            let published: u64 = stats
+                .split("\"published\":")
+                .nth(1)
+                .map(|s| {
+                    s.chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                })
+                .and_then(|s| s.parse().ok())
+                .unwrap();
+            // A success after a failure means recovery happened and was
+            // timed.
+            if failures >= 1 && published >= 2 && stats.contains("\"consecutive_failures\":0") {
+                assert!(stats.contains("recompute panicked"), "{stats}");
+                assert!(!stats.contains("\"last_recovery_ms\":0,"), "{stats}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "no recovery: {stats}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let health = client.request("health").unwrap();
+        assert!(health.contains("\"degraded\":false"), "{health}");
+    });
+    assert!(report.recomputes >= 2, "{report:?}");
+    assert!(report.recompute_failures >= 1, "{report:?}");
+    assert!(faults.counts().recompute_panics >= 1);
+}
+
+#[test]
+fn stalled_requests_hit_the_deadline_with_a_partial_topk() {
+    // A 3000-leaf star: enough neighbors that the cancellable top-k scan
+    // reaches its poll point while the injected stall has already burned
+    // the deadline.
+    let n = 3001u32;
+    let edges: Vec<(u32, u32)> = (1..n).map(|leaf| (0, leaf)).collect();
+    let graph = Arc::new(from_edges(n as usize, edges));
+    let cover = Cover::new(
+        n as usize,
+        vec![Community::from_raw((0..n).collect::<Vec<_>>())],
+    );
+    let config = ServeConfig {
+        workers: 1,
+        request_deadline: Some(Duration::from_millis(5)),
+        faults: FaultPlan::new(FaultSpec {
+            stall_request_every: 1,
+            stall: Duration::from_millis(30),
+            ..Default::default()
+        }),
+        ..base_config()
+    };
+    let faults = config.faults.clone();
+    let server = Server::new(graph, cover, config, None).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let token = server.cancel_token();
+    let report = std::thread::scope(|scope| {
+        let _guard = CancelOnDrop(token.clone());
+        let handle = scope.spawn(|| server.run(listener).unwrap());
+        let mut client = Client::connect(addr).unwrap();
+        let topk = client.request("topk 0 3").unwrap();
+        assert!(topk.contains("\"ok\":true"), "{topk}");
+        assert!(topk.contains("\"partial\":true"), "{topk}");
+        assert!(topk.contains("\"why\":\"deadline-exceeded\""), "{topk}");
+        token.cancel();
+        handle.join().unwrap()
+    });
+    assert!(report.deadline_hits >= 1, "{report:?}");
+    assert!(faults.counts().request_stalls >= 1);
+}

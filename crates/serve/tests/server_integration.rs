@@ -65,7 +65,7 @@ where
     let graph = Arc::new(two_cliques());
     let recompute: Option<Box<oca_serve::RecomputeFn>> = if config.recompute_interval.is_some() {
         // A deterministic stand-in detection: republish the clique cover.
-        Some(Box::new(|_graph, _seed, _cancel| Some(clique_cover())))
+        Some(Box::new(|_graph, _seed, _cancel| Ok(clique_cover())))
     } else {
         None
     };
@@ -196,7 +196,11 @@ fn background_recompute_publishes_new_epochs_without_blocking_reads() {
             let epoch: u64 = health
                 .split("\"epoch\":")
                 .nth(1)
-                .and_then(|s| s.split('}').next())
+                .map(|s| {
+                    s.chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                })
                 .and_then(|s| s.parse().ok())
                 .unwrap();
             assert!(epoch >= last_epoch, "epochs must be monotone");
@@ -272,7 +276,7 @@ fn concurrent_clients_get_consistent_answers() {
         ..fixed_config()
     };
     let recompute: Box<oca_serve::RecomputeFn> =
-        Box::new(|_graph, _seed, _cancel| Some(clique_cover()));
+        Box::new(|_graph, _seed, _cancel| Ok(clique_cover()));
     let server = Server::new(graph, clique_cover(), config, Some(recompute)).unwrap();
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();

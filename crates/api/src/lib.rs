@@ -38,7 +38,7 @@ pub mod registry;
 pub mod source;
 
 pub use options::DetectorOptions;
-pub use recompute::registry_recompute;
+pub use recompute::{registry_recompute, registry_recompute_with};
 pub use registry::{registry, DetectorRegistry, DetectorSpec};
 pub use source::{GraphSource, LoadedGraph};
 

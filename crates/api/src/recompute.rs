@@ -21,6 +21,17 @@ use oca_graph::{CancelToken, Cover, CsrGraph, DetectContext};
 pub fn registry_recompute(
     algorithm: impl Into<String>,
 ) -> impl Fn(&CsrGraph, u64, &CancelToken) -> Result<Cover, String> + Send + Sync + 'static {
+    registry_recompute_with(algorithm, DetectorOptions::new())
+}
+
+/// [`registry_recompute`] with extra options layered over the tuned
+/// preset each round — how the CLI arms recompute checkpointing
+/// (`checkpoint-path` + a salvage resume policy) so a restarted server
+/// picks a long recompute up mid-way instead of starting over.
+pub fn registry_recompute_with(
+    algorithm: impl Into<String>,
+    options: DetectorOptions,
+) -> impl Fn(&CsrGraph, u64, &CancelToken) -> Result<Cover, String> + Send + Sync + 'static {
     let algorithm = algorithm.into();
     move |graph, seed, cancel| {
         let reg = registry();
@@ -28,7 +39,7 @@ pub fn registry_recompute(
             .get(&algorithm)
             .map_err(|e| format!("resolving {algorithm:?}: {e}"))?;
         let detector = spec
-            .build_tuned(graph, &DetectorOptions::new())
+            .build_tuned(graph, &options)
             .map_err(|e| format!("building {algorithm:?}: {e}"))?;
         let mut ctx = DetectContext::new(seed).with_cancel(cancel.clone());
         detector
@@ -53,6 +64,28 @@ mod tests {
         // Same seed, same cover — the closure is deterministic.
         let again = recompute(&g, 42, &CancelToken::new()).unwrap();
         assert_eq!(again, cover);
+    }
+
+    #[test]
+    fn checkpointed_recompute_matches_plain_and_spends_the_file() {
+        let g = from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let dir = std::env::temp_dir().join(format!("oca_recompute_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recompute.ockpt");
+        let plain = registry_recompute("oca")(&g, 42, &CancelToken::new()).unwrap();
+        let recompute = registry_recompute_with(
+            "oca",
+            DetectorOptions::new()
+                .with("checkpoint-path", path.to_str().unwrap())
+                .with("checkpoint-resume", "salvage"),
+        );
+        let cover = recompute(&g, 42, &CancelToken::new()).unwrap();
+        assert_eq!(cover, plain, "checkpointing must not change the cover");
+        assert!(!path.exists(), "a completed round spends its checkpoint");
+        // A stale/corrupt file cannot wedge the next round under salvage.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert_eq!(recompute(&g, 42, &CancelToken::new()).unwrap(), plain);
+        assert!(!path.exists());
     }
 
     #[test]

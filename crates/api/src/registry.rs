@@ -8,8 +8,8 @@
 
 use crate::options::DetectorOptions;
 use oca::{
-    HaltingConfig, LocalConfig, LocalDetector, MoveRule, OcaConfig, OcaDetector, SearchConfig,
-    SeedStrategy,
+    CheckpointConfig, HaltingConfig, LocalConfig, LocalDetector, MoveRule, OcaConfig, OcaDetector,
+    ResumePolicy, SearchConfig, SeedStrategy,
 };
 use oca_baselines::{
     CFinderConfig, CFinderDetector, CFinderFaithfulDetector, LfkConfig, LfkDetector, LpaConfig,
@@ -265,6 +265,24 @@ pub fn registry() -> DetectorRegistry {
                  candidates (0 disables); uses the round-start coverage \
                  snapshot, so covers stay identical at any thread count",
             ),
+            (
+                "checkpoint-path",
+                "persist round-boundary driver state to this .ockpt file \
+                 (atomic writes); a resumed chain reproduces the \
+                 uninterrupted cover bit for bit",
+            ),
+            (
+                "checkpoint-every-rounds",
+                "rounds between checkpoint writes (default 1; larger \
+                 trades redo work for write overhead)",
+            ),
+            (
+                "checkpoint-resume",
+                "'fresh' (ignore any existing checkpoint), 'strict' \
+                 (resume; refuse damaged or mismatched files with a typed \
+                 error) or 'salvage' (resume; discard bad files and start \
+                 over — for unattended restart loops)",
+            ),
         ],
         build_oca,
         tuned_oca,
@@ -431,6 +449,33 @@ fn build_oca(opts: &DetectorOptions) -> Result<BoxedDetector, DetectError> {
     };
     if let Some(c) = opts.get_parsed::<f64>("fixed-c")? {
         config.c = oca::CStrategy::Fixed(c);
+    }
+    if let Some(path) = opts.get("checkpoint-path") {
+        let resume = match opts.get("checkpoint-resume") {
+            None | Some("fresh") => ResumePolicy::Fresh,
+            Some("strict") => ResumePolicy::Strict,
+            Some("salvage") => ResumePolicy::Salvage,
+            Some(other) => {
+                return Err(DetectError::InvalidOption {
+                    key: "checkpoint-resume".to_string(),
+                    value: other.to_string(),
+                    message: "expected 'fresh', 'strict' or 'salvage'".to_string(),
+                })
+            }
+        };
+        config.checkpoint = Some(CheckpointConfig {
+            resume,
+            every_rounds: opts.get_or("checkpoint-every-rounds", 1u64)?,
+            ..CheckpointConfig::at(path)
+        });
+    } else if opts.get("checkpoint-every-rounds").is_some()
+        || opts.get("checkpoint-resume").is_some()
+    {
+        return Err(DetectError::InvalidOption {
+            key: "checkpoint-path".to_string(),
+            value: String::new(),
+            message: "checkpoint-every-rounds / checkpoint-resume need checkpoint-path".to_string(),
+        });
     }
     Ok(Box::new(OcaDetector::new(config)?))
 }
@@ -853,6 +898,53 @@ mod tests {
         }
         let dense = from_edges(k as usize, edges);
         assert_eq!(hub_prune_degree(&dense), 320);
+    }
+
+    #[test]
+    fn checkpoint_options_flow_into_the_config_and_are_validated() {
+        let g = toy();
+        let reg = registry();
+        let dir = std::env::temp_dir().join(format!("oca_reg_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reg.ockpt");
+        let det = reg
+            .build(
+                "oca",
+                &DetectorOptions::new()
+                    .with("checkpoint-path", path.to_str().unwrap())
+                    .with("checkpoint-every-rounds", "2")
+                    .with("checkpoint-resume", "salvage")
+                    .with("max-seeds", "50"),
+            )
+            .unwrap();
+        // A checkpointed detection matches a plain one and reports the
+        // ckpt_* telemetry namespace.
+        let plain = reg
+            .build("oca", &DetectorOptions::new().with("max-seeds", "50"))
+            .unwrap()
+            .detect(&g, &mut DetectContext::new(5))
+            .unwrap();
+        let d = det.detect(&g, &mut DetectContext::new(5)).unwrap();
+        assert_eq!(d.cover, plain.cover);
+        assert!(d.stats.iter().any(|(k, _)| *k == "ckpt_rounds"));
+        assert!(!plain.stats.iter().any(|(k, _)| *k == "ckpt_rounds"));
+        // Bad policy values and orphaned sub-options are typed errors.
+        assert!(matches!(
+            reg.build(
+                "oca",
+                &DetectorOptions::new()
+                    .with("checkpoint-path", "x.ockpt")
+                    .with("checkpoint-resume", "hope"),
+            ),
+            Err(DetectError::InvalidOption { .. })
+        ));
+        assert!(matches!(
+            reg.build(
+                "oca",
+                &DetectorOptions::new().with("checkpoint-every-rounds", "2"),
+            ),
+            Err(DetectError::InvalidOption { .. })
+        ));
     }
 
     #[test]

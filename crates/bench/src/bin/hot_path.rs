@@ -8,6 +8,12 @@
 //! regression beyond 25% of the baseline — or a dedup+merge phase blow-up
 //! beyond 1.5x + 10 ms — exits non-zero, so CI can gate on it.
 //!
+//! For the lfr family (up to 200k nodes) a second, checkpointed
+//! end-to-end leg records the driver's `ckpt_*` telemetry — rounds
+//! written, last/total write cost, overhead as a percentage of
+//! wall-clock — so the steady-state price of `detect --checkpoint` is
+//! visible next to the numbers it perturbs.
+//!
 //! The end-to-end leg runs with the tuned preset's ascent budget and
 //! covered-hub pruning pinned (DESIGN.md §2a). For ba-hub cases small
 //! enough to afford it, an unbudgeted reference run scores the budgeted
@@ -29,8 +35,8 @@
 //! with `--families ba --sizes 1000000`).
 
 use oca::{
-    initial_set, local_search, ticket_seed, CommunityState, HaltingConfig, Oca, OcaConfig,
-    SearchConfig, SeedStrategy,
+    initial_set, local_search, ticket_seed, CheckpointConfig, CommunityState, HaltingConfig, Oca,
+    OcaConfig, SearchConfig, SeedStrategy,
 };
 use oca_bench::{peak_rss_bytes, results_dir, Args, Table};
 use oca_gen::{barabasi_albert, daisy_tree, lfr, DaisyParams, LfrParams};
@@ -79,6 +85,18 @@ struct Case {
     end_to_end: EndToEndStats,
     theta_vs_unbudgeted: Option<f64>,
     omega_vs_unbudgeted: Option<f64>,
+    ckpt: Option<CkptLeg>,
+}
+
+/// Checkpoint telemetry from a second, checkpointed end-to-end run
+/// (`Detection`'s `ckpt_*` counters), recorded for the lfr family so the
+/// steady-state cost of `--checkpoint` travels with the hot-path numbers.
+struct CkptLeg {
+    rounds: u64,
+    last_bytes: u64,
+    last_write_ns: u64,
+    total_write_ns: u64,
+    overhead_pct: f64,
 }
 
 /// Moves after which the isolated-ascent loop stops early: plenty for a
@@ -150,9 +168,8 @@ fn tuned_search(graph: &CsrGraph) -> SearchConfig {
 /// dedup, halting, merge postprocessing) — the Fig. 5/6 measurement.
 /// Returns the cover alongside the timings so callers can score it
 /// against a reference run.
-fn bench_end_to_end(graph: &CsrGraph, seed: u64, search: SearchConfig) -> (EndToEndStats, Cover) {
-    let n = graph.node_count();
-    let config = OcaConfig {
+fn e2e_config(n: usize, seed: u64, search: SearchConfig) -> OcaConfig {
+    OcaConfig {
         search,
         halting: HaltingConfig {
             max_seeds: (4 * n).max(100),
@@ -172,8 +189,11 @@ fn bench_end_to_end(graph: &CsrGraph, seed: u64, search: SearchConfig) -> (EndTo
         rng_seed: seed,
         threads: 1,
         ..Default::default()
-    };
-    let result = Oca::new(config).run(graph);
+    }
+}
+
+fn bench_end_to_end(graph: &CsrGraph, seed: u64, search: SearchConfig) -> (EndToEndStats, Cover) {
+    let result = Oca::new(e2e_config(graph.node_count(), seed, search)).run(graph);
     let stats = EndToEndStats {
         secs: result.elapsed.as_secs_f64(),
         seeds_tried: result.seeds_tried,
@@ -186,6 +206,41 @@ fn bench_end_to_end(graph: &CsrGraph, seed: u64, search: SearchConfig) -> (EndTo
         orphan_ns: result.phases.orphan_ns,
     };
     (stats, result.cover)
+}
+
+/// Largest lfr size for which the checkpointed second end-to-end leg is
+/// repeated on every bench invocation. The leg doubles that case's e2e
+/// cost, so the million-node point is left to `resume_chaos`.
+const CKPT_LEG_MAX_NODES: usize = 200_000;
+
+/// Reruns the end-to-end detection with `--checkpoint`-equivalent wiring
+/// (every round, to a scratch path the completed run then removes) and
+/// returns the driver's `ckpt_*` telemetry. The cover must be untouched:
+/// checkpointing is pure observation plus I/O.
+fn bench_checkpointed(graph: &CsrGraph, seed: u64, search: SearchConfig, plain: &Cover) -> CkptLeg {
+    let path = std::env::temp_dir().join(format!(
+        "oca_hotpath_{}_{}.ockpt",
+        std::process::id(),
+        graph.node_count()
+    ));
+    let result = Oca::new(OcaConfig {
+        checkpoint: Some(CheckpointConfig::at(&path)),
+        ..e2e_config(graph.node_count(), seed, search)
+    })
+    .run(graph);
+    assert_eq!(
+        &result.cover, plain,
+        "checkpointing must not change the cover"
+    );
+    let stats = result.checkpoint;
+    CkptLeg {
+        rounds: stats.rounds_checkpointed,
+        last_bytes: stats.last_bytes,
+        last_write_ns: stats.last_write_ns,
+        total_write_ns: stats.total_write_ns,
+        overhead_pct: 100.0 * stats.total_write_ns as f64
+            / (result.elapsed.as_nanos() as f64).max(1.0),
+    }
 }
 
 /// Largest ba-hub size for which the unbudgeted reference run is cheap
@@ -307,6 +362,14 @@ fn json_case(case: &Case, baseline: Option<&BaselineCase>, last: bool) -> String
             ", \"theta_vs_unbudgeted\": {th:.4}, \"omega_vs_unbudgeted\": {om:.4}",
         );
     }
+    if let Some(c) = &case.ckpt {
+        let _ = write!(
+            out,
+            ", \"ckpt_rounds\": {}, \"ckpt_last_bytes\": {}, \"ckpt_last_write_ns\": {}, \
+             \"ckpt_total_write_ns\": {}, \"ckpt_overhead_pct\": {:.3}",
+            c.rounds, c.last_bytes, c.last_write_ns, c.total_write_ns, c.overhead_pct,
+        );
+    }
     if let Some(b) = baseline {
         let _ = write!(
             out,
@@ -425,6 +488,20 @@ fn main() {
             } else {
                 (None, None)
             };
+            // The checkpointed second leg: lfr is the paper's reference
+            // family and the one `detect --checkpoint` targets, so its
+            // ckpt_* telemetry rides along with the hot-path record.
+            let ckpt = if family == "lfr" && n <= CKPT_LEG_MAX_NODES {
+                eprint!(" ckpt");
+                Some(bench_checkpointed(
+                    &graph,
+                    seed,
+                    tuned_search(&graph),
+                    &cover,
+                ))
+            } else {
+                None
+            };
             eprintln!(" done ({:.1}s)", end_to_end.secs);
             cases.push(Case {
                 family,
@@ -434,6 +511,7 @@ fn main() {
                 end_to_end,
                 theta_vs_unbudgeted: theta_vs,
                 omega_vs_unbudgeted: omega_vs,
+                ckpt,
             });
         }
     }

@@ -19,32 +19,78 @@ use oca_graph::{
 };
 use oca_hierarchy::Summary;
 use oca_metrics::{average_f1, extended_modularity, overlapping_nmi, theta};
-use oca_serve::{load_cover_path, save_cover_path, RecomputeFn, ServeConfig, Server};
+use oca_serve::{load_cover_path, save_cover_path, PersistError, RecomputeFn, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Top-level dispatch; returns an error message on failure.
-pub fn run(cli: &Cli) -> Result<(), String> {
+/// A command failure: the stderr message plus the process exit code.
+/// Plain string errors exit 1; the integrity-checking commands (`cover
+/// load`, `graph verify`) use [`EXIT_CHECKSUM_MISMATCH`],
+/// [`EXIT_TRUNCATED`] and [`EXIT_VERSION_MISMATCH`] so restart scripts
+/// can tell damage (retry from a backup) from staleness (rebuild).
+#[derive(Debug)]
+pub struct CmdError {
+    /// What went wrong, for stderr.
+    pub message: String,
+    /// The process exit code (non-zero).
+    pub code: i32,
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError { message, code: 1 }
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (exit {})", self.message, self.code)
+    }
+}
+
+/// Exit code when a file's content checksum does not match (bit rot,
+/// torn write that kept the length).
+pub const EXIT_CHECKSUM_MISMATCH: i32 = 3;
+/// Exit code when a file ends before its declared contents do.
+pub const EXIT_TRUNCATED: i32 = 4;
+/// Exit code when a file's format version is not one this build reads.
+pub const EXIT_VERSION_MISMATCH: i32 = 5;
+
+/// Maps an integrity class to its dedicated exit code.
+fn integrity_exit(class: oca_graph::IntegrityClass) -> i32 {
+    use oca_graph::IntegrityClass::*;
+    match class {
+        ChecksumMismatch => EXIT_CHECKSUM_MISMATCH,
+        Truncated => EXIT_TRUNCATED,
+        VersionMismatch => EXIT_VERSION_MISMATCH,
+    }
+}
+
+/// Top-level dispatch; returns the message and exit code on failure.
+pub fn run(cli: &Cli) -> Result<(), CmdError> {
     if cli.command.is_none() && cli.has_flag("list-algorithms") {
         print!("{}", algorithm_listing());
         return Ok(());
     }
     match cli.command.as_deref() {
-        Some("generate") => generate(cli),
-        Some("detect") | Some("run") => detect(cli),
-        Some("eval") => eval(cli),
-        Some("stats") => stats(cli),
-        Some("summarize") => summarize(cli),
-        Some("serve") => serve(cli),
+        Some("generate") => generate(cli).map_err(CmdError::from),
+        Some("detect") | Some("run") => detect(cli).map_err(CmdError::from),
+        Some("eval") => eval(cli).map_err(CmdError::from),
+        Some("stats") => stats(cli).map_err(CmdError::from),
+        Some("summarize") => summarize(cli).map_err(CmdError::from),
+        Some("serve") => serve(cli).map_err(CmdError::from),
         Some("cover") => cover(cli),
         Some("graph") => graph_cmd(cli),
         Some("help") | None => {
             print!("{}", usage());
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}\n\n{}", usage())),
+        Some(other) => Err(CmdError::from(format!(
+            "unknown command {other:?}\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -61,13 +107,15 @@ COMMANDS:
   detect     --input G.edges | --graph G.ocg
   (or: run)  [--algorithm NAME] [--output C.cover]
              [--seed S] [--progress] [--orphans]
+             [--checkpoint F.ockpt [--resume]] [--save-cover C.cover]
              plus the algorithm's own options; see --list-algorithms
   eval       (--input G.edges | --graph G.ocg) --truth T.cover --found C.cover
   stats      --input G.edges | --graph G.ocg
   summarize  (--input G.edges | --graph G.ocg) --cover C.cover
   serve      (--input G.edges | --graph G.ocg) [--addr HOST:PORT]
              [--workers N] [--seed S] [--cover C.bin] [--save-cover C.bin]
-             [--recompute-secs F] [--algorithm NAME] [--fixed-c F]
+             [--recompute-secs F] [--recompute-checkpoint F.ockpt]
+             [--algorithm NAME] [--fixed-c F]
              [--max-seconds F] [--deadline-ms N] [--max-pending N]
              [--idle-secs F] [--max-line-bytes N]
   cover      save --input G.edges --cover C.cover --output C.bin [--fixed-c F]
@@ -88,6 +136,16 @@ build` produces `.ocg` from an edge list through a bounded-memory external
 sort (`--chunk-edges` caps the RAM), applying the cache-friendly
 degree-descending relabeling by default; covers on disk always use the
 input's own node ids.
+
+Long `detect` runs survive crashes: `--checkpoint F.ockpt` persists the
+driver's round-boundary state atomically; after a crash (or ^C) rerun the
+same command with `--resume` and the run continues where it stopped,
+producing the bit-identical cover an uninterrupted run would have. ^C and
+SIGTERM always stop at the next safe point, flush the checkpoint (if
+armed) and write the partial cover to `--save-cover` (if given) before
+exiting cleanly. `cover load` and `graph verify` exit 3 on a checksum
+mismatch, 4 on truncation and 5 on a version mismatch (1 for everything
+else), naming the class in the message.
 
 `serve` answers `query`/`local`/`topk`/`snapshot`/`stats`/`health` as
 one-line JSON over TCP (try `nc` and type `query 0`). `--cover` warm-starts
@@ -220,8 +278,26 @@ fn generate(cli: &Cli) -> Result<(), String> {
 
 /// Options the `detect` subcommand owns itself; everything else must be
 /// declared by the selected algorithm's registry entry.
-const DETECT_OPTIONS: [&str; 5] = ["input", "graph", "algorithm", "output", "seed"];
-const DETECT_FLAGS: [&str; 3] = ["list-algorithms", "orphans", "progress"];
+const DETECT_OPTIONS: [&str; 7] = [
+    "input",
+    "graph",
+    "algorithm",
+    "output",
+    "seed",
+    "checkpoint",
+    "save-cover",
+];
+const DETECT_FLAGS: [&str; 4] = ["list-algorithms", "orphans", "progress", "resume"];
+
+/// Writes `cover` to `path` in the text format through a temp-and-rename,
+/// so an interruption (even a second ^C) can never leave a half-written
+/// cover behind.
+fn save_cover_atomic(cover: &Cover, path: &str) -> Result<(), String> {
+    oca_graph::atomic_write_path(std::path::Path::new(path), |w| {
+        oca_graph::write_cover(cover, w).map_err(std::io::Error::other)
+    })
+    .map_err(|e| format!("writing {path}: {e}"))
+}
 
 fn detect(cli: &Cli) -> Result<(), String> {
     let reg = registry();
@@ -249,23 +325,93 @@ fn detect(cli: &Cli) -> Result<(), String> {
         // reject it with a typed UnknownOption error.
         opts.set("orphans", "true");
     }
+    // `--checkpoint` / `--resume` forward as the registry's checkpoint
+    // options, so algorithms without checkpoint support reject them with
+    // a typed UnknownOption error like any other key.
+    let checkpoint_path = cli.get_str("checkpoint").map(str::to_string);
+    if let Some(path) = &checkpoint_path {
+        opts.set("checkpoint-path", path);
+        opts.set(
+            "checkpoint-resume",
+            if cli.has_flag("resume") {
+                "strict"
+            } else {
+                "fresh"
+            },
+        );
+    } else if cli.has_flag("resume") {
+        return Err("--resume needs --checkpoint <path>".to_string());
+    }
     // Graph-scaled tuned defaults (e.g. OCA's seed budget proportional to
     // the node count), overridden key by key by the user's options.
     let detector = spec.build_tuned(graph, &opts).map_err(|e| e.to_string())?;
 
-    let mut ctx = DetectContext::new(seed);
+    // ^C / SIGTERM cancel the run at the next safe point instead of
+    // killing it: the driver flushes its checkpoint (if armed) and hands
+    // back the partial cover.
+    crate::signals::install();
+    let cancel = oca_api::CancelToken::new();
+    let watcher_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let token = cancel.clone();
+        let done = Arc::clone(&watcher_flag);
+        std::thread::spawn(move || {
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                if crate::signals::pending().is_some() {
+                    token.cancel();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+    }
+    let mut ctx = DetectContext::new(seed).with_cancel(cancel);
     if cli.has_flag("progress") {
         ctx = ctx.with_progress(|p: Progress| match p.total {
             Some(total) => eprint!("\r[{}] {}/{total}    ", p.stage, p.done),
             None => eprint!("\r[{}] {}    ", p.stage, p.done),
         });
     }
-    let detection = detector
-        .detect(graph, &mut ctx)
-        .map_err(|e| e.to_string())?;
+    let outcome = detector.detect(graph, &mut ctx);
+    watcher_flag.store(true, std::sync::atomic::Ordering::Relaxed);
     if cli.has_flag("progress") {
         eprintln!();
     }
+    let detection = match outcome {
+        Ok(detection) => detection,
+        Err(oca_api::DetectError::Cancelled { partial }) => {
+            let signal = crate::signals::pending().unwrap_or("cancellation");
+            for (key, value) in &partial.stats {
+                println!("{key} = {value}");
+            }
+            let cover = loaded.cover_to_input(&partial.cover);
+            println!(
+                "interrupted by {signal}: partial cover with {} communities, \
+                 coverage {:.3}, {} iterations",
+                cover.len(),
+                cover.coverage(),
+                partial.iterations
+            );
+            match &checkpoint_path {
+                Some(ckpt) => println!(
+                    "checkpoint flushed to {ckpt}; rerun with --resume to continue \
+                     where this run stopped"
+                ),
+                None => println!(
+                    "halted: interrupted — no checkpoint was armed, so a rerun \
+                     starts over (pass --checkpoint <path> next time)"
+                ),
+            }
+            if let Some(path) = cli.get_str("save-cover") {
+                save_cover_atomic(&cover, path)?;
+                println!("wrote partial cover to {path}");
+            }
+            // A graceful interruption is a clean exit: everything the run
+            // promised to persist is on disk.
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     if !detection.complete {
         eprintln!("warning: run incomplete (internal cap hit); cover is partial");
     }
@@ -301,6 +447,10 @@ fn detect(cli: &Cli) -> Result<(), String> {
     }
     if let Some(path) = cli.get_str("output") {
         write_cover_path(&cover, path).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = cli.get_str("save-cover") {
+        save_cover_atomic(&cover, path)?;
         println!("wrote {path}");
     }
     Ok(())
@@ -370,7 +520,7 @@ fn summarize(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-const SERVE_OPTIONS: [&str; 15] = [
+const SERVE_OPTIONS: [&str; 16] = [
     "input",
     "graph",
     "addr",
@@ -379,6 +529,7 @@ const SERVE_OPTIONS: [&str; 15] = [
     "cover",
     "save-cover",
     "recompute-secs",
+    "recompute-checkpoint",
     "algorithm",
     "fixed-c",
     "max-seconds",
@@ -478,8 +629,22 @@ fn serve(cli: &Cli) -> Result<(), String> {
         idle_timeout: (idle_secs > 0.0).then(|| Duration::from_secs_f64(idle_secs)),
         ..Default::default()
     };
-    let recompute: Option<Box<RecomputeFn>> = (recompute_secs > 0.0)
-        .then(|| Box::new(oca_api::registry_recompute(algorithm)) as Box<RecomputeFn>);
+    let recompute_ckpt = cli.get_str("recompute-checkpoint").map(str::to_string);
+    if recompute_ckpt.is_some() && recompute_secs <= 0.0 {
+        return Err("--recompute-checkpoint needs --recompute-secs".to_string());
+    }
+    let recompute: Option<Box<RecomputeFn>> = (recompute_secs > 0.0).then(|| {
+        let mut ropts = DetectorOptions::new();
+        if let Some(path) = &recompute_ckpt {
+            // Background recompute checkpoints its rounds and salvages on
+            // damage: a restarted server resumes a long recompute mid-way
+            // (the driver adopts the checkpoint's recorded seed), and a
+            // torn file can never wedge the unattended loop.
+            ropts.set("checkpoint-path", path);
+            ropts.set("checkpoint-resume", "salvage");
+        }
+        Box::new(oca_api::registry_recompute_with(algorithm, ropts)) as Box<RecomputeFn>
+    });
 
     let mut server =
         Server::new(Arc::clone(&graph), initial, config, recompute).map_err(|e| e.to_string())?;
@@ -517,14 +682,16 @@ fn serve(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-fn cover(cli: &Cli) -> Result<(), String> {
+fn cover(cli: &Cli) -> Result<(), CmdError> {
     match cli.positional(0) {
-        Some("save") => cover_save(cli),
+        Some("save") => cover_save(cli).map_err(CmdError::from),
         Some("load") => cover_load(cli),
-        Some(other) => Err(format!(
+        Some(other) => Err(CmdError::from(format!(
             "unknown cover action {other:?}; expected `cover save` or `cover load`"
+        ))),
+        None => Err(CmdError::from(
+            "missing cover action; expected `cover save` or `cover load`".to_string(),
         )),
-        None => Err("missing cover action; expected `cover save` or `cover load`".to_string()),
     }
 }
 
@@ -554,13 +721,29 @@ fn cover_save(cli: &Cli) -> Result<(), String> {
 }
 
 /// `cover load`: verifies and summarizes a binary cover against a graph;
-/// `--output` converts it back to the text format.
-fn cover_load(cli: &Cli) -> Result<(), String> {
-    cli.ensure_known(&["input", "graph", "binary", "output"], &[])?;
-    let graph = load_graph(cli)?.graph;
-    let binary = cli.require("binary")?;
-    let (cover, c) = load_cover_path(binary, Some(graph.node_count()))
-        .map_err(|e| format!("loading {binary}: {e}"))?;
+/// `--output` converts it back to the text format. Integrity failures
+/// exit with their class's dedicated code and name the class, so a
+/// restart script can distinguish a damaged file from a stale one.
+fn cover_load(cli: &Cli) -> Result<(), CmdError> {
+    cli.ensure_known(&["input", "graph", "binary", "output"], &[])
+        .map_err(CmdError::from)?;
+    let graph = load_graph(cli).map_err(CmdError::from)?.graph;
+    let binary = cli.require("binary").map_err(CmdError::from)?;
+    let (cover, c) = load_cover_path(binary, Some(graph.node_count())).map_err(|e| {
+        let class = match &e {
+            PersistError::ChecksumMismatch => Some(oca_graph::IntegrityClass::ChecksumMismatch),
+            PersistError::Truncated => Some(oca_graph::IntegrityClass::Truncated),
+            PersistError::UnsupportedVersion(_) => Some(oca_graph::IntegrityClass::VersionMismatch),
+            _ => None,
+        };
+        match class {
+            Some(class) => CmdError {
+                message: format!("loading {binary}: {e} [{}]", class.label()),
+                code: integrity_exit(class),
+            },
+            None => CmdError::from(format!("loading {binary}: {e}")),
+        }
+    })?;
     println!(
         "{binary}: {} communities, coverage {:.3}, {} overlap nodes, c = {c:.6}",
         cover.len(),
@@ -568,24 +751,25 @@ fn cover_load(cli: &Cli) -> Result<(), String> {
         cover.overlap_node_count()
     );
     if let Some(path) = cli.get_str("output") {
-        write_cover_path(&cover, path).map_err(|e| format!("writing {path}: {e}"))?;
+        write_cover_path(&cover, path)
+            .map_err(|e| CmdError::from(format!("writing {path}: {e}")))?;
         println!("wrote {path}");
     }
     Ok(())
 }
 
-fn graph_cmd(cli: &Cli) -> Result<(), String> {
+fn graph_cmd(cli: &Cli) -> Result<(), CmdError> {
     match cli.positional(0) {
-        Some("build") => graph_build(cli),
-        Some("info") => graph_info(cli),
+        Some("build") => graph_build(cli).map_err(CmdError::from),
+        Some("info") => graph_info(cli).map_err(CmdError::from),
         Some("verify") => graph_verify(cli),
-        Some(other) => Err(format!(
+        Some(other) => Err(CmdError::from(format!(
             "unknown graph action {other:?}; expected `graph build`, `graph info` or `graph verify`"
-        )),
-        None => Err(
+        ))),
+        None => Err(CmdError::from(
             "missing graph action; expected `graph build`, `graph info` or `graph verify`"
                 .to_string(),
-        ),
+        )),
     }
 }
 
@@ -635,11 +819,19 @@ fn graph_info(cli: &Cli) -> Result<(), String> {
 }
 
 /// `graph verify`: full checksum + structural validation, the expensive
-/// counterpart of the O(1) open-time checks.
-fn graph_verify(cli: &Cli) -> Result<(), String> {
-    cli.ensure_known(&["graph"], &[])?;
-    let path = cli.require("graph")?;
-    let info = verify_ocg_path(path).map_err(|e| e.to_string())?;
+/// counterpart of the O(1) open-time checks. Like `cover load`, the
+/// three integrity classes exit with their own codes and are named in
+/// the message.
+fn graph_verify(cli: &Cli) -> Result<(), CmdError> {
+    cli.ensure_known(&["graph"], &[]).map_err(CmdError::from)?;
+    let path = cli.require("graph").map_err(CmdError::from)?;
+    let info = verify_ocg_path(path).map_err(|e| match e.integrity_class() {
+        Some(class) => CmdError {
+            message: format!("{e} [{}]", class.label()),
+            code: integrity_exit(class),
+        },
+        None => CmdError::from(e.to_string()),
+    })?;
     println!("{path}: checksum and structure verified");
     print_ocg_info(path, &info);
     Ok(())
@@ -746,7 +938,7 @@ mod tests {
         )))
         .unwrap();
         let err = run(&cli(&format!("detect --input {} --batch 0", g.display()))).unwrap_err();
-        assert!(err.contains("round"), "{err}");
+        assert!(err.message.contains("round"), "{err}");
     }
 
     #[test]
@@ -759,25 +951,31 @@ mod tests {
     #[test]
     fn unknown_options_are_rejected_with_the_valid_set() {
         let err = run(&cli("detect --input g.edges --thread 4")).unwrap_err();
-        assert!(err.contains("--thread"), "{err}");
-        assert!(err.contains("--threads"), "{err}");
+        assert!(err.message.contains("--thread"), "{err}");
+        assert!(err.message.contains("--threads"), "{err}");
 
         // Algorithm-specific keys are validated against the registry entry.
         let err = run(&cli("detect --input g.edges --algorithm lfk --threads 4")).unwrap_err();
-        assert!(err.contains("--threads"), "{err}");
-        assert!(err.contains("--alpha"), "{err}");
+        assert!(err.message.contains("--threads"), "{err}");
+        assert!(err.message.contains("--alpha"), "{err}");
 
         let err = run(&cli("generate --family lfr --nodez 10 --output /tmp/x")).unwrap_err();
-        assert!(err.contains("--nodez") && err.contains("--nodes"), "{err}");
+        assert!(
+            err.message.contains("--nodez") && err.message.contains("--nodes"),
+            "{err}"
+        );
 
         let err = run(&cli("stats --input g.edges --verbose")).unwrap_err();
-        assert!(err.contains("--verbose"), "{err}");
+        assert!(err.message.contains("--verbose"), "{err}");
     }
 
     #[test]
     fn unknown_algorithm_lists_registered_names() {
         let err = run(&cli("detect --input g.edges --algorithm nope")).unwrap_err();
-        assert!(err.contains("nope") && err.contains("lpa"), "{err}");
+        assert!(
+            err.message.contains("nope") && err.message.contains("lpa"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -836,10 +1034,10 @@ mod tests {
             bin.display()
         )))
         .unwrap_err();
-        assert!(err.contains("150-node"), "{err}");
+        assert!(err.message.contains("150-node"), "{err}");
         // Bad actions are named.
         let err = run(&cli("cover frobnicate")).unwrap_err();
-        assert!(err.contains("frobnicate"), "{err}");
+        assert!(err.message.contains("frobnicate"), "{err}");
         assert!(run(&cli("cover")).is_err());
     }
 
@@ -871,7 +1069,7 @@ mod tests {
         // Typo'd options are rejected with the valid set.
         let err = run(&cli(&format!("serve --input {} --worker 2", g.display()))).unwrap_err();
         assert!(
-            err.contains("--worker") && err.contains("--workers"),
+            err.message.contains("--worker") && err.message.contains("--workers"),
             "{err}"
         );
     }
@@ -937,12 +1135,12 @@ mod tests {
             ocg.display()
         )))
         .unwrap_err();
-        assert!(err.contains("not both"), "{err}");
+        assert!(err.message.contains("not both"), "{err}");
         let err = run(&cli("stats")).unwrap_err();
-        assert!(err.contains("--input"), "{err}");
+        assert!(err.message.contains("--input"), "{err}");
         // Unknown graph actions are named.
         let err = run(&cli("graph frobnicate")).unwrap_err();
-        assert!(err.contains("frobnicate"), "{err}");
+        assert!(err.message.contains("frobnicate"), "{err}");
         assert!(run(&cli("graph")).is_err());
     }
 
@@ -995,7 +1193,7 @@ mod tests {
             "generate --family gnp --nodes 10 --output /tmp/oca_g.edges --truth /tmp/oca_t.cover",
         ))
         .unwrap_err();
-        assert!(err.contains("no ground truth"));
+        assert!(err.message.contains("no ground truth"));
     }
 
     #[test]
@@ -1003,5 +1201,169 @@ mod tests {
         run(&cli("help")).unwrap();
         run(&Cli::default()).unwrap();
         assert!(usage().contains("detect"));
+    }
+
+    #[test]
+    fn detect_with_checkpoint_completes_and_spends_the_file() {
+        let dir = tmpdir();
+        let g = dir.join("g9.edges");
+        let ckpt = dir.join("run9.ockpt");
+        let saved = dir.join("c9.cover");
+        run(&cli(&format!(
+            "generate --family lfr --nodes 150 --mu 0.2 --output {}",
+            g.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "detect --input {} --checkpoint {} --save-cover {}",
+            g.display(),
+            ckpt.display(),
+            saved.display()
+        )))
+        .unwrap();
+        // A completed run removes its spent checkpoint and the atomic
+        // cover write landed (readable as a text cover).
+        assert!(!ckpt.exists(), "spent checkpoint should be removed");
+        let cover = read_cover_path(150, saved.to_str().unwrap()).unwrap();
+        assert!(!cover.is_empty());
+        // Resuming a spent (missing) checkpoint under --resume is the
+        // strict policy: the missing file just starts fresh.
+        run(&cli(&format!(
+            "detect --input {} --checkpoint {} --resume",
+            g.display(),
+            ckpt.display()
+        )))
+        .unwrap();
+        // --resume is meaningless without --checkpoint.
+        let err = run(&cli(&format!("detect --input {} --resume", g.display()))).unwrap_err();
+        assert!(err.message.contains("--checkpoint"), "{err}");
+        // Algorithms without checkpoint support reject the key as typed.
+        let err = run(&cli(&format!(
+            "detect --input {} --algorithm lpa --checkpoint {}",
+            g.display(),
+            ckpt.display()
+        )))
+        .unwrap_err();
+        assert!(err.message.contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn cover_load_exit_codes_distinguish_the_damage() {
+        let dir = tmpdir();
+        let g = dir.join("g10.edges");
+        let text = dir.join("c10.cover");
+        let bin = dir.join("c10.bin");
+        run(&cli(&format!(
+            "generate --family lfr --nodes 150 --mu 0.2 --output {} --truth {}",
+            g.display(),
+            text.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "cover save --input {} --cover {} --output {} --fixed-c 0.7",
+            g.display(),
+            text.display(),
+            bin.display()
+        )))
+        .unwrap();
+        let pristine = std::fs::read(&bin).unwrap();
+        let load = |path: &std::path::Path| {
+            run(&cli(&format!(
+                "cover load --input {} --binary {}",
+                g.display(),
+                path.display()
+            )))
+        };
+
+        // Truncation: cut inside the fixed header (magic intact).
+        let cut = dir.join("c10_cut.bin");
+        std::fs::write(&cut, &pristine[..20]).unwrap();
+        let err = load(&cut).unwrap_err();
+        assert_eq!(err.code, EXIT_TRUNCATED, "{err}");
+        assert!(err.message.contains("truncation"), "{err}");
+
+        // Bit rot: flip a payload byte; the trailing checksum catches it.
+        let mut rotted = pristine.clone();
+        let mid = rotted.len() - 12;
+        rotted[mid] ^= 0xFF;
+        let rot = dir.join("c10_rot.bin");
+        std::fs::write(&rot, &rotted).unwrap();
+        let err = load(&rot).unwrap_err();
+        assert_eq!(err.code, EXIT_CHECKSUM_MISMATCH, "{err}");
+        assert!(err.message.contains("checksum-mismatch"), "{err}");
+
+        // Version skew: patch the u32 version field (checked before the
+        // checksum, so this reports as staleness, not damage).
+        let mut future = pristine.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let ver = dir.join("c10_ver.bin");
+        std::fs::write(&ver, &future).unwrap();
+        let err = load(&ver).unwrap_err();
+        assert_eq!(err.code, EXIT_VERSION_MISMATCH, "{err}");
+        assert!(err.message.contains("version-mismatch"), "{err}");
+    }
+
+    #[test]
+    fn graph_verify_exit_codes_distinguish_the_damage() {
+        let dir = tmpdir();
+        let edges = dir.join("g11.edges");
+        let ocg = dir.join("g11.ocg");
+        run(&cli(&format!(
+            "generate --family gnp --nodes 100 --output {}",
+            edges.display()
+        )))
+        .unwrap();
+        run(&cli(&format!(
+            "graph build --input {} --output {}",
+            edges.display(),
+            ocg.display()
+        )))
+        .unwrap();
+        let pristine = std::fs::read(&ocg).unwrap();
+
+        // Payload corruption: checksum mismatch, exit 3.
+        let mut rotted = pristine.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0xFF;
+        let rot = dir.join("g11_rot.ocg");
+        std::fs::write(&rot, &rotted).unwrap();
+        let err = run(&cli(&format!("graph verify --graph {}", rot.display()))).unwrap_err();
+        assert_eq!(err.code, EXIT_CHECKSUM_MISMATCH, "{err}");
+        assert!(err.message.contains("checksum-mismatch"), "{err}");
+
+        // Truncation: the header implies more bytes than the file has.
+        let cut = dir.join("g11_cut.ocg");
+        std::fs::write(&cut, &pristine[..pristine.len() - 8]).unwrap();
+        let err = run(&cli(&format!("graph verify --graph {}", cut.display()))).unwrap_err();
+        assert_eq!(err.code, EXIT_TRUNCATED, "{err}");
+        assert!(err.message.contains("truncation"), "{err}");
+    }
+
+    #[test]
+    fn serve_recompute_checkpoint_needs_recompute_and_runs() {
+        let dir = tmpdir();
+        let g = dir.join("g12.edges");
+        let ckpt = dir.join("serve12.ockpt");
+        run(&cli(&format!(
+            "generate --family lfr --nodes 150 --mu 0.2 --output {}",
+            g.display()
+        )))
+        .unwrap();
+        let err = run(&cli(&format!(
+            "serve --input {} --addr 127.0.0.1:0 --max-seconds 0.1 --recompute-checkpoint {}",
+            g.display(),
+            ckpt.display()
+        )))
+        .unwrap_err();
+        assert!(err.message.contains("--recompute-secs"), "{err}");
+        // With the interval set, a short serve run with a checkpointing
+        // background recompute comes up and drains cleanly.
+        run(&cli(&format!(
+            "serve --input {} --addr 127.0.0.1:0 --workers 1 --max-seconds 0.3 \
+             --recompute-secs 0.1 --recompute-checkpoint {}",
+            g.display(),
+            ckpt.display()
+        )))
+        .unwrap();
     }
 }

@@ -4,11 +4,12 @@
 
 mod args;
 mod commands;
+mod signals;
 
 fn main() {
     let cli = args::Cli::from_env();
-    if let Err(message) = commands::run(&cli) {
-        eprintln!("error: {message}");
-        std::process::exit(1);
+    if let Err(err) = commands::run(&cli) {
+        eprintln!("error: {}", err.message);
+        std::process::exit(err.code);
     }
 }

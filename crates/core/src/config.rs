@@ -1,5 +1,6 @@
 //! Configuration of a full OCA run.
 
+use crate::checkpoint::CheckpointConfig;
 use crate::halting::HaltingConfig;
 use crate::search::SearchConfig;
 use crate::seed::SeedStrategy;
@@ -62,6 +63,11 @@ pub struct OcaConfig {
     /// but quality is equivalent and determinism across thread counts is
     /// unaffected.
     pub relabel: bool,
+    /// Crash-safe progress: periodically persist the driver's round-start
+    /// state to a `.ockpt` file and (per the policy) resume from it. Not
+    /// part of the deterministic schedule — a checkpointed run, a plain
+    /// run, and a crash/resume chain all produce the identical cover.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for OcaConfig {
@@ -78,6 +84,7 @@ impl Default for OcaConfig {
             threads: 1,
             batch: 64,
             relabel: false,
+            checkpoint: None,
         }
     }
 }
@@ -130,6 +137,16 @@ impl OcaConfig {
         }
         if self.search.max_moves < 1 {
             return Err(invalid("need at least one move per ascent".to_string()));
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            if ckpt.every_rounds < 1 {
+                return Err(invalid(
+                    "need at least one round between checkpoints".to_string(),
+                ));
+            }
+            if ckpt.path.as_os_str().is_empty() {
+                return Err(invalid("checkpoint path must not be empty".to_string()));
+            }
         }
         Ok(())
     }

@@ -51,41 +51,48 @@ impl CommunityDetector for OcaDetector {
     fn detect(&self, graph: &CsrGraph, ctx: &mut DetectContext) -> Result<Detection, DetectError> {
         let mut config = self.config.clone();
         config.rng_seed = ctx.seed();
+        let checkpointed = config.checkpoint.is_some();
         let result = Oca::try_new(config)?.run_ctx(graph, ctx)?;
+        let mut stats = vec![
+            ("c", format!("{:.6}", result.c)),
+            ("lambda_min", format!("{:.6}", result.lambda_min)),
+            ("raw_communities", result.raw_community_count.to_string()),
+            (
+                "halt_reason",
+                result.halt_reason.map_or("none", |r| r.label()).to_string(),
+            ),
+            ("ascent_ns", result.phases.ascent_ns.to_string()),
+            ("dedup_ns", result.phases.dedup_ns.to_string()),
+            ("merge_ns", result.phases.merge_ns.to_string()),
+            ("orphan_ns", result.phases.orphan_ns.to_string()),
+            (
+                "ascents_converged",
+                result.ascent_stops.converged.to_string(),
+            ),
+            (
+                "ascents_move_capped",
+                result.ascent_stops.move_cap.to_string(),
+            ),
+            (
+                "ascents_budget_stopped",
+                result.ascent_stops.move_budget.to_string(),
+            ),
+            (
+                "ascents_plateau_stopped",
+                result.ascent_stops.plateau.to_string(),
+            ),
+        ];
+        // The `ckpt_*` namespace only appears on checkpointed runs, so
+        // plain detections keep their usual stat set.
+        if checkpointed {
+            stats.extend(result.checkpoint.stat_entries());
+        }
         Ok(Detection {
             cover: result.cover,
             elapsed: result.elapsed,
             complete: true,
             iterations: result.seeds_tried,
-            stats: vec![
-                ("c", format!("{:.6}", result.c)),
-                ("lambda_min", format!("{:.6}", result.lambda_min)),
-                ("raw_communities", result.raw_community_count.to_string()),
-                (
-                    "halt_reason",
-                    result.halt_reason.map_or("none", |r| r.label()).to_string(),
-                ),
-                ("ascent_ns", result.phases.ascent_ns.to_string()),
-                ("dedup_ns", result.phases.dedup_ns.to_string()),
-                ("merge_ns", result.phases.merge_ns.to_string()),
-                ("orphan_ns", result.phases.orphan_ns.to_string()),
-                (
-                    "ascents_converged",
-                    result.ascent_stops.converged.to_string(),
-                ),
-                (
-                    "ascents_move_capped",
-                    result.ascent_stops.move_cap.to_string(),
-                ),
-                (
-                    "ascents_budget_stopped",
-                    result.ascent_stops.move_budget.to_string(),
-                ),
-                (
-                    "ascents_plateau_stopped",
-                    result.ascent_stops.plateau.to_string(),
-                ),
-            ],
+            stats,
         })
     }
 }

@@ -156,6 +156,28 @@ impl HaltingState {
         }
     }
 
+    /// Reconstructs a mid-run state from checkpointed counters. The
+    /// counters must come from a round boundary of the same schedule
+    /// (same config, same graph); the checkpoint layer binds and verifies
+    /// that, this constructor just trusts it.
+    pub fn restore(
+        config: HaltingConfig,
+        node_count: usize,
+        seeds_tried: usize,
+        covered: usize,
+        stagnant: usize,
+        rejected_streak: usize,
+    ) -> Self {
+        HaltingState {
+            config,
+            node_count,
+            seeds_tried,
+            covered,
+            stagnant,
+            rejected_streak,
+        }
+    }
+
     /// Records the outcome of one seed: how many previously uncovered nodes
     /// its community added, and whether the community was new (i.e.
     /// accepted into the cover rather than rejected as a duplicate or as
@@ -183,6 +205,16 @@ impl HaltingState {
     /// Current covered-node count.
     pub fn covered(&self) -> usize {
         self.covered
+    }
+
+    /// Consecutive seeds without new coverage (the stagnation window).
+    pub fn stagnant(&self) -> usize {
+        self.stagnant
+    }
+
+    /// Consecutive rejected seeds (the duplicate-streak window).
+    pub fn rejected_streak(&self) -> usize {
+        self.rejected_streak
     }
 
     /// Current coverage fraction.

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod detector;
 pub mod fitness;
@@ -41,6 +42,11 @@ pub mod search;
 pub mod seed;
 pub mod state;
 
+pub use checkpoint::{
+    checkpoint_summary, config_checksum, graph_checksum, CheckpointConfig, CheckpointFaultCounts,
+    CheckpointFaultSpec, CheckpointFaults, CheckpointStats, CheckpointSummary, DriverCheckpoint,
+    ResumePolicy,
+};
 pub use config::{CStrategy, OcaConfig};
 pub use detector::OcaDetector;
 pub use fitness::{fitness, fitness_from_definition, gain_add, gain_remove, phi, SqrtTable};

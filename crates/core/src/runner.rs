@@ -14,12 +14,17 @@
 //! the [`CoverageBitmap`]) plus one atomic ticket cursor workers lease
 //! small ticket batches from — no mutex anywhere on the hot path.
 
+use crate::checkpoint::{
+    config_checksum, graph_checksum, CheckpointConfig, CheckpointStats, DriverCheckpoint,
+    ResumePolicy,
+};
 use crate::config::{CStrategy, OcaConfig};
 use crate::halting::{AscentStopStats, HaltReason, HaltingState};
 use crate::postprocess::{assign_orphans, merge_similar};
 use crate::search::{ascend, AscentStop};
 use crate::seed::{initial_set, ticket_seed};
 use crate::state::CommunityState;
+use oca_graph::ckpt::CkptError;
 use oca_graph::{
     Community, Cover, CsrGraph, DetectContext, DetectError, Detection, NodeId, Relabeling,
 };
@@ -73,6 +78,11 @@ pub struct OcaResult {
     pub elapsed: Duration,
     /// Where the wall-clock went, phase by phase.
     pub phases: PhaseNanos,
+    /// Checkpoint telemetry (all-zero when checkpointing is off). On a
+    /// resumed run, wall-clock and phase timers cover only the resumed
+    /// process, while `seeds_tried` and the cover span the whole logical
+    /// run.
+    pub checkpoint: CheckpointStats,
 }
 
 /// The OCA algorithm, configured and ready to run.
@@ -129,6 +139,14 @@ impl CoverageBitmap {
     /// Number of 64-bit words backing the bitmap.
     pub fn word_count(&self) -> usize {
         self.words.len()
+    }
+
+    /// Rebuilds a bitmap from checkpointed words (validated upstream by
+    /// [`DriverCheckpoint::decode`]).
+    fn from_words(words: &[u64]) -> Self {
+        CoverageBitmap {
+            words: words.iter().map(|&w| AtomicU64::new(w)).collect(),
+        }
     }
 }
 
@@ -199,6 +217,12 @@ struct Reduction {
     /// cloned and content-hashed the full vector once per ticket).
     seen: HashSet<u128>,
     accepted: Vec<Community>,
+    /// The accepted communities' fingerprints in acceptance order,
+    /// parallel to `accepted`. `seen` holds exactly this set (rejects
+    /// never enter it), so this vector is both the checkpoint's canonical
+    /// fingerprint serialization and the rewind path's O(round) undo log
+    /// for `seen`.
+    accepted_fps: Vec<u128>,
     min_size: usize,
     halted: bool,
     /// Stop-reason tally of every recorded ticket (budget telemetry).
@@ -215,9 +239,72 @@ impl Reduction {
             newly_covered: Vec::new(),
             seen: HashSet::new(),
             accepted: Vec::new(),
+            accepted_fps: Vec::new(),
             min_size: config.min_community_size,
             halted,
             stops: AscentStopStats::default(),
+        }
+    }
+
+    /// Reconstructs the round-start state a checkpoint recorded: the
+    /// exact uncovered list (content *and* order — seed picks index it),
+    /// the dedup set, the accepted communities and the halting counters.
+    fn restore(config: &OcaConfig, n: usize, ckpt: &DriverCheckpoint) -> Self {
+        let halting = HaltingState::restore(
+            config.halting,
+            n,
+            ckpt.seeds_tried as usize,
+            ckpt.covered as usize,
+            ckpt.stagnant as usize,
+            ckpt.rejected_streak as usize,
+        );
+        let halted = halting.should_halt();
+        let nodes: Vec<NodeId> = ckpt.uncovered.iter().map(|&v| NodeId(v)).collect();
+        let mut pos = vec![u32::MAX; n];
+        for (i, v) in nodes.iter().enumerate() {
+            pos[v.index()] = i as u32;
+        }
+        Reduction {
+            halting,
+            uncovered: UncoveredList { nodes, pos },
+            newly_covered: Vec::new(),
+            seen: ckpt.fingerprints.iter().copied().collect(),
+            accepted: ckpt.accepted.clone(),
+            accepted_fps: ckpt.fingerprints.clone(),
+            min_size: config.min_community_size,
+            halted,
+            stops: ckpt.stops,
+        }
+    }
+
+    /// Snapshots the current (round-boundary) state for checkpointing.
+    /// The bitmap words are derived from the uncovered list rather than
+    /// copied from the live bitmap: at a boundary the two agree, and on
+    /// the cancellation flush path — where the live bitmap may have run
+    /// ahead inside the abandoned round — the rewound uncovered list is
+    /// the authoritative one.
+    fn to_checkpoint(&self, rng_seed: u64, c: f64, lambda_min: f64, n: usize) -> DriverCheckpoint {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if n % 64 != 0 {
+            words[n / 64] = (1u64 << (n % 64)) - 1;
+        }
+        for v in &self.uncovered.nodes {
+            words[v.index() / 64] &= !(1u64 << (v.index() % 64));
+        }
+        DriverCheckpoint {
+            rng_seed,
+            c,
+            lambda_min,
+            seeds_tried: self.halting.seeds_tried() as u64,
+            covered: self.halting.covered() as u64,
+            stagnant: self.halting.stagnant() as u64,
+            rejected_streak: self.halting.rejected_streak() as u64,
+            stops: self.stops,
+            node_count: n as u64,
+            accepted: self.accepted.clone(),
+            fingerprints: self.accepted_fps.clone(),
+            uncovered: self.uncovered.nodes.iter().map(|v| v.0).collect(),
+            bitmap_words: words,
         }
     }
 
@@ -251,6 +338,7 @@ impl Reduction {
                 }
             }
             self.accepted.push(community);
+            self.accepted_fps.push(outcome.fp);
             self.halting.record(newly, true);
         }
         ctx.tick("ascent", self.halting.seeds_tried(), Some(max_seeds));
@@ -266,6 +354,11 @@ struct Round<'a> {
     /// The uncovered nodes as of the round start — the coverage snapshot
     /// every seed pick of the round is drawn against.
     snapshot: &'a [NodeId],
+    /// The master RNG seed tickets derive from. Usually
+    /// [`OcaConfig::rng_seed`], but a resumed run adopts the *original*
+    /// run's seed from the checkpoint, so the remaining tickets continue
+    /// the original schedule even under a different nominal seed.
+    rng_seed: u64,
     /// Global ticket number of the round's first ticket.
     start: u64,
     /// Tickets in this round.
@@ -289,8 +382,7 @@ impl Round<'_> {
         t: usize,
         seen: &HashSet<u128>,
     ) -> TicketOutcome {
-        let mut rng =
-            StdRng::seed_from_u64(ticket_seed(self.config.rng_seed, self.start + t as u64));
+        let mut rng = StdRng::seed_from_u64(ticket_seed(self.rng_seed, self.start + t as u64));
         let seed = self.pick_seed(&mut rng);
         let initial = initial_set(self.config.seed_strategy, self.graph, seed, &mut rng);
         let outcome = ascend(state, &initial, &self.config.search);
@@ -408,23 +500,27 @@ impl Oca {
     ) -> Result<OcaResult, DetectError> {
         let start = Instant::now();
         let n = graph.node_count();
-        let cancelled = |cover: Cover, seeds: usize, c: f64, lambda_min: f64| {
-            DetectError::cancelled(Detection {
-                cover,
-                elapsed: start.elapsed(),
-                complete: false,
-                iterations: seeds,
-                stats: vec![
+        let cancelled =
+            |cover: Cover, seeds: usize, c: f64, lambda_min: f64, ckpt: &CheckpointStats| {
+                let mut stats = vec![
                     ("c", format!("{c:.6}")),
                     ("lambda_min", format!("{lambda_min:.6}")),
-                ],
-            })
-        };
+                ];
+                stats.extend(ckpt.stat_entries());
+                DetectError::cancelled(Detection {
+                    cover,
+                    elapsed: start.elapsed(),
+                    complete: false,
+                    iterations: seeds,
+                    stats,
+                })
+            };
+        let mut ckpt_stats = CheckpointStats::default();
         if ctx.is_cancelled() {
-            return Err(cancelled(Cover::empty(n), 0, 0.0, 0.0));
+            return Err(cancelled(Cover::empty(n), 0, 0.0, 0.0, &ckpt_stats));
         }
-        let (c, lambda_min) = self.resolve_c(graph);
         if n == 0 {
+            let (c, lambda_min) = self.resolve_c(graph);
             return Ok(OcaResult {
                 cover: Cover::empty(0),
                 c,
@@ -435,13 +531,77 @@ impl Oca {
                 ascent_stops: AscentStopStats::default(),
                 elapsed: start.elapsed(),
                 phases: PhaseNanos::default(),
+                checkpoint: ckpt_stats,
             });
         }
 
         let config = &self.config;
+        // --- checkpoint arming and resume ------------------------------
+        // The binding checksums are computed once per run: the config
+        // hash is O(1), the graph hash O(n) over the degree sequence.
+        let ckpt_cfg: Option<&CheckpointConfig> = config.checkpoint.as_ref();
+        let bindings = ckpt_cfg.map(|_| (config_checksum(config), graph_checksum(graph)));
+        let mut resumed: Option<DriverCheckpoint> = None;
+        if let Some(ck) = ckpt_cfg {
+            if ck.resume != ResumePolicy::Fresh {
+                let (cfg_ck, g_ck) = bindings.expect("bindings computed when armed");
+                match DriverCheckpoint::load(&ck.path, cfg_ck, g_ck) {
+                    Ok(d) if d.node_count == n as u64 => resumed = Some(d),
+                    Ok(d) => {
+                        // The graph binding should have refused this
+                        // already; belt and braces against checksum
+                        // collisions on the degree sequence.
+                        let source = CkptError::Malformed(format!(
+                            "checkpoint is for a {}-node graph, this one has {n} nodes",
+                            d.node_count
+                        ));
+                        if ck.resume == ResumePolicy::Strict {
+                            return Err(DetectError::Checkpoint {
+                                path: ck.path.clone(),
+                                source,
+                            });
+                        }
+                        let _ = std::fs::remove_file(&ck.path);
+                    }
+                    // No file yet: the first run of a chain starts fresh.
+                    Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(source) => {
+                        if ck.resume == ResumePolicy::Strict {
+                            return Err(DetectError::Checkpoint {
+                                path: ck.path.clone(),
+                                source,
+                            });
+                        }
+                        // Salvage: a damaged or foreign file must never
+                        // wedge an unattended restart loop — discard it
+                        // and start fresh.
+                        let _ = std::fs::remove_file(&ck.path);
+                    }
+                }
+            }
+        }
+        let (c, lambda_min) = match &resumed {
+            // Re-resolving would give the same values (spectral
+            // resolution is deterministic) at the cost of a power-method
+            // run; the checkpoint carries them instead.
+            Some(d) => (d.c, d.lambda_min),
+            None => self.resolve_c(graph),
+        };
+        let rng_seed = resumed.as_ref().map_or(config.rng_seed, |d| d.rng_seed);
+
         let threads = config.threads;
-        let covered = CoverageBitmap::new(n);
-        let mut reduction = Reduction::new(config, n);
+        let covered = match &resumed {
+            Some(d) => CoverageBitmap::from_words(&d.bitmap_words),
+            None => CoverageBitmap::new(n),
+        };
+        let mut reduction = match &resumed {
+            Some(d) => {
+                ckpt_stats.resumed_from_ticket = Some(d.seeds_tried);
+                Reduction::restore(config, n, d)
+            }
+            None => Reduction::new(config, n),
+        };
+        drop(resumed);
         let mut phases = PhaseNanos::default();
         // One reusable search state per worker; buffers persist across
         // rounds so reset cost stays proportional to work done.
@@ -467,6 +627,7 @@ impl Oca {
             Vec::new()
         };
         let mut prune_words = vec![0u64; hub_mask.len()];
+        let mut rounds_since_start = 0u64;
 
         while !reduction.halted {
             if !hub_mask.is_empty() {
@@ -488,11 +649,21 @@ impl Oca {
             // at the cutoff without wasted ascents) while every pick of
             // the round still sees the round-start coverage, exactly
             // like the parallel path.
+            // Round-start guard for the cancellation rewind: counter
+            // clones only, taken only while checkpointing is armed.
+            let guard = ckpt_cfg.is_some().then(|| {
+                (
+                    reduction.halting.clone(),
+                    reduction.stops,
+                    reduction.accepted.len(),
+                )
+            });
             let snapshot = std::mem::take(&mut reduction.uncovered.nodes);
             let round = Round {
                 graph,
                 config,
                 snapshot: &snapshot,
+                rng_seed,
                 start: done as u64,
                 len,
             };
@@ -534,13 +705,71 @@ impl Oca {
                 phases.dedup_ns += t1.elapsed().as_nanos() as u64;
             }
             reduction.uncovered.nodes = snapshot;
+            if ctx.is_cancelled() {
+                if let (Some(ck), Some((halting, stops, accepted_len))) = (ckpt_cfg, guard) {
+                    // Rewind to the round start — the only cut the
+                    // schedule can resume from bit-identically — then
+                    // flush a final checkpoint and return the rewound
+                    // state as the partial. The abandoned round's accepts
+                    // are undone (fingerprints out of `seen`, communities
+                    // truncated, counters restored, buffered removals
+                    // dropped); the live bitmap may keep stray mid-round
+                    // bits, but the checkpoint derives coverage from the
+                    // rewound uncovered list and this process does no
+                    // further work with the bitmap.
+                    for fp in reduction.accepted_fps.drain(accepted_len..) {
+                        reduction.seen.remove(&fp);
+                    }
+                    reduction.accepted.truncate(accepted_len);
+                    reduction.halting = halting;
+                    reduction.stops = stops;
+                    reduction.newly_covered.clear();
+                    write_checkpoint(
+                        ck,
+                        bindings.expect("bindings computed when armed"),
+                        &reduction,
+                        &mut ckpt_stats,
+                        rng_seed,
+                        c,
+                        lambda_min,
+                        n,
+                    );
+                    let seeds = reduction.halting.seeds_tried();
+                    let cover = Cover::new(n, std::mem::take(&mut reduction.accepted));
+                    return Err(cancelled(cover, seeds, c, lambda_min, &ckpt_stats));
+                }
+                for v in std::mem::take(&mut reduction.newly_covered) {
+                    reduction.uncovered.remove(v);
+                }
+                let seeds = reduction.halting.seeds_tried();
+                let cover = Cover::new(n, reduction.accepted);
+                return Err(cancelled(cover, seeds, c, lambda_min, &ckpt_stats));
+            }
             for v in std::mem::take(&mut reduction.newly_covered) {
                 reduction.uncovered.remove(v);
             }
-            if ctx.is_cancelled() {
-                let seeds = reduction.halting.seeds_tried();
-                let cover = Cover::new(n, reduction.accepted);
-                return Err(cancelled(cover, seeds, c, lambda_min));
+            rounds_since_start += 1;
+            if let Some(ck) = ckpt_cfg {
+                if !reduction.halted && rounds_since_start % ck.every_rounds == 0 {
+                    let wrote = write_checkpoint(
+                        ck,
+                        bindings.expect("bindings computed when armed"),
+                        &reduction,
+                        &mut ckpt_stats,
+                        rng_seed,
+                        c,
+                        lambda_min,
+                        n,
+                    );
+                    if wrote && ck.faults.check_kill(ckpt_stats.rounds_checkpointed) {
+                        // Simulated kill-between-rounds: abandon the run
+                        // at exactly the boundary the checkpoint just
+                        // captured — the crash window resume must cover.
+                        let seeds = reduction.halting.seeds_tried();
+                        let cover = Cover::new(n, std::mem::take(&mut reduction.accepted));
+                        return Err(cancelled(cover, seeds, c, lambda_min, &ckpt_stats));
+                    }
+                }
             }
         }
 
@@ -556,6 +785,13 @@ impl Oca {
             cover = assign_orphans(graph, &cover, 16);
             phases.orphan_ns += t0.elapsed().as_nanos() as u64;
         }
+        if let Some(ck) = ckpt_cfg {
+            // The run completed: the checkpoint is spent. Removing it
+            // keeps a later run over the same path (serve's next
+            // recompute round, a re-invocation of the CLI) from resuming
+            // into an already-finished state.
+            let _ = std::fs::remove_file(&ck.path);
+        }
         Ok(OcaResult {
             cover,
             c,
@@ -566,7 +802,42 @@ impl Oca {
             ascent_stops: reduction.stops,
             elapsed: start.elapsed(),
             phases,
+            checkpoint: ckpt_stats,
         })
+    }
+}
+
+/// Writes the reduction's current boundary state to the configured
+/// checkpoint path, updating the telemetry. Failures (I/O errors,
+/// injected torn writes) are counted, not fatal: the run continues, and
+/// the previous complete checkpoint — the atomic writer never replaces a
+/// file with a partial one — keeps covering it.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    ck: &CheckpointConfig,
+    bindings: (u64, u64),
+    reduction: &Reduction,
+    stats: &mut CheckpointStats,
+    rng_seed: u64,
+    c: f64,
+    lambda_min: f64,
+    n: usize,
+) -> bool {
+    let snapshot = reduction.to_checkpoint(rng_seed, c, lambda_min, n);
+    let t0 = Instant::now();
+    match snapshot.save(&ck.path, bindings.0, bindings.1, &ck.faults) {
+        Ok(bytes) => {
+            let ns = t0.elapsed().as_nanos() as u64;
+            stats.rounds_checkpointed += 1;
+            stats.last_bytes = bytes;
+            stats.last_write_ns = ns;
+            stats.total_write_ns += ns;
+            true
+        }
+        Err(_) => {
+            stats.write_failures += 1;
+            false
+        }
     }
 }
 
@@ -926,6 +1197,287 @@ mod tests {
         assert_eq!(r.c, 0.7);
         assert_eq!(r.lambda_min, 0.0);
         assert_eq!(r.cover.len(), 3);
+    }
+
+    use crate::checkpoint::{
+        CheckpointConfig, CheckpointFaultSpec, CheckpointFaults, ResumePolicy,
+    };
+    use oca_graph::{CancelToken, DetectError};
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("oca_runner_ckpt_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// `quick_config` with a small round so runs span several checkpoint
+    /// boundaries. A two-ticket round cannot cover the 15 nodes in its
+    /// first round (two 5-cliques at most), so a kill after the first
+    /// periodic write is always reachable.
+    fn tiny_round_config() -> OcaConfig {
+        OcaConfig {
+            batch: 2,
+            ..quick_config()
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_removes_the_spent_file() {
+        let g = three_cliques();
+        let path = ckpt_dir("plain").join("run.ockpt");
+        let plain = Oca::new(tiny_round_config()).run(&g);
+        let r = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig::at(&path)),
+            ..tiny_round_config()
+        })
+        .run(&g);
+        assert_eq!(
+            r.cover, plain.cover,
+            "checkpointing must not change the cover"
+        );
+        assert_eq!(r.seeds_tried, plain.seeds_tried);
+        assert!(
+            r.checkpoint.rounds_checkpointed > 0,
+            "boundaries were written"
+        );
+        assert!(r.checkpoint.last_bytes > 0);
+        assert_eq!(r.checkpoint.resumed_from_ticket, None);
+        assert!(
+            !path.exists(),
+            "a completed run removes its spent checkpoint"
+        );
+    }
+
+    /// The tentpole contract: SIGKILL-style abandonment right after a
+    /// boundary write, then a resume — under a *different* nominal seed
+    /// and any thread count — reproduces the uninterrupted run bit for
+    /// bit (cover, cutoff and halt reason).
+    #[test]
+    fn kill_between_rounds_then_resume_is_bit_identical() {
+        let g = three_cliques();
+        let baseline = Oca::new(tiny_round_config()).run(&g);
+        for threads in [1usize, 2, 4] {
+            let path = ckpt_dir("kill").join(format!("t{threads}.ockpt"));
+            let faults = CheckpointFaults::new(CheckpointFaultSpec {
+                torn_write_every: 0,
+                kill_after_writes: 1,
+            });
+            let err = Oca::new(OcaConfig {
+                threads,
+                checkpoint: Some(CheckpointConfig {
+                    path: path.clone(),
+                    every_rounds: 1,
+                    resume: ResumePolicy::Strict,
+                    faults,
+                }),
+                ..tiny_round_config()
+            })
+            .run_ctx(&g, &DetectContext::new(0x0CA))
+            .unwrap_err();
+            assert!(
+                matches!(err, DetectError::Cancelled { .. }),
+                "threads = {threads}"
+            );
+            assert!(path.exists(), "the kill left a checkpoint behind");
+
+            // Resume under a different nominal seed: the checkpoint's
+            // recorded seed must win, or the remaining schedule diverges.
+            let r = Oca::new(OcaConfig {
+                threads,
+                rng_seed: 0xDEAD_BEEF,
+                checkpoint: Some(CheckpointConfig::at(&path)),
+                ..tiny_round_config()
+            })
+            .run(&g);
+            assert_eq!(r.cover, baseline.cover, "threads = {threads}");
+            assert_eq!(r.seeds_tried, baseline.seeds_tried, "threads = {threads}");
+            assert_eq!(r.halt_reason, baseline.halt_reason, "threads = {threads}");
+            assert_eq!(r.ascent_stops, baseline.ascent_stops, "threads = {threads}");
+            let resumed_from = r.checkpoint.resumed_from_ticket.expect("run resumed");
+            assert!(resumed_from > 0 && resumed_from < baseline.seeds_tried as u64);
+            assert!(!path.exists(), "the spent checkpoint is removed");
+        }
+    }
+
+    /// Cancellation mid-round rewinds to the round start — the partial
+    /// reports a whole number of rounds — and the flushed checkpoint
+    /// resumes to the uninterrupted result.
+    #[test]
+    fn cancel_mid_round_rewinds_flushes_and_resumes_bit_identically() {
+        let g = three_cliques();
+        let cfg = OcaConfig {
+            batch: 4,
+            ..quick_config()
+        };
+        let baseline = Oca::new(cfg.clone()).run(&g);
+        let path = ckpt_dir("cancel").join("run.ockpt");
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        // Cancel on the fifth ascent: one ticket into the second round.
+        let ctx = DetectContext::new(0x0CA)
+            .with_cancel(token)
+            .with_progress(move |p| {
+                if p.done == 5 {
+                    trigger.cancel();
+                }
+            });
+        let err = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig::at(&path)),
+            ..cfg.clone()
+        })
+        .run_ctx(&g, &ctx)
+        .unwrap_err();
+        let DetectError::Cancelled { partial } = err else {
+            panic!("expected Cancelled");
+        };
+        assert_eq!(
+            partial.iterations % 4,
+            0,
+            "the partial is rewound to a round boundary"
+        );
+        assert!(path.exists(), "cancellation flushed a final checkpoint");
+
+        let r = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig::at(&path)),
+            ..cfg
+        })
+        .run(&g);
+        assert_eq!(r.cover, baseline.cover);
+        assert_eq!(r.seeds_tried, baseline.seeds_tried);
+        assert_eq!(
+            r.checkpoint.resumed_from_ticket,
+            Some(partial.iterations as u64)
+        );
+    }
+
+    #[test]
+    fn strict_refuses_garbage_and_salvage_discards_it() {
+        let g = three_cliques();
+        let baseline = Oca::new(tiny_round_config()).run(&g);
+        let path = ckpt_dir("garbage").join("run.ockpt");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+
+        let err = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig::at(&path)),
+            ..tiny_round_config()
+        })
+        .run_ctx(&g, &DetectContext::new(0x0CA))
+        .unwrap_err();
+        assert!(matches!(err, DetectError::Checkpoint { .. }), "got {err}");
+        assert!(path.exists(), "strict mode never deletes evidence");
+
+        let r = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig {
+                resume: ResumePolicy::Salvage,
+                ..CheckpointConfig::at(&path)
+            }),
+            ..tiny_round_config()
+        })
+        .run(&g);
+        assert_eq!(r.cover, baseline.cover, "salvage restarts from scratch");
+        assert_eq!(r.checkpoint.resumed_from_ticket, None);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn mismatched_config_binding_refuses_resume() {
+        let g = three_cliques();
+        let path = ckpt_dir("binding").join("run.ockpt");
+        let faults = CheckpointFaults::new(CheckpointFaultSpec {
+            torn_write_every: 0,
+            kill_after_writes: 1,
+        });
+        Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                every_rounds: 1,
+                resume: ResumePolicy::Strict,
+                faults,
+            }),
+            ..tiny_round_config()
+        })
+        .run_ctx(&g, &DetectContext::new(0x0CA))
+        .unwrap_err();
+        assert!(path.exists());
+
+        // A different batch is a different deterministic schedule: the
+        // config binding must refuse the resume rather than mix them.
+        let err = Oca::new(OcaConfig {
+            batch: 16,
+            checkpoint: Some(CheckpointConfig::at(&path)),
+            ..quick_config()
+        })
+        .run_ctx(&g, &DetectContext::new(0x0CA))
+        .unwrap_err();
+        match err {
+            DetectError::Checkpoint { source, .. } => {
+                assert!(source.to_string().contains("config"), "got {source}");
+            }
+            other => panic!("expected Checkpoint, got {other}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Injected torn writes fail every periodic write; the run itself
+    /// must shrug (failures are telemetry, not errors) and the target
+    /// path must never contain a half-written file.
+    #[test]
+    fn torn_writes_are_counted_and_never_leave_a_file() {
+        let g = three_cliques();
+        let baseline = Oca::new(tiny_round_config()).run(&g);
+        let path = ckpt_dir("torn").join("run.ockpt");
+        let faults = CheckpointFaults::new(CheckpointFaultSpec {
+            torn_write_every: 1,
+            kill_after_writes: 0,
+        });
+        let ck = CheckpointConfig {
+            path: path.clone(),
+            every_rounds: 1,
+            resume: ResumePolicy::Strict,
+            faults: faults.clone(),
+        };
+        let r = Oca::new(OcaConfig {
+            checkpoint: Some(ck),
+            ..tiny_round_config()
+        })
+        .run(&g);
+        assert_eq!(r.cover, baseline.cover);
+        assert_eq!(r.checkpoint.rounds_checkpointed, 0);
+        assert!(r.checkpoint.write_failures > 0);
+        assert_eq!(faults.counts().torn_writes, r.checkpoint.write_failures);
+        assert!(!path.exists(), "a torn write must not surface at the path");
+        // No temp debris either: atomic_write_path cleans up on error.
+        let dir = path.parent().unwrap();
+        let debris: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(debris.is_empty(), "temp debris: {debris:?}");
+    }
+
+    #[test]
+    fn every_rounds_sets_the_write_cadence() {
+        let g = three_cliques();
+        let dense_path = ckpt_dir("cadence").join("dense.ockpt");
+        let sparse_path = ckpt_dir("cadence").join("sparse.ockpt");
+        let run = |path: &std::path::Path, every: u64| {
+            Oca::new(OcaConfig {
+                checkpoint: Some(CheckpointConfig {
+                    path: path.to_path_buf(),
+                    every_rounds: every,
+                    resume: ResumePolicy::Strict,
+                    faults: CheckpointFaults::none(),
+                }),
+                ..tiny_round_config()
+            })
+            .run(&g)
+        };
+        let dense = run(&dense_path, 1);
+        let sparse = run(&sparse_path, 3);
+        assert_eq!(dense.cover, sparse.cover, "cadence is not schedule");
+        assert!(dense.checkpoint.rounds_checkpointed > sparse.checkpoint.rounds_checkpointed);
     }
 
     use oca_graph::CsrGraph;

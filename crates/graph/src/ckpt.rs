@@ -1,0 +1,373 @@
+//! The `.ockpt` checkpoint container: a versioned, checksummed envelope
+//! for driver resume state.
+//!
+//! A long detection run periodically persists its round-boundary state so
+//! a crash (SIGKILL, OOM, preemption) loses at most the rounds since the
+//! last write. This module owns only the *container*: an 8-byte magic, a
+//! version, two caller-supplied binding checksums (config and graph — so a
+//! stale file is refused instead of silently resuming the wrong run), an
+//! opaque payload, and a trailing FNV-1a checksum over everything before
+//! it. The payload encoding itself belongs to the driver (`oca::runner`);
+//! this layer guarantees that whatever comes back out of
+//! [`read_ckpt_path`] is byte-for-byte what went into [`write_ckpt_path`],
+//! or a typed [`CkptError`] explaining why not.
+//!
+//! Writes go through [`crate::atomic_write_path`], so a crash mid-write
+//! leaves the previous complete checkpoint in place — never a torn file.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"OCACKPT\0"
+//!      8     4  version (currently 1)
+//!     12     4  reserved (zero)
+//!     16     8  config checksum (caller-defined binding)
+//!     24     8  graph checksum  (caller-defined binding)
+//!     32     8  payload length in bytes
+//!     40     n  payload (opaque to this layer)
+//!   40+n     8  FNV-1a checksum of bytes [0, 40+n)
+//! ```
+
+use crate::atomic::atomic_write_path;
+use crate::ocg::Fnv1a;
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes opening every `.ockpt` file.
+pub const OCKPT_MAGIC: [u8; 8] = *b"OCACKPT\0";
+/// The container version this build reads and writes.
+pub const OCKPT_VERSION: u32 = 1;
+/// Fixed header size: magic + version + reserved + two bindings + length.
+const HEADER_LEN: usize = 40;
+/// Trailing checksum size.
+const TRAILER_LEN: usize = 8;
+
+/// Why a checkpoint could not be read or does not apply to this run.
+///
+/// The split matters operationally: [`is_corruption`](CkptError::is_corruption)
+/// classes (a damaged or half-deleted file) can safely be discarded and
+/// the run restarted from scratch, while mismatch classes signal operator
+/// error — resuming a *different* run's checkpoint — and should abort.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An underlying I/O failure (including file-not-found).
+    Io(std::io::Error),
+    /// The file does not start with the `.ockpt` magic bytes.
+    BadMagic,
+    /// The file records a container version this build does not read.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header and length field imply.
+    Truncated,
+    /// The trailing checksum does not match the file contents.
+    ChecksumMismatch,
+    /// A binding checksum (config or graph) does not match the current
+    /// run; constructed by the resume layer, not by this module.
+    Mismatch {
+        /// Which binding disagreed (`"config"` or `"graph"`).
+        what: &'static str,
+        /// The checksum recorded in the file.
+        expected: u64,
+        /// The checksum of the current run.
+        found: u64,
+    },
+    /// The payload decoded to something structurally impossible;
+    /// constructed by the resume layer, not by this module.
+    Malformed(String),
+}
+
+impl CkptError {
+    /// True for damage classes (truncation, checksum failure): the file
+    /// can be discarded and the run restarted. False for mismatches and
+    /// version/magic surprises, which signal operator error instead.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, CkptError::Truncated | CkptError::ChecksumMismatch)
+    }
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "i/o error: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported checkpoint version {v} (this build reads version {OCKPT_VERSION})"
+            ),
+            CkptError::Truncated => write!(f, "checkpoint file is truncated"),
+            CkptError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CkptError::Mismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {what} mismatch: file records {expected:#018x}, \
+                 this run has {found:#018x}"
+            ),
+            CkptError::Malformed(message) => write!(f, "malformed checkpoint: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// A checkpoint as the container layer sees it: two binding checksums and
+/// an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptEnvelope {
+    /// Binds the file to the run's configuration (schedule-affecting
+    /// fields only; the writer decides what to hash).
+    pub config_checksum: u64,
+    /// Binds the file to the graph it was computed on.
+    pub graph_checksum: u64,
+    /// The driver's serialized state, opaque here.
+    pub payload: Vec<u8>,
+}
+
+/// Serializes `envelope` into the full on-disk byte layout.
+pub fn encode_ckpt(envelope: &CkptEnvelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + envelope.payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&OCKPT_MAGIC);
+    out.extend_from_slice(&OCKPT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&envelope.config_checksum.to_le_bytes());
+    out.extend_from_slice(&envelope.graph_checksum.to_le_bytes());
+    out.extend_from_slice(&(envelope.payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&envelope.payload);
+    let mut fnv = Fnv1a::new();
+    fnv.update(&out);
+    out.extend_from_slice(&fnv.finish().to_le_bytes());
+    out
+}
+
+/// Parses and verifies the full on-disk byte layout back into an envelope.
+pub fn decode_ckpt(bytes: &[u8]) -> Result<CkptEnvelope, CkptError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        // Too short to even hold a header; if the magic is already wrong,
+        // say that instead (a text file piped in, not a torn checkpoint).
+        if bytes.len() >= 8 && bytes[..8] != OCKPT_MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        return Err(CkptError::Truncated);
+    }
+    if bytes[..8] != OCKPT_MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != OCKPT_VERSION {
+        return Err(CkptError::UnsupportedVersion(version));
+    }
+    let config_checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let graph_checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+    let expected_len = (HEADER_LEN as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(TRAILER_LEN as u64))
+        .ok_or(CkptError::Truncated)?;
+    if (bytes.len() as u64) < expected_len {
+        return Err(CkptError::Truncated);
+    }
+    if (bytes.len() as u64) > expected_len {
+        // Trailing garbage after the checksum: not a clean file. The
+        // atomic writer never produces this, so treat it as damage.
+        return Err(CkptError::ChecksumMismatch);
+    }
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let recorded = u64::from_le_bytes(bytes[bytes.len() - TRAILER_LEN..].try_into().unwrap());
+    let mut fnv = Fnv1a::new();
+    fnv.update(body);
+    if fnv.finish() != recorded {
+        return Err(CkptError::ChecksumMismatch);
+    }
+    Ok(CkptEnvelope {
+        config_checksum,
+        graph_checksum,
+        payload: bytes[HEADER_LEN..HEADER_LEN + payload_len as usize].to_vec(),
+    })
+}
+
+/// Atomically writes `envelope` to `path` (temp file + fsync + rename),
+/// returning the total bytes written. The previous checkpoint at `path`
+/// survives intact if anything fails mid-write.
+pub fn write_ckpt_path(path: &Path, envelope: &CkptEnvelope) -> std::io::Result<u64> {
+    let bytes = encode_ckpt(envelope);
+    atomic_write_path(path, |w| std::io::Write::write_all(w, &bytes))?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and verifies the checkpoint at `path`. Every failure is typed:
+/// missing file and I/O errors surface as [`CkptError::Io`], damage as
+/// the corruption classes, foreign files as magic/version errors.
+pub fn read_ckpt_path(path: &Path) -> Result<CkptEnvelope, CkptError> {
+    let bytes = std::fs::read(path)?;
+    decode_ckpt(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oca_ckpt_test_{}_{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> CkptEnvelope {
+        CkptEnvelope {
+            config_checksum: 0xDEAD_BEEF_0BAD_F00D,
+            graph_checksum: 0x1234_5678_9ABC_DEF0,
+            payload: (0..=255u8).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = tmpdir();
+        let path = dir.join("run.ockpt");
+        let env = sample();
+        let bytes = write_ckpt_path(&path, &env).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(read_ckpt_path(&path).unwrap(), env);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let env = CkptEnvelope {
+            config_checksum: 1,
+            graph_checksum: 2,
+            payload: Vec::new(),
+        };
+        assert_eq!(decode_ckpt(&encode_ckpt(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corruption() {
+        let err = read_ckpt_path(Path::new("/nonexistent/nope.ockpt")).unwrap_err();
+        assert!(matches!(err, CkptError::Io(_)));
+        assert!(!err.is_corruption());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_ckpt(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_ckpt(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed() {
+        let bytes = encode_ckpt(&sample());
+        for len in 0..bytes.len() {
+            let err = decode_ckpt(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, CkptError::Truncated | CkptError::BadMagic),
+                "truncation to {len} bytes gave {err:?}"
+            );
+            if len >= 8 {
+                // Once the magic is intact, the verdict is truncation.
+                assert!(matches!(err, CkptError::Truncated), "at {len}: {err:?}");
+                assert!(err.is_corruption());
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_damage() {
+        let mut bytes = encode_ckpt(&sample());
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            decode_ckpt(&bytes).unwrap_err(),
+            CkptError::ChecksumMismatch
+        ));
+    }
+
+    #[test]
+    fn foreign_magic_and_version_are_not_corruption() {
+        let mut bad = encode_ckpt(&sample());
+        bad[..8].copy_from_slice(b"OCACOVER");
+        let err = decode_ckpt(&bad).unwrap_err();
+        assert!(matches!(err, CkptError::BadMagic));
+        assert!(!err.is_corruption());
+
+        let mut future = encode_ckpt(&sample());
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-seal so only the version differs from a valid file.
+        let trailer_at = future.len() - 8;
+        let mut fnv = Fnv1a::new();
+        fnv.update(&future[..trailer_at]);
+        let checksum = fnv.finish();
+        future[trailer_at..].copy_from_slice(&checksum.to_le_bytes());
+        let err = decode_ckpt(&future).unwrap_err();
+        assert!(matches!(err, CkptError::UnsupportedVersion(99)));
+        assert!(!err.is_corruption());
+    }
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        assert!(CkptError::Truncated.to_string().contains("truncated"));
+        assert!(CkptError::BadMagic.to_string().contains("magic"));
+        assert!(CkptError::UnsupportedVersion(7).to_string().contains('7'));
+        let m = CkptError::Mismatch {
+            what: "graph",
+            expected: 0xAB,
+            found: 0xCD,
+        }
+        .to_string();
+        assert!(m.contains("graph") && m.contains("0x"), "{m}");
+        assert!(CkptError::Malformed("bad length".into())
+            .to_string()
+            .contains("bad length"));
+    }
+
+    #[test]
+    fn replacing_a_checkpoint_is_atomic_over_the_old_one() {
+        let dir = tmpdir();
+        let path = dir.join("run.ockpt");
+        let first = sample();
+        write_ckpt_path(&path, &first).unwrap();
+        let second = CkptEnvelope {
+            payload: vec![9; 10_000],
+            ..first.clone()
+        };
+        write_ckpt_path(&path, &second).unwrap();
+        assert_eq!(read_ckpt_path(&path).unwrap(), second);
+        // No temp debris left behind.
+        let debris: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(debris.is_empty(), "{debris:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

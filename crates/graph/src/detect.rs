@@ -344,6 +344,14 @@ pub enum DetectError {
         /// The partial result at the point of cancellation.
         partial: Box<Detection>,
     },
+    /// A checkpoint file could not be used to resume the run (damaged,
+    /// wrong version, or bound to a different config/graph).
+    Checkpoint {
+        /// The checkpoint file.
+        path: std::path::PathBuf,
+        /// Why it was refused.
+        source: crate::ckpt::CkptError,
+    },
 }
 
 impl DetectError {
@@ -397,6 +405,9 @@ impl fmt::Display for DetectError {
                 partial.elapsed.as_secs_f64(),
                 partial.cover.len()
             ),
+            DetectError::Checkpoint { path, source } => {
+                write!(f, "checkpoint {}: {source}", path.display())
+            }
         }
     }
 }
@@ -405,6 +416,7 @@ impl std::error::Error for DetectError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DetectError::Graph(e) => Some(e),
+            DetectError::Checkpoint { source, .. } => Some(source),
             _ => None,
         }
     }

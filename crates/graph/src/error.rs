@@ -48,6 +48,33 @@ pub enum GraphError {
     },
 }
 
+/// The integrity-failure classes a binary file reader distinguishes.
+///
+/// Ops scripts branch on these (via distinct CLI exit codes): a checksum
+/// mismatch or truncation means the file is damaged and should be rebuilt
+/// or restored from backup, while a version mismatch means the file is
+/// fine but this binary is the wrong vintage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityClass {
+    /// The stored checksum does not match the file contents.
+    ChecksumMismatch,
+    /// The file is shorter than its own header or length fields imply.
+    Truncated,
+    /// The file records a format version this build does not read.
+    VersionMismatch,
+}
+
+impl IntegrityClass {
+    /// A short stable label for logs and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntegrityClass::ChecksumMismatch => "checksum-mismatch",
+            IntegrityClass::Truncated => "truncation",
+            IntegrityClass::VersionMismatch => "version-mismatch",
+        }
+    }
+}
+
 impl GraphError {
     /// Annotates `self` with the file path it originated from. An error
     /// already carrying a path is returned unchanged, so nested helpers
@@ -59,6 +86,32 @@ impl GraphError {
                 path: path.into(),
                 source: Box::new(other),
             },
+        }
+    }
+
+    /// Classifies an `.ocg` integrity failure, if `self` is one.
+    ///
+    /// The `.ocg` reader reports every integrity problem as
+    /// [`GraphError::InvalidFormat`] with a descriptive message; this
+    /// recovers the machine-readable class from the message shape (the
+    /// messages are pinned by tests here and in `ocg`). Non-integrity
+    /// errors return `None`.
+    pub fn integrity_class(&self) -> Option<IntegrityClass> {
+        match self {
+            GraphError::WithPath { source, .. } => source.integrity_class(),
+            GraphError::InvalidFormat { message } => {
+                if message.starts_with("checksum mismatch") {
+                    Some(IntegrityClass::ChecksumMismatch)
+                } else if message.contains("unsupported version") {
+                    Some(IntegrityClass::VersionMismatch)
+                } else if message.contains("shorter than") || message.contains("the header implies")
+                {
+                    Some(IntegrityClass::Truncated)
+                } else {
+                    None
+                }
+            }
+            _ => None,
         }
     }
 }
@@ -141,6 +194,52 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e = GraphError::from(io);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn integrity_classes_recover_from_pinned_messages() {
+        // These message shapes are what `ocg.rs` actually emits; the ocg
+        // tests pin them from the writer side, this pins the classifier.
+        let checksum = GraphError::InvalidFormat {
+            message: "checksum mismatch: header records 0x01, payload hashes to 0x02".into(),
+        };
+        assert_eq!(
+            checksum.integrity_class(),
+            Some(IntegrityClass::ChecksumMismatch)
+        );
+        let version = GraphError::InvalidFormat {
+            message: "unsupported version 9 (this build reads version 1)".into(),
+        };
+        assert_eq!(
+            version.integrity_class(),
+            Some(IntegrityClass::VersionMismatch)
+        );
+        let short = GraphError::InvalidFormat {
+            message: "file is 10 bytes, shorter than the 64-byte header".into(),
+        };
+        assert_eq!(short.integrity_class(), Some(IntegrityClass::Truncated));
+        let implied = GraphError::InvalidFormat {
+            message: "file is 100 bytes but the header implies 200".into(),
+        };
+        assert_eq!(implied.integrity_class(), Some(IntegrityClass::Truncated));
+        // Classification sees through the path wrapper.
+        assert_eq!(
+            checksum.with_path("g.ocg").integrity_class(),
+            Some(IntegrityClass::ChecksumMismatch)
+        );
+        // Non-integrity errors do not classify.
+        assert_eq!(GraphError::EmptyGraph.integrity_class(), None);
+        let other = GraphError::InvalidFormat {
+            message: "structural validation failed: neighbor list not sorted".into(),
+        };
+        assert_eq!(other.integrity_class(), None);
+        // Labels are the stable strings ops scripts grep for.
+        assert_eq!(IntegrityClass::Truncated.label(), "truncation");
+        assert_eq!(
+            IntegrityClass::ChecksumMismatch.label(),
+            "checksum-mismatch"
+        );
+        assert_eq!(IntegrityClass::VersionMismatch.label(), "version-mismatch");
     }
 
     #[test]

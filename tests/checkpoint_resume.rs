@@ -1,0 +1,224 @@
+//! Crash/resume properties of the checkpointed OCA driver (proptest).
+//!
+//! The tentpole contract under randomized abuse:
+//!
+//! * kill the driver right after a random boundary write, resume from the
+//!   checkpoint — at any thread count, under a different nominal seed —
+//!   and the final cover and `seeds_tried` are bit-identical to an
+//!   uninterrupted run;
+//! * a damaged `.ockpt` (random byte flip, random truncation, version
+//!   patch) is refused with a typed error under the strict policy and
+//!   discarded under salvage — garbage is never loaded as state;
+//! * injected torn writes never corrupt the target path or the result.
+
+use oca::{
+    CheckpointConfig, CheckpointFaultSpec, CheckpointFaults, Oca, OcaConfig, OcaResult,
+    ResumePolicy,
+};
+use oca_gen::{lfr, LfrParams};
+use oca_graph::{CsrGraph, DetectContext, DetectError};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn graph() -> &'static CsrGraph {
+    static G: OnceLock<CsrGraph> = OnceLock::new();
+    G.get_or_init(|| lfr(&LfrParams::small(300, 0.3, 3)).graph)
+}
+
+/// Tiny rounds so even this 300-node run crosses several checkpoint
+/// boundaries — the kill points under test.
+fn base_config() -> OcaConfig {
+    OcaConfig {
+        batch: 2,
+        rng_seed: 0x0CA,
+        ..OcaConfig::default()
+    }
+}
+
+struct Baseline {
+    plain: OcaResult,
+    /// Periodic boundary writes a full checkpointed run performs: the
+    /// space of distinct kill points.
+    writes: u64,
+}
+
+fn baseline() -> &'static Baseline {
+    static B: OnceLock<Baseline> = OnceLock::new();
+    B.get_or_init(|| {
+        let plain = Oca::new(base_config()).run(graph());
+        let path = case_path("baseline");
+        let r = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig::at(&path)),
+            ..base_config()
+        })
+        .run(graph());
+        assert_eq!(
+            r.cover, plain.cover,
+            "checkpointing must not change the cover"
+        );
+        let writes = r.checkpoint.rounds_checkpointed;
+        assert!(
+            writes >= 2,
+            "need at least two boundaries to kill at ({writes})"
+        );
+        Baseline { plain, writes }
+    })
+}
+
+/// A fresh target path per case: cases must never see each other's files.
+fn case_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("oca_ckpt_prop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}_{}.ockpt",
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs to completion under `kill_after_writes` faults and leaves the
+/// flushed checkpoint at `path`.
+fn killed_run(path: &Path, kill_after_writes: u64, threads: usize) {
+    let faults = CheckpointFaults::new(CheckpointFaultSpec {
+        torn_write_every: 0,
+        kill_after_writes,
+    });
+    let err = Oca::new(OcaConfig {
+        threads,
+        checkpoint: Some(CheckpointConfig {
+            path: path.to_path_buf(),
+            every_rounds: 1,
+            resume: ResumePolicy::Strict,
+            faults,
+        }),
+        ..base_config()
+    })
+    .run_ctx(graph(), &DetectContext::new(0x0CA))
+    .unwrap_err();
+    assert!(matches!(err, DetectError::Cancelled { .. }), "got {err}");
+    assert!(path.exists(), "the kill must leave a checkpoint behind");
+}
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    /// Kill after a random boundary write, resume at a random (often
+    /// different) thread count under a different nominal seed: the chain
+    /// reproduces the uninterrupted run bit for bit.
+    #[test]
+    fn kill_at_a_random_round_then_resume_is_bit_identical(
+        raw_kill in 0u64..1_000_000,
+        kill_threads in 0usize..3,
+        resume_threads in 0usize..3,
+    ) {
+        let base = baseline();
+        let kill_after = 1 + raw_kill % base.writes;
+        let path = case_path("kill");
+        killed_run(&path, kill_after, THREADS[kill_threads]);
+
+        let r = Oca::new(OcaConfig {
+            threads: THREADS[resume_threads],
+            rng_seed: 0xDEAD_BEEF, // the checkpoint's recorded seed must win
+            checkpoint: Some(CheckpointConfig {
+                resume: ResumePolicy::Strict,
+                ..CheckpointConfig::at(&path)
+            }),
+            ..base_config()
+        })
+        .run(graph());
+        prop_assert_eq!(&r.cover, &base.plain.cover);
+        prop_assert_eq!(r.seeds_tried, base.plain.seeds_tried);
+        prop_assert_eq!(r.halt_reason, base.plain.halt_reason);
+        let resumed_from = r.checkpoint.resumed_from_ticket.expect("run resumed");
+        prop_assert!(resumed_from > 0 && resumed_from < base.plain.seeds_tried as u64);
+        prop_assert!(!path.exists(), "the spent checkpoint is removed");
+    }
+
+    /// Damage a real checkpoint at a random spot — byte flip, truncation,
+    /// or a version patch — and the strict policy refuses it with a typed
+    /// error while salvage discards it and restarts clean. Garbage is
+    /// never loaded as driver state.
+    #[test]
+    fn damaged_checkpoints_are_refused_never_loaded(
+        raw_site in 0u64..1_000_000,
+        kind in 0u8..3,
+    ) {
+        let base = baseline();
+        let path = case_path("damage");
+        killed_run(&path, 1 + raw_site % base.writes, 1);
+        let pristine = std::fs::read(&path).unwrap();
+        let mut bytes = pristine.clone();
+        match kind {
+            0 => {
+                // Bit rot anywhere in the file.
+                let at = (raw_site as usize) % bytes.len();
+                bytes[at] ^= 0xFF;
+            }
+            1 => {
+                // Truncation to any strictly shorter length.
+                bytes.truncate((raw_site as usize) % bytes.len());
+            }
+            _ => {
+                // A future format version (the u32 after the 8-byte magic).
+                bytes[8..12].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+            }
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let strict = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig {
+                resume: ResumePolicy::Strict,
+                ..CheckpointConfig::at(&path)
+            }),
+            ..base_config()
+        })
+        .run_ctx(graph(), &DetectContext::new(0x0CA));
+        match strict {
+            Err(DetectError::Checkpoint { .. }) => {}
+            Err(other) => panic!("expected a typed checkpoint refusal, got {other}"),
+            Ok(_) => panic!("a damaged checkpoint must not resume"),
+        }
+        prop_assert!(path.exists(), "strict mode never deletes the evidence");
+
+        let r = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig {
+                resume: ResumePolicy::Salvage,
+                ..CheckpointConfig::at(&path)
+            }),
+            ..base_config()
+        })
+        .run(graph());
+        prop_assert_eq!(&r.cover, &base.plain.cover, "salvage restarts from scratch");
+        prop_assert_eq!(r.checkpoint.resumed_from_ticket, None);
+        prop_assert!(!path.exists(), "salvage consumed the damaged file");
+    }
+
+    /// Torn writes at a random cadence: failures are telemetry, the run's
+    /// result is untouched, and the target path never holds a half-file.
+    #[test]
+    fn torn_writes_never_corrupt_the_run(every in 1u64..4) {
+        let base = baseline();
+        let path = case_path("torn");
+        let faults = CheckpointFaults::new(CheckpointFaultSpec {
+            torn_write_every: every,
+            kill_after_writes: 0,
+        });
+        let r = Oca::new(OcaConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                every_rounds: 1,
+                resume: ResumePolicy::Strict,
+                faults: faults.clone(),
+            }),
+            ..base_config()
+        })
+        .run(graph());
+        prop_assert_eq!(&r.cover, &base.plain.cover);
+        prop_assert_eq!(r.seeds_tried, base.plain.seeds_tried);
+        prop_assert!(r.checkpoint.write_failures > 0);
+        prop_assert_eq!(faults.counts().torn_writes, r.checkpoint.write_failures);
+        prop_assert!(!path.exists(), "completed runs leave no checkpoint");
+    }
+}
